@@ -1,0 +1,63 @@
+// Routes every net in the data/ corpus with the main strategies and
+// prints a per-net scoreboard -- hand-crafted shapes (horseshoe, comb,
+// cross, register array, clusters, diagonal chain) that each stress a
+// different aspect of the algorithms. The corpus path can be overridden
+// with NTR_CORPUS_DIR.
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/solver.h"
+#include "io/net_io.h"
+#include "spice/units.h"
+
+int main() {
+  using namespace ntr;
+  const bench::TableConfig config = bench::config_from_env();
+  const delay::TransientEvaluator measure(config.tech);
+
+  const char* env_dir = std::getenv("NTR_CORPUS_DIR");
+  std::filesystem::path dir = env_dir != nullptr ? env_dir : "";
+  if (dir.empty()) {
+    // Search upward from the working directory for data/.
+    std::filesystem::path probe = std::filesystem::current_path();
+    for (int up = 0; up < 5; ++up) {
+      if (std::filesystem::exists(probe / "data" / "horseshoe.net")) {
+        dir = probe / "data";
+        break;
+      }
+      probe = probe.parent_path();
+    }
+  }
+  if (dir.empty() || !std::filesystem::exists(dir)) {
+    std::printf("corpus_report: data/ directory not found (set NTR_CORPUS_DIR)\n");
+    return 0;  // benign in stripped install trees
+  }
+
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir))
+    if (entry.path().extension() == ".net") files.push_back(entry.path());
+  std::sort(files.begin(), files.end());
+
+  std::printf("corpus report (%zu nets from %s)\n", files.size(), dir.c_str());
+  for (const std::filesystem::path& file : files) {
+    const graph::Net net = io::read_net_file(file.string());
+    std::printf("\n%s (%zu pins)\n", file.filename().c_str(), net.size());
+    std::printf("  %-10s  %10s  %9s  %6s\n", "strategy", "delay", "wire", "cycles");
+    const core::Solution mst = core::solve(net, core::Strategy::kMst, measure);
+    for (const core::Strategy s :
+         {core::Strategy::kMst, core::Strategy::kSteinerTree, core::Strategy::kErt,
+          core::Strategy::kH3, core::Strategy::kLdrg, core::Strategy::kSldrg}) {
+      const core::Solution sol = core::solve(net, s, measure);
+      std::printf("  %-10s  %10s  %6.0f um  %6zu   (t/tMST %.2f)\n",
+                  core::strategy_name(s).c_str(),
+                  spice::format_time(sol.delay_s).c_str(), sol.cost_um,
+                  sol.graph.cycle_count(), sol.delay_s / mst.delay_s);
+    }
+  }
+  return 0;
+}

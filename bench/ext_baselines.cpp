@@ -1,0 +1,93 @@
+// Extension: the classical cost/radius/delay landscape the paper's
+// non-tree routings live in. One table comparing every tree construction
+// in the library (MST, SPT/star, Prim-Dijkstra, BRBC, 1-Steiner, ERT,
+// SERT) plus LDRG, all measured with the transient engine and normalized
+// to the MST. This is the context for the paper's claim that LDRG is
+// "competitive with the best existing routing tree constructions" at
+// lower wirelength.
+
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/ldrg.h"
+#include "graph/paths.h"
+#include "route/brbc.h"
+#include "route/constructions.h"
+#include "route/ert.h"
+#include "route/local_search.h"
+#include "steiner/iterated_one_steiner.h"
+
+int main() {
+  using namespace ntr;
+  const bench::TableConfig config = bench::config_from_env();
+  const delay::TransientEvaluator spice_like(config.tech);
+
+  struct Method {
+    const char* name;
+    std::function<graph::RoutingGraph(const graph::Net&)> route;
+  };
+  const std::vector<Method> methods{
+      {"MST", [](const graph::Net& n) { return graph::mst_routing(n); }},
+      {"SPT/star", [](const graph::Net& n) { return route::star_routing(n); }},
+      {"PD(0.5)",
+       [](const graph::Net& n) { return route::prim_dijkstra_routing(n, 0.5); }},
+      {"BRBC(0.5)", [](const graph::Net& n) { return route::brbc_routing(n, 0.5); }},
+      {"1-Steiner",
+       [](const graph::Net& n) { return steiner::iterated_one_steiner(n).graph; }},
+      {"ERT",
+       [&](const graph::Net& n) {
+         return route::elmore_routing_tree(n, config.tech).graph;
+       }},
+      {"SERT",
+       [&](const graph::Net& n) {
+         route::ErtOptions o;
+         o.steiner = true;
+         return route::elmore_routing_tree(n, config.tech, o).graph;
+       }},
+      {"LDRG",
+       [&](const graph::Net& n) {
+         return core::ldrg(graph::mst_routing(n), spice_like).graph;
+       }},
+      {"EdgeSwap",
+       [&](const graph::Net& n) {
+         const delay::GraphElmoreEvaluator screen(config.tech);
+         return route::edge_swap_search(graph::mst_routing(n), screen).graph;
+       }},
+  };
+
+  for (const std::size_t size : config.net_sizes) {
+    expt::NetGenerator gen(config.seed + size);
+    const std::size_t trials = std::min<std::size_t>(config.trials, 15);
+    const std::vector<graph::Net> nets = gen.random_nets(trials, size);
+
+    std::printf("net size %zu (averages over %zu nets, normalized to MST)\n", size,
+                trials);
+    std::printf("  %-10s  delay   cost   radius\n", "method");
+    std::vector<double> base_delay(trials), base_cost(trials), base_radius(trials);
+    for (std::size_t t = 0; t < trials; ++t) {
+      const graph::RoutingGraph mst = graph::mst_routing(nets[t]);
+      base_delay[t] = spice_like.max_delay(mst);
+      base_cost[t] = mst.total_wirelength();
+      base_radius[t] = graph::routing_radius(mst);
+    }
+    for (const Method& m : methods) {
+      double d = 0.0, c = 0.0, r = 0.0;
+      for (std::size_t t = 0; t < trials; ++t) {
+        const graph::RoutingGraph g = m.route(nets[t]);
+        d += spice_like.max_delay(g) / base_delay[t];
+        c += g.total_wirelength() / base_cost[t];
+        r += graph::routing_radius(g) / base_radius[t];
+      }
+      const double n = static_cast<double>(trials);
+      std::printf("  %-10s  %.3f  %.3f  %.3f\n", m.name, d / n, c / n, r / n);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "LDRG should sit near ERT/SERT on delay at visibly lower cost than\n"
+      "the star/BRBC end of the trade-off -- the paper's Table 5/6 claim.\n");
+  return 0;
+}

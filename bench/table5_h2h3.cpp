@@ -1,0 +1,29 @@
+// Reproduces Table 5: the simulation-free H2 and H3 heuristics,
+// normalized to the MST. H2 wires the source to the worst-Elmore sink;
+// H3 scores sinks by pathlength x Elmore / new-edge-length. Delays are
+// still *measured* with the transient engine (as the paper measures with
+// SPICE) -- the heuristics just never consult it while choosing the edge.
+
+#include "bench_common.h"
+#include "core/heuristics.h"
+
+int main() {
+  using namespace ntr;
+  const bench::TableConfig config = bench::config_from_env();
+  const delay::TransientEvaluator spice_like(config.tech);
+
+  const auto mst = [](const graph::Net& net) { return graph::mst_routing(net); };
+
+  const auto rows_h2 = bench::run_comparison(
+      config, mst,
+      [&](const graph::Net& n) { return core::h2(graph::mst_routing(n), config.tech).graph; },
+      spice_like);
+  bench::report("Table 5 -- H2 heuristic (normalized to MST)", rows_h2);
+
+  const auto rows_h3 = bench::run_comparison(
+      config, mst,
+      [&](const graph::Net& n) { return core::h3(graph::mst_routing(n), config.tech).graph; },
+      spice_like);
+  bench::report("Table 5 -- H3 heuristic (normalized to MST)", rows_h3);
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Reproduces Table 6: Elmore Routing Tree (Boese et al. [4]) vs the MST --
+// the strongest *tree* baseline the paper compares non-tree routing against.
+
+#include "bench_common.h"
+#include "route/ert.h"
+
+int main() {
+  using namespace ntr;
+  const bench::TableConfig config = bench::config_from_env();
+  const delay::TransientEvaluator spice_like(config.tech);
+
+  const auto rows = bench::run_comparison(
+      config, [](const graph::Net& net) { return graph::mst_routing(net); },
+      [&](const graph::Net& net) {
+        return route::elmore_routing_tree(net, config.tech).graph;
+      },
+      spice_like);
+  bench::report("Table 6 -- ERT (normalized to MST)", rows);
+  return 0;
+}

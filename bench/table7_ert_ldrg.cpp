@@ -1,0 +1,25 @@
+// Reproduces Table 7: LDRG seeded with an ERT instead of the MST,
+// normalized to the ERT. The headline: even near-optimal routing *trees*
+// admit non-tree improvements, so optimal routing graphs beat optimal
+// routing trees.
+
+#include "bench_common.h"
+#include "core/ldrg.h"
+#include "route/ert.h"
+
+int main() {
+  using namespace ntr;
+  const bench::TableConfig config = bench::config_from_env();
+  const delay::TransientEvaluator spice_like(config.tech);
+
+  const auto ert = [&](const graph::Net& net) {
+    return route::elmore_routing_tree(net, config.tech).graph;
+  };
+  const auto ert_ldrg = [&](const graph::Net& net) {
+    return core::ldrg(ert(net), spice_like).graph;
+  };
+
+  const auto rows = bench::run_comparison(config, ert, ert_ldrg, spice_like);
+  bench::report("Table 7 -- ERT-seeded LDRG (normalized to ERT)", rows);
+  return 0;
+}

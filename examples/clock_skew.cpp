@@ -1,0 +1,83 @@
+// Clock distribution: skew reduction via non-tree wires.
+//
+// The non-tree idea prefigures clock meshes: extra wires between branches
+// of a clock tree equalize (and reduce) the sink arrival times. This
+// example distributes a clock to a 4x4 register array from a corner
+// driver and compares MST, star, and non-tree routings on:
+//   - max delay (the usual ORG objective),
+//   - SKEW = max - min sink delay (the clock designer's objective,
+//     optimized here by LDRG with uniform criticalities -- minimizing the
+//     average pulls the laggards in).
+//
+//   $ ./clock_skew
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/ldrg.h"
+#include "delay/evaluator.h"
+#include "route/constructions.h"
+#include "spice/units.h"
+
+namespace {
+
+using namespace ntr;
+
+struct Row {
+  const char* name;
+  double max_delay;
+  double skew;
+  double wirelength;
+};
+
+Row measure(const char* name, const graph::RoutingGraph& g,
+            const delay::DelayEvaluator& eval) {
+  const std::vector<double> d = eval.sink_delays(g);
+  const auto [lo, hi] = std::minmax_element(d.begin(), d.end());
+  return Row{name, *hi, *hi - *lo, g.total_wirelength()};
+}
+
+}  // namespace
+
+int main() {
+  const spice::Technology tech = spice::kTable1Technology;
+  const delay::TransientEvaluator eval(tech);
+
+  // Clock source at the die corner, sinks on a 4x4 register grid.
+  graph::Net net;
+  net.pins.push_back({0, 0});
+  for (int r = 0; r < 4; ++r)
+    for (int c = 0; c < 4; ++c)
+      net.pins.push_back({1500.0 + 2300.0 * c, 1500.0 + 2300.0 * r});
+
+  std::vector<Row> rows;
+  const graph::RoutingGraph mst = graph::mst_routing(net);
+  rows.push_back(measure("MST", mst, eval));
+  rows.push_back(measure("star/SPT", route::star_routing(net), eval));
+
+  // ORG: minimize the max delay.
+  const core::LdrgResult org = core::ldrg(mst, eval);
+  rows.push_back(measure("LDRG (max)", org.graph, eval));
+
+  // Mesh-like: uniform criticalities = minimize the average sink delay;
+  // the added wires equalize the branches.
+  core::LdrgOptions uniform;
+  uniform.criticality.assign(net.sink_count(), 1.0);
+  const core::LdrgResult mesh = core::ldrg(mst, eval, uniform);
+  rows.push_back(measure("LDRG (avg)", mesh.graph, eval));
+
+  std::printf("clock net: corner driver, 4x4 register array (17 pins)\n\n");
+  std::printf("  %-11s  %10s  %10s  %10s\n", "routing", "max delay", "skew", "wire");
+  for (const Row& r : rows) {
+    std::printf("  %-11s  %10s  %10s  %7.0f um\n", r.name,
+                spice::format_time(r.max_delay).c_str(),
+                spice::format_time(r.skew).c_str(), r.wirelength);
+  }
+
+  std::printf(
+      "\nExtra cycle-forming wires cut both the worst arrival AND the skew\n"
+      "relative to the MST -- the same resistance-sharing that clock meshes\n"
+      "exploit, obtained here by the paper's greedy edge addition.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Critical-sink routing (CSORG, paper Section 5.1).
+//
+// Scenario: after timing-driven placement, static timing analysis flags
+// ONE sink of a net as critical. This example routes the same net three
+// ways and prints the per-sink delays, showing how the weighted non-tree
+// objective shifts delay away from the critical sink:
+//   1. plain MST,
+//   2. LDRG minimizing the max delay (the ORG objective),
+//   3. LDRG minimizing sum(alpha_i * t_i) with all weight on the critical
+//      sink (the CSORG objective).
+//
+//   $ ./critical_sink [seed]
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/ldrg.h"
+#include "delay/evaluator.h"
+#include "expt/net_generator.h"
+#include "spice/units.h"
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+
+  ntr::expt::NetGenerator generator(seed);
+  const ntr::graph::Net net = generator.random_net(12);
+  const ntr::spice::Technology tech = ntr::spice::kTable1Technology;
+  const ntr::delay::TransientEvaluator measure(tech);
+
+  const ntr::graph::RoutingGraph mst = ntr::graph::mst_routing(net);
+  const std::vector<double> mst_delays = measure.sink_delays(mst);
+
+  // The critical sink: the slowest one on the MST (what an STA pass would
+  // report back to the router).
+  std::size_t critical = 0;
+  for (std::size_t i = 1; i < mst_delays.size(); ++i)
+    if (mst_delays[i] > mst_delays[critical]) critical = i;
+
+  std::vector<double> alpha(mst_delays.size(), 0.0);
+  alpha[critical] = 1.0;
+
+  const ntr::core::LdrgResult org = ntr::core::ldrg(mst, measure);
+
+  ntr::core::LdrgOptions cs_opts;
+  cs_opts.criticality = alpha;
+  const ntr::core::LdrgResult csorg = ntr::core::ldrg(mst, measure, cs_opts);
+
+  const std::vector<double> org_delays = measure.sink_delays(org.graph);
+  const std::vector<double> cs_delays = measure.sink_delays(csorg.graph);
+
+  std::printf("Net of %zu pins (seed %llu); critical sink = sink %zu\n\n", net.size(),
+              static_cast<unsigned long long>(seed), critical);
+  std::printf("  sink |      MST      ORG-LDRG    CSORG-LDRG\n");
+  for (std::size_t i = 0; i < mst_delays.size(); ++i) {
+    std::printf("  %3zu%c | %9s  %9s  %9s\n", i, i == critical ? '*' : ' ',
+                ntr::spice::format_time(mst_delays[i]).c_str(),
+                ntr::spice::format_time(org_delays[i]).c_str(),
+                ntr::spice::format_time(cs_delays[i]).c_str());
+  }
+
+  std::printf("\ncritical sink delay: %s -> %s (ORG) -> %s (CSORG)\n",
+              ntr::spice::format_time(mst_delays[critical]).c_str(),
+              ntr::spice::format_time(org_delays[critical]).c_str(),
+              ntr::spice::format_time(cs_delays[critical]).c_str());
+  std::printf("wirelength: %.0f um (MST) -> %.0f um (ORG) -> %.0f um (CSORG)\n",
+              mst.total_wirelength(), org.final_cost, csorg.final_cost);
+  std::printf(
+      "\nThe CSORG routing spends its extra wires exclusively on the\n"
+      "critical sink; the ORG routing balances the worst sink overall.\n");
+  return 0;
+}

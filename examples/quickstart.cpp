@@ -1,0 +1,60 @@
+// Quickstart: route one random net every way this library knows and print
+// a delay/wirelength scoreboard.
+//
+//   $ ./quickstart [seed]
+//
+// Walks through the core public API: net generation, tree constructions,
+// the paper's non-tree LDRG algorithm and H1-H3 heuristics, and delay
+// measurement with the transient (SPICE-substitute) engine.
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/solver.h"
+#include "delay/evaluator.h"
+#include "expt/net_generator.h"
+#include "spice/technology.h"
+#include "spice/units.h"
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1994;
+
+  // A 10-pin net with pins uniform over the 10mm x 10mm layout of Table 1.
+  ntr::expt::NetGenerator generator(seed);
+  const ntr::graph::Net net = generator.random_net(10);
+
+  const ntr::spice::Technology tech = ntr::spice::kTable1Technology;
+  // The accurate oracle: full transient simulation, 50% threshold -- this
+  // plays the role SPICE plays in the paper.
+  const ntr::delay::TransientEvaluator spice_like(tech);
+
+  const std::vector<ntr::core::Strategy> strategies{
+      ntr::core::Strategy::kMst,     ntr::core::Strategy::kStar,
+      ntr::core::Strategy::kSteinerTree, ntr::core::Strategy::kErt,
+      ntr::core::Strategy::kH2,      ntr::core::Strategy::kH3,
+      ntr::core::Strategy::kH1,      ntr::core::Strategy::kLdrg,
+      ntr::core::Strategy::kSldrg,   ntr::core::Strategy::kErtLdrg,
+  };
+
+  std::printf("Routing a %zu-pin net (seed %llu)\n\n", net.size(),
+              static_cast<unsigned long long>(seed));
+  std::printf("  %-10s  %12s  %12s  %6s  %6s\n", "strategy", "delay", "wirelength",
+              "t/tMST", "c/cMST");
+
+  const ntr::core::Solution mst =
+      ntr::core::solve(net, ntr::core::Strategy::kMst, spice_like);
+
+  for (const ntr::core::Strategy s : strategies) {
+    const ntr::core::Solution sol = ntr::core::solve(net, s, spice_like);
+    std::printf("  %-10s  %12s  %9.0f um  %6.2f  %6.2f\n",
+                ntr::core::strategy_name(s).c_str(),
+                ntr::spice::format_time(sol.delay_s).c_str(), sol.cost_um,
+                sol.delay_s / mst.delay_s, sol.cost_um / mst.cost_um);
+  }
+
+  std::printf(
+      "\nLDRG adds non-tree (cycle-forming) wires whenever they lower the\n"
+      "max source-sink delay; compare its delay column against MST.\n");
+  return 0;
+}

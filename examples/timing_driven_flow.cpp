@@ -1,0 +1,118 @@
+// Timing-driven routing flow (the Section-5.1 story, end to end):
+//
+//   1. a small gate-level design with placed cells,
+//   2. route every signal net as an MST and measure per-sink interconnect
+//      delays with the transient engine,
+//   3. static timing analysis -> per-pin slacks -> sink criticalities,
+//   4. re-route the worst net with criticality-weighted non-tree LDRG
+//      (the CSORG objective),
+//   5. re-run STA and report the critical-path improvement.
+//
+//   $ ./timing_driven_flow
+
+#include <cstdio>
+#include <vector>
+
+#include "core/ldrg.h"
+#include "delay/evaluator.h"
+#include "graph/routing_graph.h"
+#include "spice/units.h"
+#include "sta/timing_graph.h"
+
+namespace {
+
+using namespace ntr;
+
+/// Placement of the example: a driver in the SW corner fans out to three
+/// receivers; two of them feed a deep (slow) logic cone, one feeds a
+/// shallow cone. Coordinates in um on the 10x10mm die.
+struct PlacedNet {
+  graph::Net net;
+  sta::NetId sta_net;
+  std::vector<sta::GateId> sink_gates;  // aligned with net sinks
+};
+
+}  // namespace
+
+int main() {
+  const spice::Technology tech = spice::kTable1Technology;
+  const delay::TransientEvaluator measure(tech);
+
+  // ---- the design -------------------------------------------------------
+  sta::TimingGraph design;
+  const sta::NetId pi = design.add_net("pi");
+  const sta::NetId fanout = design.add_net("fanout");  // the net we route
+  const sta::NetId deep_a = design.add_net("deep_a");
+  const sta::NetId deep_b = design.add_net("deep_b");
+  const sta::NetId shallow = design.add_net("shallow");
+  const sta::NetId po_deep = design.add_net("po_deep");
+  const sta::NetId po_shallow = design.add_net("po_shallow");
+
+  design.add_gate("drv", 0.3e-9, {pi}, fanout);
+  const sta::GateId rx_deep_a = design.add_gate("rx_deep_a", 0.5e-9, {fanout}, deep_a);
+  const sta::GateId rx_deep_b = design.add_gate("rx_deep_b", 0.5e-9, {fanout}, deep_b);
+  const sta::GateId rx_shallow =
+      design.add_gate("rx_shallow", 0.2e-9, {fanout}, shallow);
+  design.add_gate("cone_deep", 2.4e-9, {deep_a, deep_b}, po_deep);
+  design.add_gate("cone_shallow", 0.3e-9, {shallow}, po_shallow);
+
+  // ---- placement of the fanout net's pins -------------------------------
+  PlacedNet placed;
+  placed.net.pins = {{500, 500},     // driver output pin (source)
+                     {9000, 1200},   // rx_deep_a -- far across the die
+                     {8500, 7500},   // rx_deep_b -- far corner
+                     {1500, 6500}};  // rx_shallow -- near column
+  placed.sta_net = fanout;
+  placed.sink_gates = {rx_deep_a, rx_deep_b, rx_shallow};
+
+  const double clock_period = 5e-9;
+
+  const auto apply_routing = [&](const graph::RoutingGraph& routing) {
+    const std::vector<double> delays = measure.sink_delays(routing);
+    for (std::size_t i = 0; i < placed.sink_gates.size(); ++i)
+      design.set_interconnect_delay(placed.sta_net, placed.sink_gates[i], delays[i]);
+    return delays;
+  };
+
+  // ---- pass 1: plain MST routing ----------------------------------------
+  const graph::RoutingGraph mst = graph::mst_routing(placed.net);
+  apply_routing(mst);
+  const sta::TimingReport before = sta::analyze(design, clock_period);
+
+  std::printf("pass 1 (MST routing of 'fanout'):\n");
+  std::printf("  critical path delay : %s\n",
+              spice::format_time(before.worst_arrival_s).c_str());
+  std::printf("  worst slack         : %s\n",
+              spice::format_time(before.worst_slack_s).c_str());
+
+  // ---- pass 2: criticality-driven non-tree routing ----------------------
+  const std::vector<double> alpha =
+      sta::sink_criticalities(design, before, placed.sta_net);
+  std::printf("\nsink criticalities from STA:");
+  for (std::size_t i = 0; i < alpha.size(); ++i)
+    std::printf("  %s=%.2f", design.gate_name(placed.sink_gates[i]).c_str(), alpha[i]);
+  std::printf("\n\n");
+
+  core::LdrgOptions opts;
+  opts.criticality = alpha;
+  const core::LdrgResult csorg = core::ldrg(mst, measure, opts);
+  apply_routing(csorg.graph);
+  const sta::TimingReport after = sta::analyze(design, clock_period);
+
+  std::printf("pass 2 (CSORG-weighted LDRG, %zu extra wire%s):\n",
+              csorg.added_edges(), csorg.added_edges() == 1 ? "" : "s");
+  std::printf("  critical path delay : %s (was %s)\n",
+              spice::format_time(after.worst_arrival_s).c_str(),
+              spice::format_time(before.worst_arrival_s).c_str());
+  std::printf("  worst slack         : %s (was %s)\n",
+              spice::format_time(after.worst_slack_s).c_str(),
+              spice::format_time(before.worst_slack_s).c_str());
+  std::printf("  net wirelength      : %.0f um (was %.0f um)\n",
+              csorg.final_cost, mst.total_wirelength());
+
+  std::printf(
+      "\nThe STA slack of each receiver decides how much the router spends\n"
+      "on it: the deep-cone pins get the extra non-tree wires, the shallow\n"
+      "pin keeps its cheap connection -- the paper's CSORG formulation.\n");
+  return after.worst_slack_s >= before.worst_slack_s ? 0 : 1;
+}

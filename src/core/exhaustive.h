@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "delay/evaluator.h"
+#include "graph/routing_graph.h"
+
+namespace ntr::core {
+
+struct ExhaustiveOrgOptions {
+  /// Enumerate all subsets of absent edges up to this size. The count of
+  /// delay evaluations is sum_{j<=k} C(m, j) for m absent pairs -- only
+  /// sane for small nets / small k (k=2 on a 10-pin net is ~700 evals).
+  std::size_t max_extra_edges = 2;
+  /// CSORG weights, indexed like graph.sinks(); empty = minimize the max.
+  std::vector<double> criticality;
+};
+
+struct ExhaustiveOrgResult {
+  graph::RoutingGraph graph;
+  double objective = 0.0;
+  std::size_t extra_edges = 0;
+  std::size_t evaluated = 0;  ///< how many candidate graphs were measured
+};
+
+/// The OPTIMAL k-edge augmentation of `initial`: brute force over every
+/// subset of up to max_extra_edges absent node pairs, measured by
+/// `evaluator`. LDRG is a greedy approximation of exactly this search, so
+/// the gap between the two quantifies how much the greedy loop leaves on
+/// the table (see bench/ablation_optimality).
+ExhaustiveOrgResult exhaustive_org_augmentation(const graph::RoutingGraph& initial,
+                                                const delay::DelayEvaluator& evaluator,
+                                                const ExhaustiveOrgOptions& options = {});
+
+}  // namespace ntr::core

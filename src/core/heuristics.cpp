@@ -1,0 +1,123 @@
+#include "core/heuristics.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "delay/elmore.h"
+#include "graph/paths.h"
+
+namespace ntr::core {
+
+namespace {
+
+/// The sink maximizing `score` that is not already adjacent to the source
+/// (adding a parallel source edge is a no-op in the unsized regime).
+graph::NodeId best_unconnected_sink(const graph::RoutingGraph& g,
+                                    const std::vector<double>& score) {
+  graph::NodeId best = graph::kInvalidNode;
+  double best_score = -1.0;
+  for (const graph::NodeId s : g.sinks()) {
+    if (g.has_edge(g.source(), s)) continue;
+    if (score[s] > best_score) {
+      best_score = score[s];
+      best = s;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+HeuristicResult h1(const graph::RoutingGraph& tree,
+                   const delay::DelayEvaluator& evaluator,
+                   std::size_t max_iterations) {
+  HeuristicResult result;
+  result.graph = tree;
+
+  std::vector<double> sink_delays = evaluator.sink_delays(result.graph);
+  double current = *std::max_element(sink_delays.begin(), sink_delays.end());
+  result.initial_objective = current;
+  result.final_objective = current;
+
+  for (std::size_t it = 0; it < max_iterations; ++it) {
+    // Spread per-sink delays onto node ids for the shared selection helper.
+    std::vector<double> score(result.graph.node_count(), -1.0);
+    const std::vector<graph::NodeId> sinks = result.graph.sinks();
+    for (std::size_t i = 0; i < sinks.size(); ++i) score[sinks[i]] = sink_delays[i];
+
+    const graph::NodeId target = best_unconnected_sink(result.graph, score);
+    if (target == graph::kInvalidNode) break;
+
+    graph::RoutingGraph trial = result.graph;
+    trial.add_edge(trial.source(), target);
+    const std::vector<double> trial_delays = evaluator.sink_delays(trial);
+    const double trial_max =
+        *std::max_element(trial_delays.begin(), trial_delays.end());
+    if (trial_max >= current) break;  // the paper's stop rule: no improvement
+
+    result.steps.push_back(LdrgStep{result.graph.source(), target, current, trial_max,
+                                    trial.total_wirelength()});
+    result.graph = std::move(trial);
+    sink_delays = trial_delays;
+    current = trial_max;
+    result.final_objective = trial_max;
+  }
+  return result;
+}
+
+namespace {
+
+HeuristicResult elmore_one_shot(const graph::RoutingGraph& tree,
+                                const spice::Technology& tech, bool weight_by_path) {
+  if (!tree.is_tree())
+    throw std::invalid_argument("h2/h3: input routing must be a tree");
+
+  HeuristicResult result;
+  result.graph = tree;
+
+  const std::vector<double> elmore = delay::elmore_node_delays(tree, tech);
+  const graph::RootedTree rooted = graph::root_tree(tree, tree.source());
+  const std::vector<double> pathlen = graph::tree_path_lengths(tree, rooted);
+
+  std::vector<double> score(tree.node_count(), -1.0);
+  for (const graph::NodeId s : tree.sinks()) {
+    if (weight_by_path) {
+      const double new_edge =
+          geom::manhattan_distance(tree.node(tree.source()).pos, tree.node(s).pos);
+      // A sink coincident with the source cannot occur (validated nets),
+      // but a degenerate direct distance is still guarded.
+      score[s] = new_edge > 0.0 ? pathlen[s] * elmore[s] / new_edge : -1.0;
+    } else {
+      score[s] = elmore[s];
+    }
+  }
+
+  double worst = 0.0;
+  for (const graph::NodeId s : tree.sinks()) worst = std::max(worst, elmore[s]);
+  result.initial_objective = worst;
+  result.final_objective = worst;
+
+  const graph::NodeId target = best_unconnected_sink(tree, score);
+  if (target != graph::kInvalidNode) {
+    result.graph.add_edge(result.graph.source(), target);
+    result.steps.push_back(LdrgStep{result.graph.source(), target, worst, worst,
+                                    result.graph.total_wirelength()});
+    // Tree Elmore is undefined on the resulting cyclic graph, so the
+    // heuristic cannot re-score it (the paper makes the same point);
+    // final_objective keeps the tree value and callers re-measure with an
+    // accurate evaluator.
+  }
+  return result;
+}
+
+}  // namespace
+
+HeuristicResult h2(const graph::RoutingGraph& tree, const spice::Technology& tech) {
+  return elmore_one_shot(tree, tech, /*weight_by_path=*/false);
+}
+
+HeuristicResult h3(const graph::RoutingGraph& tree, const spice::Technology& tech) {
+  return elmore_one_shot(tree, tech, /*weight_by_path=*/true);
+}
+
+}  // namespace ntr::core

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/ldrg.h"
+#include "delay/evaluator.h"
+#include "graph/routing_graph.h"
+#include "spice/technology.h"
+
+namespace ntr::core {
+
+/// Result of the one-shot source-connection heuristics H1/H2/H3. The
+/// `graph` holds the original tree plus the added source edges; `steps`
+/// records each accepted edge (H2/H3 add at most one).
+struct HeuristicResult {
+  graph::RoutingGraph graph;
+  std::vector<LdrgStep> steps;
+  double initial_objective = 0.0;  ///< under the heuristic's own evaluator
+  double final_objective = 0.0;
+};
+
+/// H1: connect the source n_0 to the sink with the longest *simulated*
+/// delay; iterate while the accurate evaluator confirms an improvement
+/// (the paper observes ~2 productive iterations). One simulation per
+/// iteration, versus LDRG's quadratically many.
+HeuristicResult h1(const graph::RoutingGraph& tree,
+                   const delay::DelayEvaluator& evaluator,
+                   std::size_t max_iterations = static_cast<std::size_t>(-1));
+
+/// H2: connect n_0 to the sink with the longest *tree Elmore* delay. No
+/// simulation at all; cannot be iterated (the tree Elmore formula is
+/// undefined once the graph has a cycle). Requires a tree input.
+HeuristicResult h2(const graph::RoutingGraph& tree, const spice::Technology& tech);
+
+/// H3: connect n_0 to the sink maximizing
+///     pathlength(n_0 -> sink) * ElmoreDelay(sink) / d(n_0, sink),
+/// i.e. prefer sinks that are slow AND far along the tree but *close* in
+/// the plane, so the new wire is cheap. No simulation; tree input only.
+HeuristicResult h3(const graph::RoutingGraph& tree, const spice::Technology& tech);
+
+}  // namespace ntr::core

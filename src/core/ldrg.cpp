@@ -1,0 +1,70 @@
+#include "core/ldrg.h"
+
+#include <stdexcept>
+
+namespace ntr::core {
+
+namespace {
+
+double objective(const graph::RoutingGraph& g, const delay::DelayEvaluator& evaluator,
+                 const std::vector<double>& criticality) {
+  return criticality.empty() ? evaluator.max_delay(g)
+                             : evaluator.weighted_delay(g, criticality);
+}
+
+}  // namespace
+
+LdrgResult ldrg(const graph::RoutingGraph& initial,
+                const delay::DelayEvaluator& evaluator, const LdrgOptions& options) {
+  if (!initial.is_connected())
+    throw std::invalid_argument("ldrg: initial routing must be connected");
+
+  LdrgResult result;
+  result.graph = initial;
+  result.initial_objective = objective(result.graph, evaluator, options.criticality);
+  result.initial_cost = result.graph.total_wirelength();
+  result.final_objective = result.initial_objective;
+  result.final_cost = result.initial_cost;
+
+  const double cost_budget = options.max_cost_ratio * result.initial_cost;
+
+  while (result.steps.size() < options.max_added_edges) {
+    const double current = result.final_objective;
+    const double accept_below =
+        current * (1.0 - options.min_relative_improvement);
+
+    double best_objective = accept_below;
+    graph::NodeId best_u = graph::kInvalidNode;
+    graph::NodeId best_v = graph::kInvalidNode;
+
+    // The paper's step 2: exists e_ij in N x N improving t(G)? Try every
+    // absent pair (pins and Steiner points alike) and keep the best.
+    for (graph::NodeId u = 0; u < result.graph.node_count(); ++u) {
+      for (graph::NodeId v = u + 1; v < result.graph.node_count(); ++v) {
+        if (result.graph.has_edge(u, v)) continue;
+        const double edge_len = geom::manhattan_distance(
+            result.graph.node(u).pos, result.graph.node(v).pos);
+        if (result.final_cost + edge_len > cost_budget) continue;
+        graph::RoutingGraph trial = result.graph;
+        trial.add_edge(u, v);
+        const double t = objective(trial, evaluator, options.criticality);
+        if (t < best_objective) {
+          best_objective = t;
+          best_u = u;
+          best_v = v;
+        }
+      }
+    }
+
+    if (best_u == graph::kInvalidNode) break;  // no candidate improves t(G)
+
+    result.graph.add_edge(best_u, best_v);
+    result.final_objective = best_objective;
+    result.final_cost = result.graph.total_wirelength();
+    result.steps.push_back(
+        LdrgStep{best_u, best_v, current, best_objective, result.final_cost});
+  }
+  return result;
+}
+
+}  // namespace ntr::core

@@ -1,0 +1,108 @@
+#include "core/ldrg_screened.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "delay/screener.h"
+
+namespace ntr::core {
+
+namespace {
+
+double objective(const graph::RoutingGraph& g, const delay::DelayEvaluator& evaluator,
+                 const std::vector<double>& criticality) {
+  return criticality.empty() ? evaluator.max_delay(g)
+                             : evaluator.weighted_delay(g, criticality);
+}
+
+/// Screener-side objective for one candidate: max over sinks, or the
+/// criticality-weighted sum, of the screened per-node Elmore delays.
+double screened_objective(const delay::EdgeCandidateScreener& screener,
+                          const graph::RoutingGraph& g, graph::NodeId u,
+                          graph::NodeId v, const std::vector<double>& criticality) {
+  const std::vector<double> delays = screener.screened_delays(u, v);
+  const std::vector<graph::NodeId> sinks = g.sinks();
+  if (criticality.empty()) {
+    double worst = 0.0;
+    for (const graph::NodeId s : sinks) worst = std::max(worst, delays[s]);
+    return worst;
+  }
+  if (criticality.size() != sinks.size())
+    throw std::invalid_argument("ldrg_screened: criticality size mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < sinks.size(); ++i)
+    sum += criticality[i] * delays[sinks[i]];
+  return sum;
+}
+
+}  // namespace
+
+LdrgResult ldrg_screened(const graph::RoutingGraph& initial,
+                         const delay::DelayEvaluator& evaluator,
+                         const spice::Technology& tech,
+                         const ScreenedLdrgOptions& options) {
+  if (!initial.is_connected())
+    throw std::invalid_argument("ldrg_screened: initial routing must be connected");
+  if (options.verify_top_k == 0)
+    throw std::invalid_argument("ldrg_screened: verify_top_k must be positive");
+
+  LdrgResult result;
+  result.graph = initial;
+  result.initial_objective =
+      objective(result.graph, evaluator, options.base.criticality);
+  result.initial_cost = result.graph.total_wirelength();
+  result.final_objective = result.initial_objective;
+  result.final_cost = result.initial_cost;
+
+  while (result.steps.size() < options.base.max_added_edges) {
+    const double current = result.final_objective;
+    const double accept_below =
+        current * (1.0 - options.base.min_relative_improvement);
+
+    // Stage 1: rank every absent pair by the moment screen.
+    const delay::EdgeCandidateScreener screener(result.graph, tech);
+    struct Ranked {
+      double score;
+      graph::NodeId u, v;
+    };
+    std::vector<Ranked> ranked;
+    for (graph::NodeId u = 0; u < result.graph.node_count(); ++u) {
+      for (graph::NodeId v = u + 1; v < result.graph.node_count(); ++v) {
+        if (result.graph.has_edge(u, v)) continue;
+        ranked.push_back({screened_objective(screener, result.graph, u, v,
+                                             options.base.criticality),
+                          u, v});
+      }
+    }
+    if (ranked.empty()) break;
+    const std::size_t top_k = std::min(options.verify_top_k, ranked.size());
+    std::partial_sort(ranked.begin(), ranked.begin() + static_cast<std::ptrdiff_t>(top_k),
+                      ranked.end(),
+                      [](const Ranked& a, const Ranked& b) { return a.score < b.score; });
+
+    // Stage 2: verify the top candidates with the accurate oracle.
+    double best_objective = accept_below;
+    graph::NodeId best_u = graph::kInvalidNode;
+    graph::NodeId best_v = graph::kInvalidNode;
+    for (std::size_t k = 0; k < top_k; ++k) {
+      graph::RoutingGraph trial = result.graph;
+      trial.add_edge(ranked[k].u, ranked[k].v);
+      const double t = objective(trial, evaluator, options.base.criticality);
+      if (t < best_objective) {
+        best_objective = t;
+        best_u = ranked[k].u;
+        best_v = ranked[k].v;
+      }
+    }
+    if (best_u == graph::kInvalidNode) break;
+
+    result.graph.add_edge(best_u, best_v);
+    result.final_objective = best_objective;
+    result.final_cost = result.graph.total_wirelength();
+    result.steps.push_back(
+        LdrgStep{best_u, best_v, current, best_objective, result.final_cost});
+  }
+  return result;
+}
+
+}  // namespace ntr::core

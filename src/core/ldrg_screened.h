@@ -1,0 +1,32 @@
+#pragma once
+
+#include "core/ldrg.h"
+#include "delay/evaluator.h"
+#include "spice/technology.h"
+
+namespace ntr::core {
+
+struct ScreenedLdrgOptions {
+  LdrgOptions base{};
+  /// How many screener-ranked candidates are verified with the accurate
+  /// evaluator per round. 1 = trust the screen completely; larger values
+  /// close the (small) fidelity gap between graph Elmore and simulation.
+  std::size_t verify_top_k = 4;
+};
+
+/// Two-stage LDRG: rank every absent node pair with the O(n)-per-candidate
+/// Sherman-Morrison moment screener, then verify only the top-K candidates
+/// with the accurate evaluator and accept the best verified improvement.
+///
+/// Rationale: plain ldrg() runs one full delay evaluation per candidate --
+/// a quadratic number of simulations per round, exactly the cost the paper
+/// flags as impractical for SPICE-in-the-loop routing. The screener brings
+/// a whole round's ranking down to the cost of ONE dense solve while the
+/// accurate oracle still gates every accepted edge, so the result is
+/// certified by the same evaluator plain LDRG would use.
+LdrgResult ldrg_screened(const graph::RoutingGraph& initial,
+                         const delay::DelayEvaluator& evaluator,
+                         const spice::Technology& tech,
+                         const ScreenedLdrgOptions& options = {});
+
+}  // namespace ntr::core

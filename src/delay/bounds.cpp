@@ -1,0 +1,72 @@
+#include "delay/bounds.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "delay/moments.h"
+
+namespace ntr::delay {
+
+double crossing_upper_bound(double m1, double threshold) {
+  if (threshold <= 0.0 || threshold >= 1.0)
+    throw std::invalid_argument("crossing_upper_bound: threshold must be in (0,1)");
+  return m1 / (1.0 - threshold);
+}
+
+namespace {
+
+/// max over window sizes of the tail-moment lower bound on u(t):
+///   u(t) >= (m1 - t - m2/s) / (s - t)  over s > t,
+/// whose maximizer has the closed form s* = (m2 + sqrt(m2^2 - A m2 t)) / A
+/// with A = m1 - t (the discriminant is nonnegative because m1 <= t + m2/t
+/// holds for every monotone response).
+double uncharged_lower_bound(double m1, double m2, double t) {
+  const double a = m1 - t;
+  if (a <= 0.0 || m2 <= 0.0) return 0.0;
+  const double disc = m2 * m2 - a * m2 * t;
+  if (disc < 0.0) return 0.0;  // numerically impossible; be safe
+  const double s = (m2 + std::sqrt(disc)) / a;
+  if (s <= t) return 0.0;
+  const double bound = (a - m2 / s) / (s - t);
+  return std::clamp(bound, 0.0, 1.0);
+}
+
+}  // namespace
+
+double crossing_lower_bound(double m1, double m2, double threshold) {
+  if (threshold <= 0.0 || threshold >= 1.0)
+    throw std::invalid_argument("crossing_lower_bound: threshold must be in (0,1)");
+  const double target = 1.0 - threshold;  // crossing happens when u drops to this
+  if (uncharged_lower_bound(m1, m2, 0.0) <= target) return 0.0;  // vacuous
+
+  // u's lower bound decreases in t; bisect for the largest t where it
+  // still exceeds the target (the response cannot have crossed by then).
+  double lo = 0.0;
+  double hi = crossing_upper_bound(m1, threshold);
+  for (int iter = 0; iter < 100; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (uncharged_lower_bound(m1, m2, mid) > target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+DelayBounds delay_bounds(const graph::RoutingGraph& g, const spice::Technology& tech,
+                         double threshold) {
+  const MomentAnalysis moments = moment_analysis(g, tech);
+  DelayBounds bounds;
+  bounds.lower_s.reserve(moments.m1.size());
+  bounds.upper_s.reserve(moments.m1.size());
+  for (std::size_t i = 0; i < moments.m1.size(); ++i) {
+    bounds.lower_s.push_back(
+        crossing_lower_bound(moments.m1[i], moments.m2[i], threshold));
+    bounds.upper_s.push_back(crossing_upper_bound(moments.m1[i], threshold));
+  }
+  return bounds;
+}
+
+}  // namespace ntr::delay

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/routing_graph.h"
+#include "spice/technology.h"
+
+namespace ntr::delay {
+
+/// Provable per-node bounds on the threshold-crossing time of the step
+/// response, from the first two response moments (two SPD solves) -- the
+/// role Rubinstein-Penfield-Horowitz bounds (paper ref [19]) play for RC
+/// trees, here derived for arbitrary RC routing graphs.
+///
+/// Let u(t) = 1 - v(t)/v_inf be the normalized *uncharged* fraction at a
+/// node: u is non-increasing, u(0) = 1, and the computed moments give
+/// m1 = integral of u dt (the Elmore delay) and m2 = integral of t*u dt.
+/// Two elementary facts bound the crossing time t(f) where v first
+/// reaches f*v_inf (i.e. u first reaches 1-f):
+///
+///  - Markov (upper): t * u(t) <= integral_0^t u ds <= m1, so
+///        u(t) <= m1 / t, hence t(f) <= m1 / (1 - f).
+///  - Tail-moment (lower): for any window T > 0,
+///        u(t) >= (1/T) * integral_t^{t+T} u ds
+///              = (1/T) * [ (m1 - integral_0^t u) - integral_{t+T}^inf u ]
+///        with integral_0^t u <= t and integral_x^inf u <= m2 / x, so
+///        u(t) >= max_T (m1 - t - m2/(t+T)) / T.
+///    The crossing cannot happen while this lower bound still exceeds
+///    1 - f, which yields a computable lower bound on t(f).
+///
+/// Both arguments need only monotonicity of the step response (true for
+/// grounded-capacitor RC networks driven by a step), not a tree topology.
+struct DelayBounds {
+  std::vector<double> lower_s;  ///< per node, 0 when the bound is vacuous
+  std::vector<double> upper_s;  ///< per node
+};
+
+/// Bounds for threshold fraction `threshold` (default: the 50% delay the
+/// paper measures). Throws std::invalid_argument for disconnected graphs
+/// or thresholds outside (0,1).
+DelayBounds delay_bounds(const graph::RoutingGraph& g, const spice::Technology& tech,
+                         double threshold = 0.5);
+
+/// Scalar helpers on precomputed moments (exposed for testing):
+/// upper bound m1/(1-f).
+double crossing_upper_bound(double m1, double threshold);
+/// largest t at which the tail-moment argument still forces u(t) > 1-f.
+double crossing_lower_bound(double m1, double m2, double threshold);
+
+}  // namespace ntr::delay

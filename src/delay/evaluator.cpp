@@ -1,0 +1,88 @@
+#include "delay/evaluator.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "delay/elmore.h"
+#include "delay/moments.h"
+#include "delay/two_pole.h"
+
+namespace ntr::delay {
+
+namespace {
+
+std::vector<double> select_sinks(const graph::RoutingGraph& g,
+                                 const std::vector<double>& per_node) {
+  std::vector<double> out;
+  const std::vector<graph::NodeId> sinks = g.sinks();
+  out.reserve(sinks.size());
+  for (const graph::NodeId s : sinks) out.push_back(per_node[s]);
+  return out;
+}
+
+}  // namespace
+
+double DelayEvaluator::max_delay(const graph::RoutingGraph& g) const {
+  double worst = 0.0;
+  for (const double d : sink_delays(g)) worst = std::max(worst, d);
+  return worst;
+}
+
+double DelayEvaluator::weighted_delay(const graph::RoutingGraph& g,
+                                      std::span<const double> criticality) const {
+  const std::vector<double> delays = sink_delays(g);
+  if (criticality.size() != delays.size())
+    throw std::invalid_argument(
+        "weighted_delay: criticality size must match sink count");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < delays.size(); ++i) sum += criticality[i] * delays[i];
+  return sum;
+}
+
+std::vector<double> ElmoreTreeEvaluator::sink_delays(
+    const graph::RoutingGraph& g) const {
+  return select_sinks(g, elmore_node_delays(g, tech_));
+}
+
+std::vector<double> GraphElmoreEvaluator::sink_delays(
+    const graph::RoutingGraph& g) const {
+  return select_sinks(g, graph_elmore_delays(g, tech_));
+}
+
+std::vector<double> ScaledElmoreEvaluator::sink_delays(
+    const graph::RoutingGraph& g) const {
+  constexpr double kLn2 = 0.6931471805599453;
+  std::vector<double> d = select_sinks(g, graph_elmore_delays(g, tech_));
+  for (double& v : d) v *= kLn2;
+  return d;
+}
+
+std::vector<double> TwoPoleEvaluator::sink_delays(const graph::RoutingGraph& g) const {
+  return select_sinks(g, d2m_delays(g, tech_));
+}
+
+std::vector<double> TwoPoleWaveformEvaluator::sink_delays(
+    const graph::RoutingGraph& g) const {
+  const std::vector<TwoPoleModel> models = two_pole_models(g, tech_);
+  std::vector<double> out;
+  const std::vector<graph::NodeId> sinks = g.sinks();
+  out.reserve(sinks.size());
+  for (const graph::NodeId s : sinks)
+    out.push_back(models[s].crossing(tech_.threshold_fraction));
+  return out;
+}
+
+std::vector<double> TransientEvaluator::sink_delays(
+    const graph::RoutingGraph& g) const {
+  const spice::GraphNetlist netlist = spice::build_netlist(g, tech_, netlist_options_);
+  std::vector<spice::CircuitNode> watch;
+  watch.reserve(netlist.sink_graph_nodes.size());
+  for (const graph::NodeId s : netlist.sink_graph_nodes)
+    watch.push_back(netlist.graph_to_circuit[s]);
+
+  sim::TransientSimulator simulator(netlist.circuit, transient_options_);
+  const auto report = simulator.measure_crossings(watch, tech_.threshold_fraction);
+  return report.crossing_s;
+}
+
+}  // namespace ntr::delay

@@ -1,0 +1,130 @@
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/routing_graph.h"
+#include "sim/transient.h"
+#include "spice/graph_netlist.h"
+#include "spice/technology.h"
+
+namespace ntr::delay {
+
+/// Pluggable source-to-sink delay oracle over routing graphs. Every router
+/// in this library (LDRG, heuristics, ERT, wire sizing) consumes this
+/// interface, so the cost/accuracy point is a caller decision: the
+/// transient engine plays the paper's SPICE role, the moment evaluators
+/// play the Elmore screening role.
+class DelayEvaluator {
+ public:
+  virtual ~DelayEvaluator() = default;
+
+  /// Delay (seconds) per sink, ordered like g.sinks(). Implementations may
+  /// require specific topologies (the tree-Elmore evaluator throws on
+  /// cyclic graphs, as the paper's H2/H3 discussion demands).
+  [[nodiscard]] virtual std::vector<double> sink_delays(
+      const graph::RoutingGraph& g) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// t(G) = max over sinks (the ORG objective).
+  [[nodiscard]] double max_delay(const graph::RoutingGraph& g) const;
+
+  /// sum alpha_i * t(n_i) over sinks (the CSORG objective, Section 5.1).
+  /// `criticality` is indexed like g.sinks() and must match its size.
+  [[nodiscard]] double weighted_delay(const graph::RoutingGraph& g,
+                                      std::span<const double> criticality) const;
+};
+
+/// O(k) tree Elmore formula; throws std::invalid_argument on non-trees.
+class ElmoreTreeEvaluator final : public DelayEvaluator {
+ public:
+  explicit ElmoreTreeEvaluator(const spice::Technology& tech) : tech_(tech) {}
+  [[nodiscard]] std::vector<double> sink_delays(
+      const graph::RoutingGraph& g) const override;
+  [[nodiscard]] std::string name() const override { return "elmore-tree"; }
+
+ private:
+  spice::Technology tech_;
+};
+
+/// Graph Elmore (first moment) via one SPD solve; works on any connected
+/// topology.
+class GraphElmoreEvaluator final : public DelayEvaluator {
+ public:
+  explicit GraphElmoreEvaluator(const spice::Technology& tech) : tech_(tech) {}
+  [[nodiscard]] std::vector<double> sink_delays(
+      const graph::RoutingGraph& g) const override;
+  [[nodiscard]] std::string name() const override { return "elmore-graph"; }
+
+ private:
+  spice::Technology tech_;
+};
+
+/// ln(2)-scaled graph Elmore: the classical single-pole 50%-delay rule
+/// (0.693 RC). Cheaper than D2M (one solve) and a much better absolute
+/// estimate than raw Elmore when a single pole dominates; same ranking as
+/// GraphElmoreEvaluator since it only rescales.
+class ScaledElmoreEvaluator final : public DelayEvaluator {
+ public:
+  explicit ScaledElmoreEvaluator(const spice::Technology& tech) : tech_(tech) {}
+  [[nodiscard]] std::vector<double> sink_delays(
+      const graph::RoutingGraph& g) const override;
+  [[nodiscard]] std::string name() const override { return "elmore-ln2"; }
+
+ private:
+  spice::Technology tech_;
+};
+
+/// D2M two-pole metric; two SPD solves, any topology.
+class TwoPoleEvaluator final : public DelayEvaluator {
+ public:
+  explicit TwoPoleEvaluator(const spice::Technology& tech) : tech_(tech) {}
+  [[nodiscard]] std::vector<double> sink_delays(
+      const graph::RoutingGraph& g) const override;
+  [[nodiscard]] std::string name() const override { return "two-pole-d2m"; }
+
+ private:
+  spice::Technology tech_;
+};
+
+/// AWE-style reduced-order model: fits a two-pole waveform per node from
+/// three moment solves and reads the crossing at the technology's
+/// threshold fraction. Unlike the D2M metric (fixed 50% formula), this
+/// respects Technology::threshold_fraction, so it can screen for
+/// non-standard measurement points at moment-solve cost.
+class TwoPoleWaveformEvaluator final : public DelayEvaluator {
+ public:
+  explicit TwoPoleWaveformEvaluator(const spice::Technology& tech) : tech_(tech) {}
+  [[nodiscard]] std::vector<double> sink_delays(
+      const graph::RoutingGraph& g) const override;
+  [[nodiscard]] std::string name() const override { return "two-pole-waveform"; }
+
+ private:
+  spice::Technology tech_;
+};
+
+/// Full transient 50%-threshold measurement through the in-repo circuit
+/// simulator: the accurate-but-costly oracle, standing in for SPICE.
+class TransientEvaluator final : public DelayEvaluator {
+ public:
+  explicit TransientEvaluator(const spice::Technology& tech,
+                              spice::NetlistOptions netlist_options = {},
+                              sim::TransientOptions transient_options = {})
+      : tech_(tech),
+        netlist_options_(netlist_options),
+        transient_options_(transient_options) {}
+
+  [[nodiscard]] std::vector<double> sink_delays(
+      const graph::RoutingGraph& g) const override;
+  [[nodiscard]] std::string name() const override { return "transient"; }
+
+ private:
+  spice::Technology tech_;
+  spice::NetlistOptions netlist_options_;
+  sim::TransientOptions transient_options_;
+};
+
+}  // namespace ntr::delay

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/routing_graph.h"
+#include "linalg/dense_matrix.h"
+#include "spice/technology.h"
+
+namespace ntr::delay {
+
+/// Fast what-if analysis for LDRG's inner question: "what is the Elmore
+/// delay of G + e_uv, for every absent pair (u,v)?"
+///
+/// Adding one wire is a rank-1 conductance update G' = G + g w w^T
+/// (w = e_u - e_v) plus two capacitance entries, so by Sherman-Morrison
+/// the new first-moment vector is available in O(n) per candidate once
+/// G^{-1} is precomputed -- versus O(n^3) for a fresh factorization.
+/// Screening ALL O(n^2) candidates then costs the same as ONE dense
+/// solve, which is what makes screened LDRG (core/ldrg_screened.h)
+/// practical on large nets.
+class EdgeCandidateScreener {
+ public:
+  /// Precomputes G^{-1} and the base moments; O(n^3). Throws
+  /// std::invalid_argument if g is not connected.
+  EdgeCandidateScreener(const graph::RoutingGraph& g, const spice::Technology& tech);
+
+  /// Per-node Elmore delays of the routing with edge (u,v) added; O(n).
+  /// (u,v) must be distinct existing nodes; an already-present edge is
+  /// legal to query (the result then reflects a doubled wire).
+  [[nodiscard]] std::vector<double> screened_delays(graph::NodeId u,
+                                                    graph::NodeId v) const;
+
+  /// max-over-sinks of screened_delays; O(n).
+  [[nodiscard]] double screened_max_delay(graph::NodeId u, graph::NodeId v) const;
+
+  /// Base (no added edge) per-node Elmore delays.
+  [[nodiscard]] const std::vector<double>& base_delays() const { return m1_; }
+  [[nodiscard]] double base_max_delay() const;
+
+ private:
+  const graph::RoutingGraph& g_;
+  spice::Technology tech_;
+  std::vector<graph::NodeId> sinks_;
+  linalg::DenseMatrix inverse_;   // G^{-1}
+  std::vector<double> cap_;       // diagonal C
+  std::vector<double> m1_;        // G^{-1} C 1
+};
+
+}  // namespace ntr::delay

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/routing_graph.h"
+#include "spice/technology.h"
+
+namespace ntr::delay {
+
+/// AWE-style two-pole reduced-order model of one node's step response,
+/// matched to the first three response moments (m1, m2, m3). Where the
+/// D2M metric gives only a 50% number, this gives the whole waveform
+/// v(t)/v_inf, so arbitrary thresholds (and slews) can be evaluated
+/// without transient simulation.
+struct TwoPoleModel {
+  /// v(t)/v_inf = 1 - k1 e^{-t/tau1} - k2 e^{-t/tau2} (real-pole case) or
+  /// the equivalent damped-cosine form when the fitted poles are complex.
+  double tau1 = 0.0, tau2 = 0.0;  ///< time constants (tau1 >= tau2 > 0)
+  double k1 = 0.0, k2 = 0.0;      ///< residues, k1 + k2 = 1
+  bool real_poles = true;
+  /// Complex case: poles sigma +- j*omega, response
+  /// 1 - e^{-sigma t} (cos(omega t) + (c/omega) sin(omega t)).
+  double sigma = 0.0, omega = 0.0, c = 0.0;
+
+  /// Normalized response value in [0, ~1].
+  [[nodiscard]] double response(double t_s) const;
+
+  /// First time the response reaches `fraction` (bisection on the model;
+  /// the real-pole response is monotone, the complex one is bracketed by
+  /// its first crossing).
+  [[nodiscard]] double crossing(double fraction) const;
+};
+
+/// Fits a two-pole model per node of a routing graph from three moment
+/// solves. Falls back to a single-pole model (tau = m1) for nodes whose
+/// moment sequence is numerically degenerate.
+std::vector<TwoPoleModel> two_pole_models(const graph::RoutingGraph& g,
+                                          const spice::Technology& tech);
+
+}  // namespace ntr::delay

@@ -1,0 +1,95 @@
+#include "expt/comparison.h"
+
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+
+#include "expt/statistics.h"
+
+namespace ntr::expt {
+
+AggregateRow aggregate(std::size_t net_size, std::span<const TrialRecord> trials) {
+  AggregateRow row;
+  row.net_size = net_size;
+  row.trials = trials.size();
+
+  std::vector<double> all_delay, all_cost, win_delay, win_cost;
+  for (const TrialRecord& t : trials) {
+    all_delay.push_back(t.delay_ratio());
+    all_cost.push_back(t.cost_ratio());
+    if (t.winner()) {
+      win_delay.push_back(t.delay_ratio());
+      win_cost.push_back(t.cost_ratio());
+    }
+  }
+  row.all_delay_ratio = mean(all_delay);
+  row.all_cost_ratio = mean(all_cost);
+  row.all_delay_stddev = sample_stddev(all_delay);
+  row.all_cost_stddev = sample_stddev(all_cost);
+  row.delay_ci95 =
+      1.96 * row.all_delay_stddev / std::sqrt(static_cast<double>(trials.size()));
+  row.percent_winners =
+      100.0 * static_cast<double>(win_delay.size()) / static_cast<double>(trials.size());
+  if (win_delay.empty()) {
+    row.winners_delay_ratio = std::numeric_limits<double>::quiet_NaN();
+    row.winners_cost_ratio = std::numeric_limits<double>::quiet_NaN();
+  } else {
+    row.winners_delay_ratio = mean(win_delay);
+    row.winners_cost_ratio = mean(win_cost);
+  }
+  return row;
+}
+
+namespace {
+
+void print_ratio(std::ostream& os, double v) {
+  if (std::isnan(v)) {
+    os << std::setw(6) << "NA";
+  } else {
+    os << std::setw(6) << std::fixed << std::setprecision(2) << v;
+  }
+}
+
+}  // namespace
+
+void print_paper_table(std::ostream& os, const std::string& title,
+                       std::span<const AggregateRow> rows) {
+  os << title << "\n";
+  os << "  net  |    All Cases    | Percent |   Winners Only\n";
+  os << "  size |  Delay    Cost  | Winners |  Delay    Cost\n";
+  os << "  -----+-----------------+---------+-----------------\n";
+  for (const AggregateRow& r : rows) {
+    os << "  " << std::setw(4) << r.net_size << " | ";
+    print_ratio(os, r.all_delay_ratio);
+    os << "  ";
+    print_ratio(os, r.all_cost_ratio);
+    os << "  |  " << std::setw(5) << std::fixed << std::setprecision(0)
+       << r.percent_winners << "  | ";
+    print_ratio(os, r.winners_delay_ratio);
+    os << "  ";
+    print_ratio(os, r.winners_cost_ratio);
+    os << "\n";
+  }
+  os.flush();
+}
+
+void print_csv(std::ostream& os, std::span<const AggregateRow> rows) {
+  os << "net_size,trials,all_delay_ratio,all_cost_ratio,percent_winners,"
+        "winners_delay_ratio,winners_cost_ratio,delay_stddev,cost_stddev,"
+        "delay_ci95\n";
+  for (const AggregateRow& r : rows) {
+    os << r.net_size << ',' << r.trials << ',' << r.all_delay_ratio << ','
+       << r.all_cost_ratio << ',' << r.percent_winners << ',';
+    if (std::isnan(r.winners_delay_ratio)) {
+      os << "NA,NA";
+    } else {
+      os << r.winners_delay_ratio << ',' << r.winners_cost_ratio;
+    }
+    os << ',' << r.all_delay_stddev << ',' << r.all_cost_stddev << ','
+       << r.delay_ci95 << "\n";
+  }
+  os.flush();
+}
+
+}  // namespace ntr::expt

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ntr::expt {
+
+/// One net's outcome: a candidate routing measured against a baseline
+/// routing (delays in seconds, costs in um of wire).
+struct TrialRecord {
+  double base_delay = 0.0;
+  double base_cost = 0.0;
+  double new_delay = 0.0;
+  double new_cost = 0.0;
+
+  [[nodiscard]] double delay_ratio() const { return new_delay / base_delay; }
+  [[nodiscard]] double cost_ratio() const { return new_cost / base_cost; }
+  /// "Winner": the method strictly improved on the baseline delay (the
+  /// epsilon keeps solver noise from minting fake winners).
+  [[nodiscard]] bool winner() const { return new_delay < base_delay * (1.0 - 1e-9); }
+};
+
+/// One row of a paper-style table: averages over all trials of one net
+/// size, plus the winners-only breakdown ("All Cases" / "Percent Winners"
+/// / "Winners Only" columns of Tables 2-7).
+struct AggregateRow {
+  std::size_t net_size = 0;
+  std::size_t trials = 0;
+  double all_delay_ratio = 0.0;
+  double all_cost_ratio = 0.0;
+  double percent_winners = 0.0;
+  /// NaN when there are no winners (rendered "NA", as the paper prints).
+  double winners_delay_ratio = 0.0;
+  double winners_cost_ratio = 0.0;
+  /// Sample standard deviations of the all-cases ratios, plus the 95%
+  /// confidence half-width of the mean delay ratio (z-approximation,
+  /// 1.96 * s / sqrt(n)) -- the error bars the paper's tables lack.
+  double all_delay_stddev = 0.0;
+  double all_cost_stddev = 0.0;
+  double delay_ci95 = 0.0;
+};
+
+AggregateRow aggregate(std::size_t net_size, std::span<const TrialRecord> trials);
+
+/// Renders rows in the layout of the paper's tables:
+///
+///   | net  | All Cases    | Percent | Winners Only |
+///   | size | Delay  Cost  | Winners | Delay  Cost  |
+void print_paper_table(std::ostream& os, const std::string& title,
+                       std::span<const AggregateRow> rows);
+
+/// Same data as comma-separated values (for plotting / EXPERIMENTS.md).
+void print_csv(std::ostream& os, std::span<const AggregateRow> rows);
+
+}  // namespace ntr::expt

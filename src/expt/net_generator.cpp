@@ -1,0 +1,63 @@
+#include "expt/net_generator.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ntr::expt {
+
+graph::Net NetGenerator::random_net(std::size_t pin_count) {
+  if (pin_count < 2)
+    throw std::invalid_argument("random_net: need at least two pins");
+  std::uniform_real_distribution<double> coord(0.0, side_um_);
+  graph::Net net;
+  net.pins.reserve(pin_count);
+  while (net.pins.size() < pin_count) {
+    const geom::Point p{coord(rng_), coord(rng_)};
+    const bool duplicate =
+        std::find(net.pins.begin(), net.pins.end(), p) != net.pins.end();
+    if (!duplicate) net.pins.push_back(p);
+  }
+  return net;
+}
+
+graph::Net NetGenerator::random_clustered_net(std::size_t pin_count,
+                                              std::size_t cluster_count,
+                                              double spread_um) {
+  if (pin_count < 2)
+    throw std::invalid_argument("random_clustered_net: need at least two pins");
+  if (cluster_count == 0)
+    throw std::invalid_argument("random_clustered_net: need at least one cluster");
+  if (spread_um <= 0.0)
+    throw std::invalid_argument("random_clustered_net: spread must be positive");
+
+  std::uniform_real_distribution<double> coord(0.0, side_um_);
+  std::vector<geom::Point> centers;
+  centers.reserve(cluster_count);
+  for (std::size_t c = 0; c < cluster_count; ++c)
+    centers.push_back({coord(rng_), coord(rng_)});
+
+  std::uniform_int_distribution<std::size_t> pick(0, cluster_count - 1);
+  std::normal_distribution<double> jitter(0.0, spread_um);
+  const auto clip = [&](double v) { return std::min(std::max(v, 0.0), side_um_); };
+
+  graph::Net net;
+  net.pins.reserve(pin_count);
+  while (net.pins.size() < pin_count) {
+    const geom::Point& center = centers[pick(rng_)];
+    const geom::Point p{clip(center.x + jitter(rng_)), clip(center.y + jitter(rng_))};
+    const bool duplicate =
+        std::find(net.pins.begin(), net.pins.end(), p) != net.pins.end();
+    if (!duplicate) net.pins.push_back(p);
+  }
+  return net;
+}
+
+std::vector<graph::Net> NetGenerator::random_nets(std::size_t count,
+                                                  std::size_t pin_count) {
+  std::vector<graph::Net> nets;
+  nets.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) nets.push_back(random_net(pin_count));
+  return nets;
+}
+
+}  // namespace ntr::expt

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "graph/net.h"
+#include "spice/technology.h"
+
+namespace ntr::expt {
+
+/// Deterministic random-net source matching the paper's experimental
+/// setup: pin locations drawn from a uniform distribution over a square
+/// layout region (10 mm x 10 mm for the Table-1 technology). pins[0] --
+/// the source -- is just the first random pin, as in the paper.
+class NetGenerator {
+ public:
+  explicit NetGenerator(std::uint64_t seed,
+                        double layout_side_um = spice::kTable1Technology.layout_side_um)
+      : rng_(seed), side_um_(layout_side_um) {}
+
+  /// A net with `pin_count` distinct pins (resampling collisions, which at
+  /// continuous coordinates are measure-zero but guarded anyway).
+  graph::Net random_net(std::size_t pin_count);
+
+  /// `count` independent nets of the same size (the paper uses 50 per size).
+  std::vector<graph::Net> random_nets(std::size_t count, std::size_t pin_count);
+
+  /// A net with clustered pins: `cluster_count` uniformly placed cluster
+  /// centers, pins normally scattered around a random center with the
+  /// given standard deviation (clipped to the layout). Placed designs
+  /// yield clustered -- not uniform -- pin distributions, so this probes
+  /// how the paper's uniform-net results carry over to realistic
+  /// placements (see bench/ablation_distribution).
+  graph::Net random_clustered_net(std::size_t pin_count, std::size_t cluster_count,
+                                  double spread_um);
+
+ private:
+  std::mt19937_64 rng_;
+  double side_um_;
+};
+
+/// The net sizes reported in every table of the paper.
+inline constexpr std::size_t kPaperNetSizes[] = {5, 10, 20, 30};
+
+/// Number of trial nets per size in the paper's tables.
+inline constexpr std::size_t kPaperTrialCount = 50;
+
+}  // namespace ntr::expt

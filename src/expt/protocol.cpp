@@ -1,0 +1,34 @@
+#include "expt/protocol.h"
+
+#include "expt/net_generator.h"
+
+namespace ntr::expt {
+
+std::vector<AggregateRow> run_protocol(const ProtocolConfig& config,
+                                       const RoutingFn& baseline,
+                                       const RoutingFn& candidate,
+                                       const delay::DelayEvaluator& measure) {
+  std::vector<AggregateRow> rows;
+  for (const std::size_t size : config.net_sizes) {
+    // Per-size generator so adding/removing sizes never reshuffles the
+    // instances of other sizes.
+    NetGenerator generator(config.seed + size);
+    std::vector<TrialRecord> records;
+    records.reserve(config.trials);
+    for (std::size_t t = 0; t < config.trials; ++t) {
+      const graph::Net net = generator.random_net(size);
+      const graph::RoutingGraph base = baseline(net);
+      const graph::RoutingGraph cand = candidate(net);
+      TrialRecord rec;
+      rec.base_delay = measure.max_delay(base);
+      rec.base_cost = base.total_wirelength();
+      rec.new_delay = measure.max_delay(cand);
+      rec.new_cost = cand.total_wirelength();
+      records.push_back(rec);
+    }
+    rows.push_back(aggregate(size, records));
+  }
+  return rows;
+}
+
+}  // namespace ntr::expt

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "delay/evaluator.h"
+#include "expt/comparison.h"
+#include "expt/net_generator.h"
+#include "graph/net.h"
+#include "graph/routing_graph.h"
+
+namespace ntr::expt {
+
+/// The paper's experimental protocol, as a reusable library function:
+/// for each net size, generate `trials` random nets from a size-salted
+/// seed, route each with `baseline` and `candidate`, measure both with
+/// `measure` (max source-sink delay), and aggregate the normalized
+/// delay/cost ratios with the winners-only breakdown.
+struct ProtocolConfig {
+  std::vector<std::size_t> net_sizes{5, 10, 20, 30};
+  std::size_t trials = kPaperTrialCount;
+  std::uint64_t seed = 19940101;
+};
+
+using RoutingFn = std::function<graph::RoutingGraph(const graph::Net&)>;
+
+std::vector<AggregateRow> run_protocol(const ProtocolConfig& config,
+                                       const RoutingFn& baseline,
+                                       const RoutingFn& candidate,
+                                       const delay::DelayEvaluator& measure);
+
+}  // namespace ntr::expt

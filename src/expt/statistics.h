@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+
+namespace ntr::expt {
+
+inline double mean(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("mean: empty sample");
+  double s = 0.0;
+  for (const double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+inline double sample_stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (const double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size() - 1));
+}
+
+inline double min_of(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("min_of: empty sample");
+  double m = xs[0];
+  for (const double x : xs) m = x < m ? x : m;
+  return m;
+}
+
+inline double max_of(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("max_of: empty sample");
+  double m = xs[0];
+  for (const double x : xs) m = x > m ? x : m;
+  return m;
+}
+
+/// Pearson correlation coefficient; used by the fidelity ablation to
+/// compare delay models.
+inline double pearson_correlation(std::span<const double> a,
+                                  std::span<const double> b) {
+  if (a.size() != b.size() || a.size() < 2)
+    throw std::invalid_argument("pearson_correlation: need matched samples (n>=2)");
+  const double ma = mean(a);
+  const double mb = mean(b);
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    cov += (a[i] - ma) * (b[i] - mb);
+    va += (a[i] - ma) * (a[i] - ma);
+    vb += (b[i] - mb) * (b[i] - mb);
+  }
+  const double denom = std::sqrt(va * vb);
+  if (denom == 0.0) throw std::invalid_argument("pearson_correlation: zero variance");
+  return cov / denom;
+}
+
+}  // namespace ntr::expt

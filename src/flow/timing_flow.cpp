@@ -1,0 +1,103 @@
+#include "flow/timing_flow.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ntr::flow {
+
+namespace {
+
+void validate(const sta::TimingGraph& design, const std::vector<BoundNet>& nets) {
+  for (const BoundNet& b : nets) {
+    b.net.validate();
+    if (b.sta_net >= design.net_count())
+      throw std::invalid_argument("run_timing_flow: bad STA net for " + b.name);
+    if (b.sink_gates.size() != b.net.sink_count())
+      throw std::invalid_argument(
+          "run_timing_flow: sink_gates must match the net's sinks for " + b.name);
+    const auto& sta_sinks = design.net(b.sta_net).sinks;
+    for (const sta::GateId g : b.sink_gates) {
+      if (std::find(sta_sinks.begin(), sta_sinks.end(), g) == sta_sinks.end())
+        throw std::invalid_argument("run_timing_flow: gate is not a sink of " +
+                                    b.name);
+    }
+  }
+}
+
+/// Measures a routing and pushes its per-sink delays into the design.
+void annotate(sta::TimingGraph& design, const BoundNet& bound,
+              const graph::RoutingGraph& routing,
+              const delay::DelayEvaluator& measure) {
+  const std::vector<double> delays = measure.sink_delays(routing);
+  for (std::size_t i = 0; i < bound.sink_gates.size(); ++i)
+    design.set_interconnect_delay(bound.sta_net, bound.sink_gates[i], delays[i]);
+}
+
+}  // namespace
+
+FlowResult run_timing_flow(sta::TimingGraph& design, std::vector<BoundNet>& nets,
+                           const delay::DelayEvaluator& measure,
+                           const FlowOptions& options) {
+  validate(design, nets);
+
+  FlowResult result;
+  result.routings.reserve(nets.size());
+  for (const BoundNet& b : nets) {
+    result.routings.push_back(graph::mst_routing(b.net));
+    annotate(design, b, result.routings.back(), measure);
+  }
+  result.initial_report = sta::analyze(design, options.clock_period_s);
+  result.final_report = result.initial_report;
+
+  for (unsigned iter = 0; iter < options.max_iterations; ++iter) {
+    // Which nets hold critical pins under the current timing?
+    std::vector<std::size_t> targets;
+    std::vector<std::vector<double>> alphas;
+    for (std::size_t i = 0; i < nets.size(); ++i) {
+      std::vector<double> alpha =
+          sta::sink_criticalities(design, result.final_report, nets[i].sta_net);
+      // Map from the STA net's sink order to the bound net's sink order.
+      // sink_criticalities is indexed by the STA net's sinks; re-project
+      // onto this net's sink_gates.
+      const auto& sta_sinks = design.net(nets[i].sta_net).sinks;
+      std::vector<double> projected(nets[i].sink_gates.size(), 0.0);
+      for (std::size_t k = 0; k < nets[i].sink_gates.size(); ++k) {
+        for (std::size_t s = 0; s < sta_sinks.size(); ++s) {
+          if (sta_sinks[s] == nets[i].sink_gates[k]) {
+            projected[k] = alpha[s];
+            break;
+          }
+        }
+      }
+      const double worst =
+          projected.empty()
+              ? 0.0
+              : *std::max_element(projected.begin(), projected.end());
+      if (worst >= options.criticality_threshold) {
+        targets.push_back(i);
+        alphas.push_back(std::move(projected));
+      }
+    }
+    if (targets.empty()) break;
+
+    result.iterations = iter + 1;
+    for (std::size_t k = 0; k < targets.size(); ++k) {
+      const std::size_t i = targets[k];
+      core::LdrgOptions ldrg_opts = options.ldrg;
+      ldrg_opts.criticality = alphas[k];
+      const core::LdrgResult rerouted =
+          core::ldrg(graph::mst_routing(nets[i].net), measure, ldrg_opts);
+      result.routings[i] = rerouted.graph;
+      annotate(design, nets[i], result.routings[i], measure);
+      ++result.nets_rerouted;
+    }
+
+    const sta::TimingReport report = sta::analyze(design, options.clock_period_s);
+    const bool improved = report.worst_slack_s > result.final_report.worst_slack_s;
+    result.final_report = report;
+    if (!improved) break;
+  }
+  return result;
+}
+
+}  // namespace ntr::flow

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/ldrg.h"
+#include "delay/evaluator.h"
+#include "graph/net.h"
+#include "graph/routing_graph.h"
+#include "spice/technology.h"
+#include "sta/timing_graph.h"
+
+namespace ntr::flow {
+
+/// A signal net bound to the timing graph: geometry (pins, source first)
+/// plus which STA net it realizes and which gate reads each sink pin.
+struct BoundNet {
+  std::string name;
+  graph::Net net;
+  sta::NetId sta_net = sta::kNoId;
+  /// Aligned with net sinks (pins[1..k] -> sink_gates[0..k-1]).
+  std::vector<sta::GateId> sink_gates;
+};
+
+struct FlowOptions {
+  spice::Technology tech{};
+  double clock_period_s = 5e-9;
+  /// A net is re-routed when any of its sink pins has criticality
+  /// (= max(0, (period - slack)/period)) at or above this threshold.
+  double criticality_threshold = 0.8;
+  /// Timing-convergence iterations (route -> STA -> reroute ...).
+  unsigned max_iterations = 3;
+  core::LdrgOptions ldrg{};
+};
+
+struct FlowResult {
+  /// Final routing per bound net, in input order.
+  std::vector<graph::RoutingGraph> routings;
+  sta::TimingReport initial_report;  ///< after the MST pass
+  sta::TimingReport final_report;
+  unsigned iterations = 0;       ///< reroute iterations actually run
+  std::size_t nets_rerouted = 0; ///< total reroute operations
+};
+
+/// The timing-driven routing loop the paper's Section 5.1 sketches,
+/// packaged end to end:
+///
+///   1. route every bound net as an MST; measure per-sink interconnect
+///      delays with `measure` and annotate the timing graph,
+///   2. STA: arrivals, slacks, per-pin criticalities,
+///   3. re-route every net holding a critical pin with CSORG-weighted
+///      LDRG (criticalities as the alpha vector); re-annotate,
+///   4. repeat 2-3 until no net qualifies, nothing improves the worst
+///      slack, or max_iterations is reached.
+///
+/// The design's interconnect delays are left annotated with the final
+/// routing (so callers can keep analyzing it). Throws
+/// std::invalid_argument on inconsistent bindings.
+FlowResult run_timing_flow(sta::TimingGraph& design, std::vector<BoundNet>& nets,
+                           const delay::DelayEvaluator& measure,
+                           const FlowOptions& options = {});
+
+}  // namespace ntr::flow

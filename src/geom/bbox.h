@@ -1,0 +1,53 @@
+#pragma once
+
+#include <algorithm>
+#include <limits>
+#include <span>
+
+#include "geom/point.h"
+
+namespace ntr::geom {
+
+/// Axis-aligned bounding box. An empty box (no points added) reports
+/// `empty() == true` and zero extents.
+class BBox {
+ public:
+  BBox() = default;
+
+  /// Bounding box of a point set.
+  explicit BBox(std::span<const Point> points) {
+    for (const Point& p : points) expand(p);
+  }
+
+  void expand(const Point& p) {
+    lo_x_ = std::min(lo_x_, p.x);
+    lo_y_ = std::min(lo_y_, p.y);
+    hi_x_ = std::max(hi_x_, p.x);
+    hi_y_ = std::max(hi_y_, p.y);
+  }
+
+  [[nodiscard]] bool empty() const { return lo_x_ > hi_x_; }
+  [[nodiscard]] double width() const { return empty() ? 0.0 : hi_x_ - lo_x_; }
+  [[nodiscard]] double height() const { return empty() ? 0.0 : hi_y_ - lo_y_; }
+
+  /// Half-perimeter wirelength: a classical lower bound on the cost of any
+  /// rectilinear tree spanning the points.
+  [[nodiscard]] double half_perimeter() const { return width() + height(); }
+
+  [[nodiscard]] double lo_x() const { return lo_x_; }
+  [[nodiscard]] double lo_y() const { return lo_y_; }
+  [[nodiscard]] double hi_x() const { return hi_x_; }
+  [[nodiscard]] double hi_y() const { return hi_y_; }
+
+  [[nodiscard]] bool contains(const Point& p) const {
+    return !empty() && lo_x_ <= p.x && p.x <= hi_x_ && lo_y_ <= p.y && p.y <= hi_y_;
+  }
+
+ private:
+  double lo_x_ = std::numeric_limits<double>::infinity();
+  double lo_y_ = std::numeric_limits<double>::infinity();
+  double hi_x_ = -std::numeric_limits<double>::infinity();
+  double hi_y_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace ntr::geom

@@ -1,0 +1,44 @@
+#include <algorithm>
+#include <ostream>
+#include <unordered_set>
+
+#include "geom/hanan.h"
+#include "geom/point.h"
+
+namespace ntr::geom {
+
+std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << '(' << p.x << ", " << p.y << ')';
+}
+
+namespace {
+
+std::vector<double> sorted_unique_coords(std::span<const Point> pins, bool use_x) {
+  std::vector<double> coords;
+  coords.reserve(pins.size());
+  for (const Point& p : pins) coords.push_back(use_x ? p.x : p.y);
+  std::sort(coords.begin(), coords.end());
+  coords.erase(std::unique(coords.begin(), coords.end()), coords.end());
+  return coords;
+}
+
+}  // namespace
+
+std::vector<Point> hanan_grid_full(std::span<const Point> pins) {
+  const std::vector<double> xs = sorted_unique_coords(pins, /*use_x=*/true);
+  const std::vector<double> ys = sorted_unique_coords(pins, /*use_x=*/false);
+  std::vector<Point> grid;
+  grid.reserve(xs.size() * ys.size());
+  for (const double x : xs)
+    for (const double y : ys) grid.push_back(Point{x, y});
+  return grid;
+}
+
+std::vector<Point> hanan_grid(std::span<const Point> pins) {
+  std::unordered_set<Point> pin_set(pins.begin(), pins.end());
+  std::vector<Point> grid = hanan_grid_full(pins);
+  std::erase_if(grid, [&pin_set](const Point& p) { return pin_set.contains(p); });
+  return grid;
+}
+
+}  // namespace ntr::geom

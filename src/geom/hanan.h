@@ -1,0 +1,22 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geom/point.h"
+
+namespace ntr::geom {
+
+/// Hanan grid of a pin set: the intersections of horizontal and vertical
+/// lines through every pin. Hanan's theorem guarantees an optimal
+/// rectilinear Steiner tree using only these points, which is why the
+/// Iterated 1-Steiner algorithm (used by SLDRG, paper refs [2,3,13])
+/// draws its candidate Steiner points from this set.
+///
+/// Returns all grid points that are NOT already pins (candidates only).
+std::vector<Point> hanan_grid(std::span<const Point> pins);
+
+/// All Hanan grid points including the pins themselves.
+std::vector<Point> hanan_grid_full(std::span<const Point> pins);
+
+}  // namespace ntr::geom

@@ -1,0 +1,54 @@
+#include "geom/segments.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace ntr::geom {
+
+std::vector<Segment> l_route(const Point& p, const Point& q) {
+  std::vector<Segment> route;
+  if (p.x != q.x) {
+    route.push_back(Segment{true, p.y, std::min(p.x, q.x), std::max(p.x, q.x)});
+  }
+  if (p.y != q.y) {
+    // The vertical leg runs at the *destination* x (horizontal-first).
+    route.push_back(Segment{false, q.x, std::min(p.y, q.y), std::max(p.y, q.y)});
+  }
+  return route;
+}
+
+double total_length(std::span<const Segment> segments) {
+  double sum = 0.0;
+  for (const Segment& s : segments) sum += s.length();
+  return sum;
+}
+
+double union_length(std::span<const Segment> segments) {
+  // Group intervals by (orientation, track coordinate), then merge.
+  std::map<std::pair<bool, double>, std::vector<std::pair<double, double>>> tracks;
+  for (const Segment& s : segments) {
+    if (s.length() <= 0.0) continue;
+    tracks[{s.horizontal, s.fixed}].emplace_back(s.a, s.b);
+  }
+
+  double result = 0.0;
+  for (auto& [track, intervals] : tracks) {
+    std::sort(intervals.begin(), intervals.end());
+    double cover_lo = intervals.front().first;
+    double cover_hi = intervals.front().second;
+    for (const auto& [lo, hi] : intervals) {
+      if (lo > cover_hi) {
+        result += cover_hi - cover_lo;
+        cover_lo = lo;
+        cover_hi = hi;
+      } else {
+        cover_hi = std::max(cover_hi, hi);
+      }
+    }
+    result += cover_hi - cover_lo;
+  }
+  return result;
+}
+
+}  // namespace ntr::geom

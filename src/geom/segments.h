@@ -1,0 +1,41 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geom/point.h"
+
+namespace ntr::geom {
+
+/// An axis-parallel wire segment. Horizontal segments have y fixed
+/// (a = left x, b = right x); vertical ones x fixed (a = bottom y,
+/// b = top y). Always normalized so a <= b.
+struct Segment {
+  bool horizontal = true;
+  double fixed = 0.0;  ///< the invariant coordinate (y if horizontal)
+  double a = 0.0;      ///< lower varying coordinate
+  double b = 0.0;      ///< upper varying coordinate
+
+  [[nodiscard]] double length() const { return b - a; }
+  friend bool operator==(const Segment&, const Segment&) = default;
+};
+
+/// Embeds the connection from p to q as an L-shaped route: horizontal
+/// first, then vertical (the same convention the SVG renderer draws).
+/// Degenerate (already axis-aligned) connections yield one segment;
+/// coincident points none.
+std::vector<Segment> l_route(const Point& p, const Point& q);
+
+/// Total metal length of a segment set with overlaps counted ONCE: union
+/// length per (orientation, track) after interval merging. This is the
+/// physically honest wirelength of an embedded routing -- when two edges
+/// share a track (or LDRG adds a wire parallel to an existing one, the
+/// situation Section 5.2 of the paper turns into wire *sizing*), the
+/// naive sum of edge lengths double-counts the shared metal.
+double union_length(std::span<const Segment> segments);
+
+/// Plain sum of segment lengths (double-counts overlaps); the difference
+/// against union_length is the overlap amount.
+double total_length(std::span<const Segment> segments);
+
+}  // namespace ntr::geom

@@ -1,0 +1,81 @@
+#include "graph/bridges.h"
+
+#include <algorithm>
+
+namespace ntr::graph {
+
+namespace {
+
+/// Iterative Tarjan bridge-finding (low-link) to keep deep trees from
+/// overflowing the call stack.
+struct BridgeState {
+  const RoutingGraph& g;
+  std::vector<std::size_t> disc;   // discovery index, npos = unvisited
+  std::vector<std::size_t> low;    // low-link
+  std::vector<EdgeId> bridges;
+  std::size_t timer = 0;
+
+  static constexpr std::size_t kUnvisited = static_cast<std::size_t>(-1);
+
+  explicit BridgeState(const RoutingGraph& graph)
+      : g(graph),
+        disc(graph.node_count(), kUnvisited),
+        low(graph.node_count(), kUnvisited) {}
+
+  void run(NodeId root) {
+    struct Frame {
+      NodeId node;
+      EdgeId in_edge;       // edge used to enter `node` (kInvalidEdge at root)
+      std::size_t next_idx; // next incident edge index to explore
+    };
+    std::vector<Frame> stack;
+    disc[root] = low[root] = timer++;
+    stack.push_back({root, kInvalidEdge, 0});
+
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const auto incident = g.incident_edges(f.node);
+      if (f.next_idx < incident.size()) {
+        const EdgeId e = incident[f.next_idx++];
+        if (e == f.in_edge) continue;  // do not immediately reuse the entry edge
+        const NodeId to = g.other_endpoint(e, f.node);
+        if (disc[to] == kUnvisited) {
+          disc[to] = low[to] = timer++;
+          stack.push_back({to, e, 0});
+        } else {
+          low[f.node] = std::min(low[f.node], disc[to]);
+        }
+      } else {
+        const Frame done = f;
+        stack.pop_back();
+        if (!stack.empty()) {
+          Frame& parent = stack.back();
+          low[parent.node] = std::min(low[parent.node], low[done.node]);
+          if (low[done.node] > disc[parent.node]) bridges.push_back(done.in_edge);
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<EdgeId> find_bridges(const RoutingGraph& g) {
+  BridgeState state(g);
+  for (NodeId n = 0; n < g.node_count(); ++n)
+    if (state.disc[n] == BridgeState::kUnvisited) state.run(n);
+  std::sort(state.bridges.begin(), state.bridges.end());
+  return state.bridges;
+}
+
+std::vector<bool> redundant_edges(const RoutingGraph& g) {
+  std::vector<bool> redundant(g.edge_count(), true);
+  for (const EdgeId e : find_bridges(g)) redundant[e] = false;
+  return redundant;
+}
+
+std::size_t redundant_edge_count(const RoutingGraph& g) {
+  return g.edge_count() - find_bridges(g).size();
+}
+
+}  // namespace ntr::graph

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <vector>
+
+#include "graph/routing_graph.h"
+
+namespace ntr::graph {
+
+/// Edge ids of all bridges: edges whose removal disconnects the graph.
+/// In a routing tree every edge is a bridge; each LDRG-added wire turns
+/// every edge of the cycle it closes into a non-bridge. Non-bridge wires
+/// are exactly the wires with a redundant second path -- the structural
+/// signature of non-tree routing (and, as the paper's Section 5.2 notes,
+/// the wires one may merge/size). Tarjan's algorithm, O(V + E).
+std::vector<EdgeId> find_bridges(const RoutingGraph& g);
+
+/// Per-edge redundancy flags: redundant[e] == true iff e is NOT a bridge,
+/// i.e. e lies on a cycle and the signal has an alternative path.
+std::vector<bool> redundant_edges(const RoutingGraph& g);
+
+/// Count of edges lying on at least one cycle.
+std::size_t redundant_edge_count(const RoutingGraph& g);
+
+}  // namespace ntr::graph

@@ -1,0 +1,23 @@
+#include "graph/embedding.h"
+
+namespace ntr::graph {
+
+std::vector<geom::Segment> embed_routing(const RoutingGraph& g) {
+  std::vector<geom::Segment> segments;
+  segments.reserve(2 * g.edge_count());
+  for (const GraphEdge& e : g.edges()) {
+    for (const geom::Segment& s : geom::l_route(g.node(e.u).pos, g.node(e.v).pos))
+      segments.push_back(s);
+  }
+  return segments;
+}
+
+double metal_length(const RoutingGraph& g) {
+  return geom::union_length(embed_routing(g));
+}
+
+double overlap_length(const RoutingGraph& g) {
+  return g.total_wirelength() - metal_length(g);
+}
+
+}  // namespace ntr::graph

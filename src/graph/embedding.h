@@ -1,0 +1,25 @@
+#pragma once
+
+#include <vector>
+
+#include "geom/segments.h"
+#include "graph/routing_graph.h"
+
+namespace ntr::graph {
+
+/// Embeds every edge of the routing as an L-shaped rectilinear route
+/// (horizontal leg first). The embedding realizes exactly the Manhattan
+/// edge lengths the cost model charges.
+std::vector<geom::Segment> embed_routing(const RoutingGraph& g);
+
+/// Physical metal length of the embedded routing, with track overlaps
+/// merged (geom::union_length over the embedding). Always <= the
+/// edge-length sum total_wirelength(); the gap measures how much wire the
+/// L-embedding shares between edges -- including the parallel runs the
+/// paper's Section 5.2 proposes to merge into wider wires.
+double metal_length(const RoutingGraph& g);
+
+/// total_wirelength(g) - metal_length(g): the double-counted overlap.
+double overlap_length(const RoutingGraph& g);
+
+}  // namespace ntr::graph

@@ -1,0 +1,53 @@
+#include "graph/metrics.h"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+#include "graph/bridges.h"
+#include "graph/embedding.h"
+#include "graph/paths.h"
+
+namespace ntr::graph {
+
+RoutingMetrics compute_metrics(const RoutingGraph& g) {
+  if (!g.is_connected())
+    throw std::invalid_argument("compute_metrics: routing must be connected");
+
+  RoutingMetrics m;
+  m.nodes = g.node_count();
+  m.edges = g.edge_count();
+  m.cycles = g.cycle_count();
+  m.redundant_edges = redundant_edge_count(g);
+  m.wirelength_um = g.total_wirelength();
+  m.metal_um = metal_length(g);
+
+  const ShortestPaths sp = shortest_paths(g, g.source());
+  const geom::Point source_pos = g.node(g.source()).pos;
+  double detour_sum = 0.0;
+  for (NodeId n = 0; n < g.node_count(); ++n) {
+    m.max_degree = std::max(m.max_degree, static_cast<double>(g.degree(n)));
+    const GraphNode& node = g.node(n);
+    if (node.kind == NodeKind::kSteiner) ++m.steiner_nodes;
+    if (node.kind != NodeKind::kSink) continue;
+    ++m.sinks;
+    const double direct = geom::manhattan_distance(source_pos, node.pos);
+    m.radius_um = std::max(m.radius_um, sp.distance[n]);
+    m.max_direct_um = std::max(m.max_direct_um, direct);
+    if (direct > 0.0) detour_sum += sp.distance[n] / direct;
+  }
+  if (m.sinks > 0) m.mean_detour = detour_sum / static_cast<double>(m.sinks);
+  if (m.max_direct_um > 0.0) m.radius_ratio = m.radius_um / m.max_direct_um;
+  return m;
+}
+
+std::ostream& operator<<(std::ostream& os, const RoutingMetrics& m) {
+  return os << m.nodes << " nodes (" << m.sinks << " sinks, " << m.steiner_nodes
+            << " steiner), " << m.edges << " edges, " << m.cycles << " cycles ("
+            << m.redundant_edges << " redundant), wl " << m.wirelength_um
+            << " um (metal " << m.metal_um << "), radius " << m.radius_um
+            << " um (ratio " << m.radius_ratio << ", mean detour " << m.mean_detour
+            << ")";
+}
+
+}  // namespace ntr::graph

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <iosfwd>
+
+#include "graph/routing_graph.h"
+
+namespace ntr::graph {
+
+/// One routing's quality card: the geometric quantities every router
+/// paper reports, computed uniformly so different constructions can be
+/// tabulated side by side (delay is deliberately excluded -- that is the
+/// delay evaluators' job and depends on the technology).
+struct RoutingMetrics {
+  std::size_t nodes = 0;
+  std::size_t sinks = 0;
+  std::size_t steiner_nodes = 0;
+  std::size_t edges = 0;
+  std::size_t cycles = 0;           ///< independent cycles (0 for trees)
+  std::size_t redundant_edges = 0;  ///< edges on at least one cycle
+  double wirelength_um = 0.0;       ///< sum of edge lengths (the paper's cost)
+  double metal_um = 0.0;            ///< L-embedded, overlap-merged metal
+  double radius_um = 0.0;           ///< max source-sink wire pathlength
+  double max_direct_um = 0.0;       ///< max source-sink Manhattan distance
+  /// radius / max_direct: 1.0 = shortest-path-tree-like, larger = detoury.
+  double radius_ratio = 0.0;
+  /// mean over sinks of pathlength / direct distance (average detour).
+  double mean_detour = 0.0;
+  double max_degree = 0.0;
+};
+
+/// Computes every metric in one pass (Dijkstra + bridge finding +
+/// embedding). Requires a connected routing.
+RoutingMetrics compute_metrics(const RoutingGraph& g);
+
+/// One-line human-readable rendering (used by the CLI's --report).
+std::ostream& operator<<(std::ostream& os, const RoutingMetrics& m);
+
+}  // namespace ntr::graph

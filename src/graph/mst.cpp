@@ -1,0 +1,87 @@
+#include "graph/mst.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/union_find.h"
+
+namespace ntr::graph {
+
+std::vector<IndexEdge> prim_mst(std::span<const geom::Point> points) {
+  const std::size_t n = points.size();
+  std::vector<IndexEdge> result;
+  if (n < 2) return result;
+  result.reserve(n - 1);
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> best_dist(n, kInf);
+  std::vector<std::size_t> best_parent(n, 0);
+  std::vector<bool> in_tree(n, false);
+
+  // Grow from point 0 (the source, when called on net pins).
+  in_tree[0] = true;
+  for (std::size_t j = 1; j < n; ++j) {
+    best_dist[j] = geom::manhattan_distance(points[0], points[j]);
+  }
+
+  for (std::size_t step = 1; step < n; ++step) {
+    std::size_t pick = n;
+    double pick_dist = kInf;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!in_tree[j] && best_dist[j] < pick_dist) {
+        pick = j;
+        pick_dist = best_dist[j];
+      }
+    }
+    in_tree[pick] = true;
+    result.emplace_back(best_parent[pick], pick);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (in_tree[j]) continue;
+      const double d = geom::manhattan_distance(points[pick], points[j]);
+      if (d < best_dist[j]) {
+        best_dist[j] = d;
+        best_parent[j] = pick;
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<IndexEdge> kruskal_mst(std::span<const geom::Point> points) {
+  const std::size_t n = points.size();
+  std::vector<IndexEdge> result;
+  if (n < 2) return result;
+
+  struct WeightedEdge {
+    double w;
+    std::size_t u, v;
+  };
+  std::vector<WeightedEdge> all;
+  all.reserve(n * (n - 1) / 2);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      all.push_back({geom::manhattan_distance(points[i], points[j]), i, j});
+  std::sort(all.begin(), all.end(), [](const WeightedEdge& a, const WeightedEdge& b) {
+    if (a.w != b.w) return a.w < b.w;
+    if (a.u != b.u) return a.u < b.u;
+    return a.v < b.v;
+  });
+
+  UnionFind uf(n);
+  result.reserve(n - 1);
+  for (const WeightedEdge& e : all) {
+    if (uf.unite(e.u, e.v)) {
+      result.emplace_back(e.u, e.v);
+      if (result.size() == n - 1) break;
+    }
+  }
+  return result;
+}
+
+double edges_cost(std::span<const geom::Point> points, std::span<const IndexEdge> edges) {
+  double sum = 0.0;
+  for (const auto& [u, v] : edges) sum += geom::manhattan_distance(points[u], points[v]);
+  return sum;
+}
+
+}  // namespace ntr::graph

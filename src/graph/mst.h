@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "geom/point.h"
+
+namespace ntr::graph {
+
+/// An undirected edge over point indices.
+using IndexEdge = std::pair<std::size_t, std::size_t>;
+
+/// Prim's algorithm on the complete Manhattan-distance graph of `points`.
+/// O(n^2) time, which is optimal for dense/complete graphs. Returns n-1
+/// edges (empty for n < 2). Ties are broken toward the lower-index parent,
+/// so the result is deterministic.
+std::vector<IndexEdge> prim_mst(std::span<const geom::Point> points);
+
+/// Kruskal's algorithm on the complete Manhattan-distance graph. O(n^2 log n).
+/// Provided as an independent implementation for cross-validation; the edge
+/// *set* may differ from Prim's under ties but the total cost is identical.
+std::vector<IndexEdge> kruskal_mst(std::span<const geom::Point> points);
+
+/// Total Manhattan length of an edge list over `points`.
+double edges_cost(std::span<const geom::Point> points, std::span<const IndexEdge> edges);
+
+}  // namespace ntr::graph

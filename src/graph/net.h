@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "geom/point.h"
+
+namespace ntr::graph {
+
+/// A signal net N = {n_0, n_1, ..., n_k}: a fixed set of pins in the
+/// Manhattan plane. By convention pins[0] is the source n_0 (where the
+/// signal originates); all other pins are sinks.
+struct Net {
+  std::vector<geom::Point> pins;
+
+  [[nodiscard]] std::size_t size() const { return pins.size(); }
+  [[nodiscard]] std::size_t sink_count() const {
+    return pins.empty() ? 0 : pins.size() - 1;
+  }
+  [[nodiscard]] const geom::Point& source() const { return pins.at(0); }
+
+  /// Throws std::invalid_argument when the net cannot be routed:
+  /// fewer than two pins, or duplicate pin locations (which would create
+  /// zero-length edges and degenerate RC segments).
+  void validate() const {
+    if (pins.size() < 2)
+      throw std::invalid_argument("Net requires a source and at least one sink");
+    for (std::size_t i = 0; i < pins.size(); ++i)
+      for (std::size_t j = i + 1; j < pins.size(); ++j)
+        if (pins[i] == pins[j])
+          throw std::invalid_argument("Net contains duplicate pin locations");
+  }
+};
+
+}  // namespace ntr::graph

@@ -1,0 +1,131 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "geom/point.h"
+#include "graph/net.h"
+
+namespace ntr::graph {
+
+using NodeId = std::size_t;
+using EdgeId = std::size_t;
+
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+inline constexpr EdgeId kInvalidEdge = static_cast<EdgeId>(-1);
+
+enum class NodeKind {
+  kSource,   ///< n_0, where the signal originates (driven node)
+  kSink,     ///< a load pin with sink capacitance
+  kSteiner,  ///< a via/junction introduced by a Steiner construction
+};
+
+struct GraphNode {
+  geom::Point pos;
+  NodeKind kind = NodeKind::kSink;
+};
+
+/// An undirected routing wire between two nodes. `length` is the Manhattan
+/// distance between the endpoints (the paper's edge cost d_ij). `width` is
+/// a multiplier on the nominal wire width, used by the WSORG wire-sizing
+/// extension (Section 5.2): resistance scales as 1/width, area capacitance
+/// as width.
+struct GraphEdge {
+  NodeId u = kInvalidNode;
+  NodeId v = kInvalidNode;
+  double length = 0.0;
+  double width = 1.0;
+};
+
+/// A routing graph G = (N, E): nodes at fixed plane locations connected by
+/// rectilinear wires. Unlike classical routing *trees*, E may contain
+/// cycles -- this is the paper's central generalization. The node at index
+/// 0 is always the source.
+///
+/// Invariants: no self-loops, no parallel edges (add_edge on an existing
+/// pair returns the existing id), edge lengths equal the Manhattan
+/// distance of their endpoints.
+class RoutingGraph {
+ public:
+  RoutingGraph() = default;
+
+  /// Creates a graph with one node per net pin (pins[0] as the source) and
+  /// no edges.
+  explicit RoutingGraph(const Net& net);
+
+  // ---- construction ----
+  NodeId add_node(const geom::Point& pos, NodeKind kind);
+
+  /// Adds the undirected edge {u,v}. Throws on self-loop or out-of-range
+  /// ids. If the edge already exists, returns its existing id.
+  EdgeId add_edge(NodeId u, NodeId v);
+
+  /// Removes an edge. Edge ids above `e` shift down by one (vector
+  /// semantics); callers that cache edge ids must refresh them.
+  void remove_edge(EdgeId e);
+
+  /// Splits edge e at point p (which should lie on a shortest rectilinear
+  /// route between the endpoints): removes e, adds a Steiner node at p and
+  /// two replacement edges. Returns the new node id.
+  NodeId split_edge(EdgeId e, const geom::Point& p);
+
+  void set_edge_width(EdgeId e, double width);
+
+  // ---- queries ----
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t edge_count() const { return edges_.size(); }
+  [[nodiscard]] const GraphNode& node(NodeId n) const { return nodes_.at(n); }
+  [[nodiscard]] const GraphEdge& edge(EdgeId e) const { return edges_.at(e); }
+  [[nodiscard]] std::span<const GraphNode> nodes() const { return nodes_; }
+  [[nodiscard]] std::span<const GraphEdge> edges() const { return edges_; }
+
+  [[nodiscard]] NodeId source() const { return 0; }
+
+  /// Ids of all sink nodes (kind == kSink), in increasing order.
+  [[nodiscard]] std::vector<NodeId> sinks() const;
+
+  /// Edge ids incident to node n.
+  [[nodiscard]] std::span<const EdgeId> incident_edges(NodeId n) const {
+    return adjacency_.at(n);
+  }
+
+  /// The endpoint of edge e that is not n. Precondition: n is an endpoint.
+  [[nodiscard]] NodeId other_endpoint(EdgeId e, NodeId n) const;
+
+  [[nodiscard]] std::optional<EdgeId> find_edge(NodeId u, NodeId v) const;
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const {
+    return find_edge(u, v).has_value();
+  }
+
+  [[nodiscard]] std::size_t degree(NodeId n) const { return adjacency_.at(n).size(); }
+
+  /// Sum of edge costs (Manhattan wirelength), the paper's cost(G).
+  /// Edge widths do not change cost here; sized cost is reported separately
+  /// by the WSORG extension as sum(length * width).
+  [[nodiscard]] double total_wirelength() const;
+
+  /// Sum of length*width over edges: routing area in the wire-sizing regime.
+  [[nodiscard]] double total_wire_area() const;
+
+  [[nodiscard]] bool is_connected() const;
+
+  /// True iff connected and acyclic (a routing tree in the classical sense).
+  [[nodiscard]] bool is_tree() const;
+
+  /// Number of independent cycles: |E| - |V| + components.
+  [[nodiscard]] std::size_t cycle_count() const;
+
+ private:
+  std::vector<GraphNode> nodes_;
+  std::vector<GraphEdge> edges_;
+  std::vector<std::vector<EdgeId>> adjacency_;
+
+  void rebuild_adjacency();
+};
+
+/// Builds the MST routing over a net: RoutingGraph(net) plus Prim MST edges.
+RoutingGraph mst_routing(const Net& net);
+
+}  // namespace ntr::graph

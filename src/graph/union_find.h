@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+namespace ntr::graph {
+
+/// Disjoint-set union with path compression and union by rank.
+/// Used by Kruskal's MST and by connectivity checks.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n), rank_(n, 0), components_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Merges the sets containing a and b; returns false if already merged.
+  bool unite(std::size_t a, std::size_t b) {
+    std::size_t ra = find(a);
+    std::size_t rb = find(b);
+    if (ra == rb) return false;
+    if (rank_[ra] < rank_[rb]) std::swap(ra, rb);
+    parent_[rb] = ra;
+    if (rank_[ra] == rank_[rb]) ++rank_[ra];
+    --components_;
+    return true;
+  }
+
+  bool connected(std::size_t a, std::size_t b) { return find(a) == find(b); }
+  [[nodiscard]] std::size_t component_count() const { return components_; }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<unsigned> rank_;
+  std::size_t components_;
+};
+
+}  // namespace ntr::graph

@@ -1,0 +1,99 @@
+#include "grid/grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ntr::grid {
+
+Grid::Grid(std::size_t cols, std::size_t rows, double pitch_um, unsigned capacity)
+    : cols_(cols), rows_(rows), pitch_um_(pitch_um), capacity_(capacity) {
+  if (cols < 2 || rows < 2)
+    throw std::invalid_argument("Grid: need at least a 2x2 grid");
+  if (pitch_um <= 0.0) throw std::invalid_argument("Grid: pitch must be positive");
+  if (capacity == 0) throw std::invalid_argument("Grid: capacity must be positive");
+  blocked_.assign(cell_count(), false);
+  usage_.assign(horizontal_boundary_count() + cols_ * (rows_ - 1), 0);
+}
+
+bool Grid::neighbor(Cell c, Direction d, Cell& out) const {
+  switch (d) {
+    case Direction::kEast:
+      if (c.col + 1 >= cols_) return false;
+      out = Cell{c.col + 1, c.row};
+      return true;
+    case Direction::kWest:
+      if (c.col == 0) return false;
+      out = Cell{c.col - 1, c.row};
+      return true;
+    case Direction::kNorth:
+      if (c.row + 1 >= rows_) return false;
+      out = Cell{c.col, c.row + 1};
+      return true;
+    case Direction::kSouth:
+      if (c.row == 0) return false;
+      out = Cell{c.col, c.row - 1};
+      return true;
+  }
+  return false;
+}
+
+void Grid::block(Cell c) {
+  if (!in_bounds(c)) throw std::out_of_range("Grid::block: cell out of bounds");
+  blocked_[index(c)] = true;
+}
+
+void Grid::block_rect(Cell lo, Cell hi) {
+  if (!in_bounds(lo) || !in_bounds(hi) || lo.col > hi.col || lo.row > hi.row)
+    throw std::invalid_argument("Grid::block_rect: bad rectangle");
+  for (std::size_t r = lo.row; r <= hi.row; ++r)
+    for (std::size_t c = lo.col; c <= hi.col; ++c) blocked_[index(Cell{c, r})] = true;
+}
+
+Cell Grid::snap(const geom::Point& p) const {
+  const auto clamp_idx = [](double v, std::size_t limit) {
+    if (v < 0.0) return std::size_t{0};
+    const auto idx = static_cast<std::size_t>(v);
+    return std::min(idx, limit - 1);
+  };
+  return Cell{clamp_idx(p.x / pitch_um_, cols_), clamp_idx(p.y / pitch_um_, rows_)};
+}
+
+std::size_t Grid::boundary_id(Cell c, Direction d) const {
+  Cell n;
+  if (!neighbor(c, d, n))
+    throw std::out_of_range("Grid::boundary_id: no neighbor in that direction");
+  // Normalize to the lower-left cell of the boundary.
+  switch (d) {
+    case Direction::kEast:
+      return c.row * (cols_ - 1) + c.col;
+    case Direction::kWest:
+      return c.row * (cols_ - 1) + n.col;
+    case Direction::kNorth:
+      return horizontal_boundary_count() + c.row * cols_ + c.col;
+    case Direction::kSouth:
+      return horizontal_boundary_count() + n.row * cols_ + c.col;
+  }
+  throw std::logic_error("Grid::boundary_id: bad direction");
+}
+
+void Grid::add_usage(Cell c, Direction d, int delta) {
+  unsigned& u = usage_[boundary_id(c, d)];
+  if (delta < 0 && u < static_cast<unsigned>(-delta))
+    throw std::logic_error("Grid::add_usage: usage underflow");
+  u = static_cast<unsigned>(static_cast<int>(u) + delta);
+}
+
+std::size_t Grid::total_overflow() const {
+  std::size_t overflow = 0;
+  for (const unsigned u : usage_)
+    if (u > capacity_) overflow += u - capacity_;
+  return overflow;
+}
+
+unsigned Grid::max_usage() const {
+  unsigned m = 0;
+  for (const unsigned u : usage_) m = std::max(m, u);
+  return m;
+}
+
+}  // namespace ntr::grid

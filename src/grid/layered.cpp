@@ -1,0 +1,312 @@
+#include "grid/layered.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <set>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "geom/bbox.h"
+#include "grid/net_router.h"
+
+namespace ntr::grid {
+
+LayeredGrid::LayeredGrid(std::size_t cols, std::size_t rows, double pitch_um,
+                         unsigned capacity, double via_cost_um)
+    : cols_(cols),
+      rows_(rows),
+      pitch_um_(pitch_um),
+      capacity_(capacity),
+      via_cost_um_(via_cost_um) {
+  if (cols < 2 || rows < 2)
+    throw std::invalid_argument("LayeredGrid: need at least a 2x2 grid");
+  if (pitch_um <= 0.0)
+    throw std::invalid_argument("LayeredGrid: pitch must be positive");
+  if (via_cost_um < 0.0)
+    throw std::invalid_argument("LayeredGrid: via cost must be non-negative");
+  blocked_.assign(state_count(), false);
+  usage_.assign((cols_ - 1) * rows_ + cols_ * (rows_ - 1), 0);
+}
+
+std::size_t LayeredGrid::boundary_id(LayeredCell a, LayeredCell b) const {
+  if (a.layer != b.layer || a.layer > 1)
+    throw std::invalid_argument("LayeredGrid::boundary_id: not same-layer neighbors");
+  if (a.layer == 0) {
+    if (a.cell.row != b.cell.row ||
+        (a.cell.col != b.cell.col + 1 && b.cell.col != a.cell.col + 1))
+      throw std::invalid_argument("LayeredGrid::boundary_id: not E/W neighbors");
+    const std::size_t col = std::min(a.cell.col, b.cell.col);
+    return a.cell.row * (cols_ - 1) + col;
+  }
+  if (a.cell.col != b.cell.col ||
+      (a.cell.row != b.cell.row + 1 && b.cell.row != a.cell.row + 1))
+    throw std::invalid_argument("LayeredGrid::boundary_id: not N/S neighbors");
+  const std::size_t row = std::min(a.cell.row, b.cell.row);
+  return (cols_ - 1) * rows_ + row * cols_ + a.cell.col;
+}
+
+void LayeredGrid::add_usage(LayeredCell a, LayeredCell b, int delta) {
+  unsigned& u = usage_[boundary_id(a, b)];
+  if (delta < 0 && u < static_cast<unsigned>(-delta))
+    throw std::logic_error("LayeredGrid::add_usage: usage underflow");
+  u = static_cast<unsigned>(static_cast<int>(u) + delta);
+}
+
+std::size_t LayeredGrid::total_overflow() const {
+  std::size_t overflow = 0;
+  for (const unsigned u : usage_)
+    if (u > capacity_) overflow += u - capacity_;
+  return overflow;
+}
+
+unsigned LayeredGrid::max_usage() const {
+  unsigned m = 0;
+  for (const unsigned u : usage_) m = std::max(m, u);
+  return m;
+}
+
+void LayeredGrid::block(Cell c, unsigned layer) {
+  if (!in_bounds(c) || layer > 1)
+    throw std::out_of_range("LayeredGrid::block: bad cell/layer");
+  blocked_[layer * cols_ * rows_ + cell_index(c)] = true;
+}
+
+Cell LayeredGrid::snap(const geom::Point& p) const {
+  const auto clamp_idx = [](double v, std::size_t limit) {
+    if (v < 0.0) return std::size_t{0};
+    const auto idx = static_cast<std::size_t>(v);
+    return std::min(idx, limit - 1);
+  };
+  return Cell{clamp_idx(p.x / pitch_um_, cols_), clamp_idx(p.y / pitch_um_, rows_)};
+}
+
+LayeredPath layered_route(const LayeredGrid& grid,
+                          std::span<const LayeredCell> sources, Cell target,
+                          double congestion_penalty) {
+  if (sources.empty()) throw std::invalid_argument("layered_route: no sources");
+  if (!grid.in_bounds(target))
+    throw std::out_of_range("layered_route: target out of bounds");
+  const LayeredCell goal{target, 0};  // pins live on layer 0
+  if (grid.blocked(goal.cell, goal.layer))
+    throw std::invalid_argument("layered_route: target blocked");
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::vector<double> dist(grid.state_count(), kInf);
+  std::vector<std::size_t> parent(grid.state_count(), kNone);
+
+  using Entry = std::pair<double, std::size_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (const LayeredCell s : sources) {
+    if (!grid.in_bounds(s.cell) || s.layer > 1)
+      throw std::out_of_range("layered_route: source out of bounds");
+    if (grid.blocked(s.cell, s.layer))
+      throw std::invalid_argument("layered_route: source blocked");
+    dist[grid.state_index(s)] = 0.0;
+    heap.emplace(0.0, grid.state_index(s));
+  }
+
+  const auto decode = [&](std::size_t idx) {
+    const std::size_t per_layer = grid.cols() * grid.rows();
+    const unsigned layer = static_cast<unsigned>(idx / per_layer);
+    const std::size_t cell = idx % per_layer;
+    return LayeredCell{Cell{cell % grid.cols(), cell / grid.cols()}, layer};
+  };
+
+  const std::size_t goal_idx = grid.state_index(goal);
+  while (!heap.empty()) {
+    const auto [d, idx] = heap.top();
+    heap.pop();
+    if (d > dist[idx]) continue;
+    if (idx == goal_idx) break;
+    const LayeredCell s = decode(idx);
+
+    const auto relax = [&](LayeredCell to, double cost) {
+      if (grid.blocked(to.cell, to.layer)) return;
+      if (congestion_penalty > 0.0 && to.cell != s.cell) {
+        const unsigned after = grid.usage(s, to) + 1;
+        if (after > grid.capacity())
+          cost *= 1.0 + congestion_penalty *
+                            static_cast<double>(after - grid.capacity());
+      }
+      const std::size_t to_idx = grid.state_index(to);
+      if (d + cost < dist[to_idx]) {
+        dist[to_idx] = d + cost;
+        parent[to_idx] = idx;
+        heap.emplace(dist[to_idx], to_idx);
+      }
+    };
+
+    if (s.layer == 0) {  // horizontal moves
+      if (s.cell.col + 1 < grid.cols())
+        relax({{s.cell.col + 1, s.cell.row}, 0}, grid.pitch());
+      if (s.cell.col > 0) relax({{s.cell.col - 1, s.cell.row}, 0}, grid.pitch());
+      relax({s.cell, 1}, grid.via_cost());
+    } else {  // vertical moves
+      if (s.cell.row + 1 < grid.rows())
+        relax({{s.cell.col, s.cell.row + 1}, 1}, grid.pitch());
+      if (s.cell.row > 0) relax({{s.cell.col, s.cell.row - 1}, 1}, grid.pitch());
+      relax({s.cell, 0}, grid.via_cost());
+    }
+  }
+
+  if (dist[goal_idx] == kInf) return {};
+  LayeredPath path;
+  for (std::size_t at = goal_idx; at != kNone; at = parent[at])
+    path.push_back(decode(at));
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+LayeredNetRouting route_net_layered(const LayeredGrid& grid, const graph::Net& net,
+                                    double congestion_penalty) {
+  net.validate();
+  LayeredNetRouting routing;
+  std::unordered_set<std::size_t> pin_cells;
+  for (const geom::Point& p : net.pins) {
+    const Cell c = grid.snap(p);
+    if (grid.blocked(c, 0))
+      throw std::invalid_argument("route_net_layered: pin cell blocked on layer 0");
+    if (!pin_cells.insert(grid.cell_index(c)).second)
+      throw std::invalid_argument("route_net_layered: pins collide on a cell");
+    routing.pin_cells.push_back(c);
+  }
+
+  std::vector<std::size_t> order;
+  for (std::size_t i = 1; i < net.size(); ++i) order.push_back(i);
+  const Cell src = routing.pin_cells[0];
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const auto d = [&](std::size_t pin) {
+      const Cell c = routing.pin_cells[pin];
+      return (c.col > src.col ? c.col - src.col : src.col - c.col) +
+             (c.row > src.row ? c.row - src.row : src.row - c.row);
+    };
+    return d(a) < d(b);
+  });
+
+  std::vector<LayeredCell> routed{{src, 0}};
+  std::unordered_set<std::size_t> routed_ids{grid.state_index({src, 0})};
+  // Per-net unique move bookkeeping (wire + vias).
+  std::set<std::pair<std::size_t, std::size_t>> moves;
+  for (const std::size_t pin : order) {
+    const LayeredPath path =
+        layered_route(grid, routed, routing.pin_cells[pin], congestion_penalty);
+    if (path.empty())
+      throw std::runtime_error("route_net_layered: pin unreachable");
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      const std::size_t a = grid.state_index(path[i]);
+      const std::size_t b = grid.state_index(path[i + 1]);
+      moves.insert({std::min(a, b), std::max(a, b)});
+    }
+    for (const LayeredCell s : path) {
+      if (routed_ids.insert(grid.state_index(s)).second) routed.push_back(s);
+    }
+    routing.paths.push_back(path);
+  }
+
+  const std::size_t per_layer = grid.cols() * grid.rows();
+  for (const auto& [a, b] : moves) {
+    const bool via = (a % per_layer) == (b % per_layer);
+    if (via) {
+      ++routing.via_count;
+    } else {
+      routing.wirelength_um += grid.pitch();
+    }
+  }
+  return routing;
+}
+
+void commit_usage(LayeredGrid& grid, const LayeredNetRouting& routing, int delta) {
+  std::set<std::size_t> seen;
+  for (const LayeredPath& path : routing.paths) {
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      if (path[i].cell == path[i + 1].cell) continue;  // via
+      if (seen.insert(grid.boundary_id(path[i], path[i + 1])).second)
+        grid.add_usage(path[i], path[i + 1], delta);
+    }
+  }
+}
+
+bool has_overflow(const LayeredGrid& grid, const LayeredNetRouting& routing) {
+  for (const LayeredPath& path : routing.paths) {
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      if (path[i].cell == path[i + 1].cell) continue;
+      if (grid.usage(path[i], path[i + 1]) > grid.capacity()) return true;
+    }
+  }
+  return false;
+}
+
+LayeredGlobalResult route_nets_layered(LayeredGrid& grid,
+                                       std::span<const graph::Net> nets,
+                                       double congestion_penalty,
+                                       unsigned max_ripup_passes,
+                                       double penalty_growth) {
+  LayeredGlobalResult result;
+  result.nets.resize(nets.size());
+
+  std::vector<std::size_t> order(nets.size());
+  for (std::size_t i = 0; i < nets.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return geom::BBox(nets[a].pins).half_perimeter() <
+           geom::BBox(nets[b].pins).half_perimeter();
+  });
+
+  double penalty = congestion_penalty;
+  for (const std::size_t i : order) {
+    result.nets[i] = route_net_layered(grid, nets[i], penalty);
+    commit_usage(grid, result.nets[i], +1);
+  }
+  for (unsigned pass = 0; pass < max_ripup_passes; ++pass) {
+    if (grid.total_overflow() == 0) break;
+    result.passes = pass + 1;
+    penalty *= penalty_growth;
+    bool rerouted = false;
+    for (const std::size_t i : order) {
+      if (!has_overflow(grid, result.nets[i])) continue;
+      commit_usage(grid, result.nets[i], -1);
+      result.nets[i] = route_net_layered(grid, nets[i], penalty);
+      commit_usage(grid, result.nets[i], +1);
+      rerouted = true;
+    }
+    if (!rerouted) break;
+  }
+
+  result.overflow = grid.total_overflow();
+  result.max_usage = grid.max_usage();
+  for (const LayeredNetRouting& r : result.nets) {
+    result.total_wirelength_um += r.wirelength_um;
+    result.total_vias += r.via_count;
+  }
+  return result;
+}
+
+graph::RoutingGraph to_routing_graph(const LayeredGrid& grid, const graph::Net& net,
+                                     const LayeredNetRouting& routing) {
+  graph::RoutingGraph g;
+  std::unordered_map<std::size_t, graph::NodeId> node_of;  // by planar cell
+  for (std::size_t pin = 0; pin < routing.pin_cells.size(); ++pin) {
+    const Cell c = routing.pin_cells[pin];
+    node_of[grid.cell_index(c)] = g.add_node(
+        grid.center(c), pin == 0 ? graph::NodeKind::kSource : graph::NodeKind::kSink);
+  }
+  (void)net;
+  const auto node_for = [&](Cell c) {
+    auto [it, inserted] = node_of.try_emplace(grid.cell_index(c), 0);
+    if (inserted) it->second = g.add_node(grid.center(c), graph::NodeKind::kSteiner);
+    return it->second;
+  };
+  for (const LayeredPath& path : routing.paths) {
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      if (path[i].cell == path[i + 1].cell) continue;  // via: same planar node
+      const graph::NodeId a = node_for(path[i].cell);
+      const graph::NodeId b = node_for(path[i + 1].cell);
+      if (a != b) g.add_edge(a, b);
+    }
+  }
+  return contract_collinear_steiner(g);
+}
+
+}  // namespace ntr::grid

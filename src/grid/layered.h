@@ -1,0 +1,131 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/net.h"
+#include "graph/routing_graph.h"
+#include "grid/grid.h"
+
+namespace ntr::grid {
+
+/// Position in a two-layer preferred-direction routing stack:
+/// layer 0 (e.g. M1) carries horizontal wires, layer 1 (M2) vertical
+/// wires, and vias connect the layers within a cell -- the standard HV
+/// discipline of gridded routers.
+struct LayeredCell {
+  Cell cell;
+  unsigned layer = 0;  ///< 0 = horizontal layer, 1 = vertical layer
+  friend bool operator==(const LayeredCell&, const LayeredCell&) = default;
+};
+
+/// A uniform two-layer routing grid with per-layer obstacles, per-boundary
+/// capacities (horizontal boundaries live on layer 0, vertical on layer 1)
+/// and a via cost expressed in equivalent micrometers of wire.
+class LayeredGrid {
+ public:
+  LayeredGrid(std::size_t cols, std::size_t rows, double pitch_um,
+              unsigned capacity = 1, double via_cost_um = 50.0);
+
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] double pitch() const { return pitch_um_; }
+  [[nodiscard]] unsigned capacity() const { return capacity_; }
+  [[nodiscard]] double via_cost() const { return via_cost_um_; }
+
+  [[nodiscard]] bool in_bounds(Cell c) const { return c.col < cols_ && c.row < rows_; }
+  [[nodiscard]] std::size_t cell_index(Cell c) const { return c.row * cols_ + c.col; }
+  [[nodiscard]] std::size_t state_index(LayeredCell s) const {
+    return s.layer * cols_ * rows_ + cell_index(s.cell);
+  }
+  [[nodiscard]] std::size_t state_count() const { return 2 * cols_ * rows_; }
+
+  void block(Cell c, unsigned layer);
+  [[nodiscard]] bool blocked(Cell c, unsigned layer) const {
+    return blocked_[layer * cols_ * rows_ + cell_index(c)];
+  }
+
+  [[nodiscard]] geom::Point center(Cell c) const {
+    return geom::Point{(static_cast<double>(c.col) + 0.5) * pitch_um_,
+                       (static_cast<double>(c.row) + 0.5) * pitch_um_};
+  }
+  [[nodiscard]] Cell snap(const geom::Point& p) const;
+
+  // ---- boundary usage (congestion), per preferred-direction layer ----
+  /// Boundary between two laterally adjacent states on the same layer:
+  /// horizontal boundaries exist on layer 0, vertical on layer 1.
+  /// Precondition: a and b are same-layer neighbors.
+  [[nodiscard]] std::size_t boundary_id(LayeredCell a, LayeredCell b) const;
+  [[nodiscard]] unsigned usage(LayeredCell a, LayeredCell b) const {
+    return usage_[boundary_id(a, b)];
+  }
+  void add_usage(LayeredCell a, LayeredCell b, int delta);
+  [[nodiscard]] std::size_t total_overflow() const;
+  [[nodiscard]] unsigned max_usage() const;
+
+ private:
+  std::size_t cols_, rows_;
+  double pitch_um_;
+  unsigned capacity_;
+  double via_cost_um_;
+  std::vector<bool> blocked_;  ///< [layer][cell]
+  std::vector<unsigned> usage_;  ///< horizontal then vertical boundaries
+};
+
+/// One routed connection: a sequence of layered states where consecutive
+/// states differ either by one cell in the layer's preferred direction or
+/// by a via (same cell, other layer).
+using LayeredPath = std::vector<LayeredCell>;
+
+/// Dijkstra over (cell, layer) states honoring the HV discipline: E/W
+/// moves only on layer 0, N/S only on layer 1, vias at via_cost. Multi-
+/// source (attach to a routed subtree); empty result = unreachable.
+/// `congestion_penalty` > 0 makes over-capacity boundaries linearly more
+/// expensive (same rule as the single-layer congestion_cost).
+LayeredPath layered_route(const LayeredGrid& grid,
+                          std::span<const LayeredCell> sources, Cell target,
+                          double congestion_penalty = 0.0);
+
+/// A net routed on the layered grid (pins enter on layer 0).
+struct LayeredNetRouting {
+  std::vector<Cell> pin_cells;
+  std::vector<LayeredPath> paths;
+  std::size_t via_count = 0;
+  double wirelength_um = 0.0;  ///< wire only, vias excluded
+};
+
+LayeredNetRouting route_net_layered(const LayeredGrid& grid, const graph::Net& net,
+                                    double congestion_penalty = 0.0);
+
+/// Adds/removes a layered routing's wires from the boundary usage
+/// (vias consume no boundary capacity).
+void commit_usage(LayeredGrid& grid, const LayeredNetRouting& routing, int delta);
+
+/// True if any wire move of the routing crosses an over-capacity boundary.
+bool has_overflow(const LayeredGrid& grid, const LayeredNetRouting& routing);
+
+struct LayeredGlobalResult {
+  std::vector<LayeredNetRouting> nets;
+  std::size_t overflow = 0;
+  unsigned max_usage = 0;
+  double total_wirelength_um = 0.0;
+  std::size_t total_vias = 0;
+  unsigned passes = 0;
+};
+
+/// Congestion-aware sequential routing + rip-up-and-reroute over the
+/// two-layer grid: the layered counterpart of route_nets().
+LayeredGlobalResult route_nets_layered(LayeredGrid& grid,
+                                       std::span<const graph::Net> nets,
+                                       double congestion_penalty = 4.0,
+                                       unsigned max_ripup_passes = 4,
+                                       double penalty_growth = 2.0);
+
+/// Projects the layered routing onto the plane as an electrical
+/// RoutingGraph (vias become coincident -- zero-length -- links handled
+/// by the netlist builder as shorts; collinear runs are contracted).
+graph::RoutingGraph to_routing_graph(const LayeredGrid& grid, const graph::Net& net,
+                                     const LayeredNetRouting& routing);
+
+}  // namespace ntr::grid

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "grid/grid.h"
+
+namespace ntr::grid {
+
+/// Cost of stepping across one cell boundary. The default charges the
+/// pitch (pure shortest path); congestion-aware routing adds a penalty on
+/// boundaries at or over capacity.
+using StepCost = std::function<double(const Grid&, Cell from, Direction d)>;
+
+/// Unit-distance step cost (the grid pitch).
+double pitch_cost(const Grid& grid, Cell from, Direction d);
+
+/// Congestion-aware step cost: pitch * (1 + penalty * max(0, usage+1 -
+/// capacity)) -- taking a boundary beyond its capacity gets linearly more
+/// expensive, which is what lets rip-up-and-reroute converge.
+StepCost congestion_cost(double penalty);
+
+/// A path as a cell sequence (front = start, back = goal); empty when the
+/// goal is unreachable.
+using CellPath = std::vector<Cell>;
+
+/// Lee-style wavefront expansion (uniform BFS) from `sources` to `target`.
+/// With several sources the path starts at whichever source is nearest --
+/// the multi-source form used to attach a pin to an already-routed
+/// subtree. Blocked cells are never entered (but a blocked source/target
+/// is an error).
+CellPath lee_route(const Grid& grid, std::span<const Cell> sources, Cell target);
+
+/// Dijkstra under an arbitrary step cost (reduces to Lee for pitch_cost).
+CellPath dijkstra_route(const Grid& grid, std::span<const Cell> sources, Cell target,
+                        const StepCost& cost);
+
+/// A* with the Manhattan-distance heuristic (admissible for pitch cost,
+/// hence returns a shortest path while expanding fewer cells than Lee).
+CellPath astar_route(const Grid& grid, Cell source, Cell target);
+
+/// Wire length of a cell path in micrometers: (cells - 1) * pitch.
+double path_length(const Grid& grid, const CellPath& path);
+
+}  // namespace ntr::grid

@@ -1,0 +1,138 @@
+#include "io/cli.h"
+
+#include <stdexcept>
+
+namespace ntr::io {
+
+core::Strategy strategy_from_name(const std::string& name) {
+  if (name == "mst") return core::Strategy::kMst;
+  if (name == "star" || name == "spt") return core::Strategy::kStar;
+  if (name == "steiner") return core::Strategy::kSteinerTree;
+  if (name == "ert") return core::Strategy::kErt;
+  if (name == "sert") return core::Strategy::kSert;
+  if (name == "ldrg") return core::Strategy::kLdrg;
+  if (name == "sldrg") return core::Strategy::kSldrg;
+  if (name == "ert-ldrg") return core::Strategy::kErtLdrg;
+  if (name == "h1") return core::Strategy::kH1;
+  if (name == "h2") return core::Strategy::kH2;
+  if (name == "h3") return core::Strategy::kH3;
+  throw std::invalid_argument("unknown --strategy '" + name +
+                              "' (try mst|star|steiner|ert|sert|ldrg|sldrg|"
+                              "ert-ldrg|h1|h2|h3)");
+}
+
+std::string cli_usage() {
+  return R"(ntr_route -- route one signal net with the Non-Tree Routing library
+
+input (choose one):
+  --net FILE          read a .net file ("pin <x> <y>" per line, first = source)
+  --random N          generate N random pins on the 10x10mm Table-1 layout
+  --seed S            RNG seed for --random (default 1)
+
+algorithm:
+  --strategy NAME     mst|star|steiner|ert|sert|ldrg|sldrg|ert-ldrg|h1|h2|h3
+                      (default ldrg)
+  --pd C              Prim-Dijkstra trade-off with parameter C in [0,1]
+  --brbc EPS          BRBC with radius slack EPS >= 0
+  --max-edges K       cap on extra LDRG edges
+  --evaluator NAME    transient|elmore|graph-elmore|d2m (default transient)
+
+outputs:
+  --deck FILE.sp      export the routing as a SPICE deck
+  --spef FILE.spef    export the routing's parasitics as SPEF
+  --svg FILE.svg      render the routing as SVG
+  --routing FILE      dump the routing in the ntr text format
+  --report            print per-sink delays
+  --metrics           print the routing quality card (radius, detour, ...)
+  --help              this text
+)";
+}
+
+namespace {
+
+double parse_double(const std::string& flag, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(value, &used);
+    if (used != value.size()) throw std::invalid_argument("");
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad numeric value for " + flag + ": '" + value + "'");
+  }
+}
+
+std::uint64_t parse_uint(const std::string& flag, const std::string& value) {
+  const double v = parse_double(flag, value);
+  if (v < 0 || v != static_cast<double>(static_cast<std::uint64_t>(v)))
+    throw std::invalid_argument(flag + " expects a non-negative integer");
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace
+
+CliOptions parse_cli(std::span<const std::string> args) {
+  CliOptions opts;
+  const auto next = [&](std::size_t& i, const std::string& flag) -> const std::string& {
+    if (i + 1 >= args.size())
+      throw std::invalid_argument(flag + " expects a value");
+    return args[++i];
+  };
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--help" || arg == "-h") {
+      opts.help = true;
+    } else if (arg == "--net") {
+      opts.net_file = next(i, arg);
+    } else if (arg == "--random") {
+      opts.random_pins = parse_uint(arg, next(i, arg));
+    } else if (arg == "--seed") {
+      opts.seed = parse_uint(arg, next(i, arg));
+    } else if (arg == "--strategy") {
+      opts.strategy = strategy_from_name(next(i, arg));
+    } else if (arg == "--evaluator") {
+      opts.evaluator = next(i, arg);
+      if (opts.evaluator != "transient" && opts.evaluator != "elmore" &&
+          opts.evaluator != "graph-elmore" && opts.evaluator != "d2m")
+        throw std::invalid_argument("unknown --evaluator '" + opts.evaluator + "'");
+    } else if (arg == "--max-edges") {
+      opts.max_edges = parse_uint(arg, next(i, arg));
+    } else if (arg == "--pd") {
+      opts.pd_c = parse_double(arg, next(i, arg));
+      if (opts.pd_c < 0.0 || opts.pd_c > 1.0)
+        throw std::invalid_argument("--pd expects a value in [0,1]");
+    } else if (arg == "--brbc") {
+      opts.brbc_epsilon = parse_double(arg, next(i, arg));
+      if (opts.brbc_epsilon < 0.0)
+        throw std::invalid_argument("--brbc expects a non-negative value");
+    } else if (arg == "--deck") {
+      opts.deck_path = next(i, arg);
+    } else if (arg == "--svg") {
+      opts.svg_path = next(i, arg);
+    } else if (arg == "--routing") {
+      opts.routing_path = next(i, arg);
+    } else if (arg == "--spef") {
+      opts.spef_path = next(i, arg);
+    } else if (arg == "--metrics") {
+      opts.metrics = true;
+    } else if (arg == "--report") {
+      opts.per_sink_report = true;
+    } else {
+      throw std::invalid_argument("unknown argument '" + arg + "' (see --help)");
+    }
+  }
+
+  if (!opts.help) {
+    const bool has_file = !opts.net_file.empty();
+    const bool has_random = opts.random_pins > 0;
+    if (has_file == has_random)
+      throw std::invalid_argument("choose exactly one of --net and --random");
+    if (has_random && opts.random_pins < 2)
+      throw std::invalid_argument("--random expects at least 2 pins");
+    if (opts.pd_c >= 0.0 && opts.brbc_epsilon >= 0.0)
+      throw std::invalid_argument("--pd and --brbc are mutually exclusive");
+  }
+  return opts;
+}
+
+}  // namespace ntr::io

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+
+#include "core/solver.h"
+
+namespace ntr::io {
+
+/// Options of the `ntr_route` command-line tool. Parsing lives in the
+/// library so it is unit-testable; the tool's main() only wires parsed
+/// options to library calls.
+struct CliOptions {
+  // Input: exactly one of net_file / random_pins.
+  std::string net_file;
+  std::size_t random_pins = 0;
+  std::uint64_t seed = 1;
+
+  core::Strategy strategy = core::Strategy::kLdrg;
+  std::string evaluator = "transient";  // transient|elmore|graph-elmore|d2m
+
+  // Strategy-specific knobs.
+  std::size_t max_edges = static_cast<std::size_t>(-1);  // LDRG family
+  double pd_c = -1.0;        ///< >=0 switches strategy to Prim-Dijkstra(c)
+  double brbc_epsilon = -1;  ///< >=0 switches strategy to BRBC(epsilon)
+
+  // Outputs.
+  std::string deck_path;
+  std::string svg_path;
+  std::string routing_path;
+  std::string spef_path;
+  bool per_sink_report = false;
+  bool metrics = false;
+  bool help = false;
+};
+
+/// Parses argv-style arguments (without the program name). Throws
+/// std::invalid_argument with a user-readable message on bad input.
+CliOptions parse_cli(std::span<const std::string> args);
+
+/// The --help text.
+std::string cli_usage();
+
+/// Maps a --strategy name to the solver enum; throws on unknown names.
+core::Strategy strategy_from_name(const std::string& name);
+
+}  // namespace ntr::io

@@ -1,0 +1,155 @@
+#include "io/net_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace ntr::io {
+
+namespace {
+
+/// Strips comments and splits a line into whitespace tokens.
+std::vector<std::string> tokenize(std::string line) {
+  if (const std::size_t hash = line.find('#'); hash != std::string::npos)
+    line.erase(hash);
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) tokens.push_back(token);
+  return tokens;
+}
+
+double parse_coord(const std::string& token, const std::string& context) {
+  std::size_t used = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(token, &used);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("net_io: bad number '" + token + "' in " + context);
+  }
+  if (used != token.size())
+    throw std::invalid_argument("net_io: bad number '" + token + "' in " + context);
+  return value;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("net_io: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("net_io: cannot open " + path);
+  out << content;
+  if (!out) throw std::runtime_error("net_io: write failed for " + path);
+}
+
+}  // namespace
+
+graph::Net read_net(std::string_view text) {
+  graph::Net net;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::vector<std::string> tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    if (tokens[0] != "pin" || tokens.size() != 3)
+      throw std::invalid_argument("net_io: expected 'pin <x> <y>', got: " + line);
+    net.pins.push_back(
+        {parse_coord(tokens[1], line), parse_coord(tokens[2], line)});
+  }
+  net.validate();
+  return net;
+}
+
+std::string write_net(const graph::Net& net) {
+  std::ostringstream out;
+  out << "# ntr net v1 (" << net.size() << " pins; first pin is the source)\n";
+  out.precision(12);
+  for (const geom::Point& p : net.pins) out << "pin " << p.x << ' ' << p.y << "\n";
+  return out.str();
+}
+
+graph::RoutingGraph read_routing(std::string_view text) {
+  graph::RoutingGraph g;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  bool nodes_done = false;
+  while (std::getline(in, line)) {
+    const std::vector<std::string> tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    if (tokens[0] == "node") {
+      if (nodes_done)
+        throw std::invalid_argument("net_io: node lines must precede edge lines");
+      if (tokens.size() != 4)
+        throw std::invalid_argument("net_io: expected 'node <x> <y> <kind>': " + line);
+      graph::NodeKind kind;
+      if (tokens[3] == "source") {
+        kind = graph::NodeKind::kSource;
+      } else if (tokens[3] == "sink") {
+        kind = graph::NodeKind::kSink;
+      } else if (tokens[3] == "steiner") {
+        kind = graph::NodeKind::kSteiner;
+      } else {
+        throw std::invalid_argument("net_io: unknown node kind: " + tokens[3]);
+      }
+      g.add_node({parse_coord(tokens[1], line), parse_coord(tokens[2], line)}, kind);
+    } else if (tokens[0] == "edge") {
+      nodes_done = true;
+      if (tokens.size() != 3 && tokens.size() != 4)
+        throw std::invalid_argument("net_io: expected 'edge <u> <v> [width]': " + line);
+      const auto u = static_cast<graph::NodeId>(parse_coord(tokens[1], line));
+      const auto v = static_cast<graph::NodeId>(parse_coord(tokens[2], line));
+      if (u >= g.node_count() || v >= g.node_count())
+        throw std::invalid_argument("net_io: edge references unknown node: " + line);
+      const graph::EdgeId e = g.add_edge(u, v);
+      if (tokens.size() == 4) g.set_edge_width(e, parse_coord(tokens[3], line));
+    } else {
+      throw std::invalid_argument("net_io: unknown directive: " + line);
+    }
+  }
+  if (g.node_count() == 0)
+    throw std::invalid_argument("net_io: routing file contains no nodes");
+  if (g.node(0).kind != graph::NodeKind::kSource)
+    throw std::invalid_argument("net_io: first node must be the source");
+  return g;
+}
+
+std::string write_routing(const graph::RoutingGraph& g) {
+  std::ostringstream out;
+  out << "# ntr routing v1 (" << g.node_count() << " nodes, " << g.edge_count()
+      << " edges)\n";
+  out.precision(12);
+  for (const graph::GraphNode& n : g.nodes()) {
+    const char* kind = n.kind == graph::NodeKind::kSource  ? "source"
+                       : n.kind == graph::NodeKind::kSink  ? "sink"
+                                                           : "steiner";
+    out << "node " << n.pos.x << ' ' << n.pos.y << ' ' << kind << "\n";
+  }
+  for (const graph::GraphEdge& e : g.edges()) {
+    out << "edge " << e.u << ' ' << e.v;
+    if (e.width != 1.0) out << ' ' << e.width;
+    out << "\n";
+  }
+  return out.str();
+}
+
+graph::Net read_net_file(const std::string& path) { return read_net(read_file(path)); }
+
+graph::RoutingGraph read_routing_file(const std::string& path) {
+  return read_routing(read_file(path));
+}
+
+void write_net_file(const std::string& path, const graph::Net& net) {
+  write_file(path, write_net(net));
+}
+
+void write_routing_file(const std::string& path, const graph::RoutingGraph& g) {
+  write_file(path, write_routing(g));
+}
+
+}  // namespace ntr::io

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "graph/net.h"
+#include "graph/routing_graph.h"
+
+namespace ntr::io {
+
+/// Plain-text net format (one pin per line, first pin is the source):
+///
+///   # anything after '#' is a comment
+///   pin 1250.0 3400.5
+///   pin 9800.0 120.0
+///
+/// Coordinates are micrometers, matching the Table-1 technology.
+graph::Net read_net(std::string_view text);
+std::string write_net(const graph::Net& net);
+
+/// Plain-text routing format -- a net plus its wires (and any Steiner
+/// nodes), sufficient to reload a routing produced by any algorithm here:
+///
+///   # ntr routing v1
+///   node 0.0 0.0 source
+///   node 5000.0 100.0 sink
+///   node 5000.0 0.0 steiner
+///   edge 0 2
+///   edge 2 1 2.0        # optional trailing wire width
+graph::RoutingGraph read_routing(std::string_view text);
+std::string write_routing(const graph::RoutingGraph& g);
+
+/// File helpers; throw std::runtime_error on I/O failure.
+graph::Net read_net_file(const std::string& path);
+graph::RoutingGraph read_routing_file(const std::string& path);
+void write_net_file(const std::string& path, const graph::Net& net);
+void write_routing_file(const std::string& path, const graph::RoutingGraph& g);
+
+}  // namespace ntr::io

@@ -1,0 +1,152 @@
+#include "linalg/dense_matrix.h"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace ntr::linalg {
+
+DenseMatrix DenseMatrix::identity(std::size_t n) {
+  DenseMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Vector DenseMatrix::multiply(std::span<const double> x) const {
+  if (x.size() != cols_) throw std::invalid_argument("DenseMatrix::multiply: size");
+  Vector y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const std::span<const double> rr = row(r);
+    double s = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) s += rr[c] * x[c];
+    y[r] = s;
+  }
+  return y;
+}
+
+DenseMatrix& DenseMatrix::operator+=(const DenseMatrix& other) {
+  if (rows_ != other.rows_ || cols_ != other.cols_)
+    throw std::invalid_argument("DenseMatrix::operator+=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+DenseMatrix& DenseMatrix::operator*=(double alpha) {
+  for (double& v : data_) v *= alpha;
+  return *this;
+}
+
+double DenseMatrix::max_abs() const {
+  double m = 0.0;
+  for (const double v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+bool DenseMatrix::is_symmetric(double tol) const {
+  if (rows_ != cols_) return false;
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = r + 1; c < cols_; ++c)
+      if (std::abs((*this)(r, c) - (*this)(c, r)) > tol) return false;
+  return true;
+}
+
+LuFactorization::LuFactorization(DenseMatrix a) : lu_(std::move(a)) {
+  if (lu_.rows() != lu_.cols())
+    throw std::invalid_argument("LuFactorization: matrix must be square");
+  const std::size_t n = lu_.rows();
+  perm_.resize(n);
+  std::iota(perm_.begin(), perm_.end(), std::size_t{0});
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: find the largest magnitude in column k at/below row k.
+    std::size_t pivot = k;
+    double pivot_mag = std::abs(lu_(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double mag = std::abs(lu_(r, k));
+      if (mag > pivot_mag) {
+        pivot = r;
+        pivot_mag = mag;
+      }
+    }
+    if (pivot_mag == 0.0)
+      throw std::runtime_error("LuFactorization: singular matrix");
+    if (pivot != k) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(lu_(k, c), lu_(pivot, c));
+      std::swap(perm_[k], perm_[pivot]);
+      perm_sign_ = -perm_sign_;
+    }
+    const double inv_pivot = 1.0 / lu_(k, k);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double factor = lu_(r, k) * inv_pivot;
+      lu_(r, k) = factor;
+      if (factor == 0.0) continue;
+      for (std::size_t c = k + 1; c < n; ++c) lu_(r, c) -= factor * lu_(k, c);
+    }
+  }
+}
+
+Vector LuFactorization::solve(std::span<const double> b) const {
+  const std::size_t n = size();
+  if (b.size() != n) throw std::invalid_argument("LuFactorization::solve: size");
+  Vector x(n);
+  // Apply permutation and forward substitution (L has unit diagonal).
+  for (std::size_t r = 0; r < n; ++r) {
+    double s = b[perm_[r]];
+    for (std::size_t c = 0; c < r; ++c) s -= lu_(r, c) * x[c];
+    x[r] = s;
+  }
+  // Back substitution with U.
+  for (std::size_t ri = n; ri-- > 0;) {
+    double s = x[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) s -= lu_(ri, c) * x[c];
+    x[ri] = s / lu_(ri, ri);
+  }
+  return x;
+}
+
+double LuFactorization::determinant() const {
+  double det = perm_sign_;
+  for (std::size_t i = 0; i < size(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+CholeskyFactorization::CholeskyFactorization(DenseMatrix a) : l_(std::move(a)) {
+  if (l_.rows() != l_.cols())
+    throw std::invalid_argument("CholeskyFactorization: matrix must be square");
+  const std::size_t n = l_.rows();
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = l_(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l_(j, k) * l_(j, k);
+    if (diag <= 0.0)
+      throw std::runtime_error("CholeskyFactorization: matrix not positive definite");
+    const double ljj = std::sqrt(diag);
+    l_(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = l_(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l_(i, k) * l_(j, k);
+      l_(i, j) = s / ljj;
+    }
+    // Zero the strictly-upper part so l_ is exactly L.
+    for (std::size_t c = j + 1; c < n; ++c) l_(j, c) = 0.0;
+  }
+}
+
+Vector CholeskyFactorization::solve(std::span<const double> b) const {
+  const std::size_t n = size();
+  if (b.size() != n) throw std::invalid_argument("CholeskyFactorization::solve: size");
+  Vector y(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    double s = b[r];
+    for (std::size_t c = 0; c < r; ++c) s -= l_(r, c) * y[c];
+    y[r] = s / l_(r, r);
+  }
+  Vector x(n);
+  for (std::size_t ri = n; ri-- > 0;) {
+    double s = y[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) s -= l_(c, ri) * x[c];
+    x[ri] = s / l_(ri, ri);
+  }
+  return x;
+}
+
+}  // namespace ntr::linalg

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "linalg/vector_ops.h"
+
+namespace ntr::linalg {
+
+/// Row-major dense square-or-rectangular matrix of doubles. Circuit
+/// matrices from 30-pin nets with a few pi-segments per edge stay well
+/// under ~10^3 nodes, where dense factorization is both simpler and faster
+/// than sparse alternatives; the CSR/CG path covers larger systems.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  static DenseMatrix identity(std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  [[nodiscard]] std::span<const double> row(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<double> row(std::size_t r) {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  /// y = A x
+  [[nodiscard]] Vector multiply(std::span<const double> x) const;
+
+  DenseMatrix& operator+=(const DenseMatrix& other);
+  DenseMatrix& operator*=(double alpha);
+
+  [[nodiscard]] double max_abs() const;
+  [[nodiscard]] bool is_symmetric(double tol = 1e-12) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// LU factorization with partial pivoting (Doolittle). Factor once, solve
+/// many right-hand sides -- the access pattern of a fixed-step transient
+/// simulation, where (G + 2C/h) is factored once per topology.
+class LuFactorization {
+ public:
+  /// Throws std::runtime_error if the matrix is singular to working
+  /// precision.
+  explicit LuFactorization(DenseMatrix a);
+
+  [[nodiscard]] std::size_t size() const { return lu_.rows(); }
+
+  /// Solves A x = b.
+  [[nodiscard]] Vector solve(std::span<const double> b) const;
+
+  /// Determinant sign-and-magnitude via the diagonal of U (for testing).
+  [[nodiscard]] double determinant() const;
+
+ private:
+  DenseMatrix lu_;
+  std::vector<std::size_t> perm_;
+  int perm_sign_ = 1;
+};
+
+/// Cholesky factorization A = L L^T for symmetric positive definite
+/// matrices (conductance matrices of connected RC networks are SPD once
+/// grounded). Roughly half the work of LU; throws std::runtime_error if
+/// the matrix is not positive definite.
+class CholeskyFactorization {
+ public:
+  explicit CholeskyFactorization(DenseMatrix a);
+
+  [[nodiscard]] std::size_t size() const { return l_.rows(); }
+  [[nodiscard]] Vector solve(std::span<const double> b) const;
+
+ private:
+  DenseMatrix l_;
+};
+
+}  // namespace ntr::linalg

@@ -1,0 +1,115 @@
+#include "linalg/sparse.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ntr::linalg {
+
+void TripletBuilder::add(std::size_t r, std::size_t c, double v) {
+  if (r >= rows_ || c >= cols_)
+    throw std::out_of_range("TripletBuilder::add: index out of range");
+  if (v != 0.0) entries_.push_back({r, c, v});
+}
+
+CsrMatrix::CsrMatrix(const TripletBuilder& builder) : cols_(builder.cols()) {
+  const std::size_t n_rows = builder.rows();
+  std::vector<TripletBuilder::Triplet> sorted(builder.triplets().begin(),
+                                              builder.triplets().end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) {
+              return a.r != b.r ? a.r < b.r : a.c < b.c;
+            });
+
+  row_ptr_.assign(n_rows + 1, 0);
+  for (std::size_t i = 0; i < sorted.size();) {
+    std::size_t j = i + 1;
+    double sum = sorted[i].v;
+    while (j < sorted.size() && sorted[j].r == sorted[i].r && sorted[j].c == sorted[i].c) {
+      sum += sorted[j].v;
+      ++j;
+    }
+    if (sum != 0.0) {
+      col_idx_.push_back(sorted[i].c);
+      values_.push_back(sum);
+      ++row_ptr_[sorted[i].r + 1];
+    }
+    i = j;
+  }
+  for (std::size_t r = 0; r < n_rows; ++r) row_ptr_[r + 1] += row_ptr_[r];
+}
+
+Vector CsrMatrix::multiply(std::span<const double> x) const {
+  if (x.size() != cols_) throw std::invalid_argument("CsrMatrix::multiply: size");
+  Vector y(rows(), 0.0);
+  for (std::size_t r = 0; r < rows(); ++r) {
+    double s = 0.0;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      s += values_[k] * x[col_idx_[k]];
+    y[r] = s;
+  }
+  return y;
+}
+
+double CsrMatrix::at(std::size_t r, std::size_t c) const {
+  if (r >= rows() || c >= cols_) throw std::out_of_range("CsrMatrix::at");
+  for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+    if (col_idx_[k] == c) return values_[k];
+  return 0.0;
+}
+
+Vector CsrMatrix::diagonal() const {
+  Vector d(rows(), 0.0);
+  for (std::size_t r = 0; r < rows(); ++r) d[r] = at(r, r);
+  return d;
+}
+
+DenseMatrix CsrMatrix::to_dense() const {
+  DenseMatrix m(rows(), cols_);
+  for (std::size_t r = 0; r < rows(); ++r)
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      m(r, col_idx_[k]) = values_[k];
+  return m;
+}
+
+CgResult conjugate_gradient(const CsrMatrix& a, std::span<const double> b,
+                            double rel_tolerance, std::size_t max_iters) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n || b.size() != n)
+    throw std::invalid_argument("conjugate_gradient: shape mismatch");
+
+  Vector inv_diag = a.diagonal();
+  for (double& d : inv_diag) {
+    if (d <= 0.0)
+      throw std::runtime_error("conjugate_gradient: non-positive diagonal (not SPD?)");
+    d = 1.0 / d;
+  }
+
+  CgResult result;
+  result.x.assign(n, 0.0);
+  Vector r(b.begin(), b.end());
+  const double b_norm = norm2(b);
+  if (b_norm == 0.0) return result;  // x = 0 solves exactly
+
+  Vector z(n);
+  for (std::size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
+  Vector p = z;
+  double rz = dot(r, z);
+
+  for (std::size_t it = 0; it < max_iters; ++it) {
+    const Vector ap = a.multiply(p);
+    const double alpha = rz / dot(p, ap);
+    axpy(alpha, p, result.x);
+    axpy(-alpha, ap, r);
+    result.residual_norm = norm2(r);
+    result.iterations = it + 1;
+    if (result.residual_norm <= rel_tolerance * b_norm) return result;
+    for (std::size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
+    const double rz_next = dot(r, z);
+    const double beta = rz_next / rz;
+    rz = rz_next;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  throw std::runtime_error("conjugate_gradient: did not converge");
+}
+
+}  // namespace ntr::linalg

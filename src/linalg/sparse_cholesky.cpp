@@ -1,0 +1,140 @@
+#include "linalg/sparse_cholesky.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+
+namespace ntr::linalg {
+
+std::vector<std::size_t> reverse_cuthill_mckee(const CsrMatrix& pattern) {
+  const std::size_t n = pattern.rows();
+  if (pattern.cols() != n)
+    throw std::invalid_argument("reverse_cuthill_mckee: matrix must be square");
+
+  // Adjacency (off-diagonal pattern) and degrees.
+  std::vector<std::vector<std::size_t>> adj(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      if (c != r && pattern.at(r, c) != 0.0) adj[r].push_back(c);
+    }
+  }
+  const auto degree = [&](std::size_t v) { return adj[v].size(); };
+
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  std::vector<bool> visited(n, false);
+
+  while (order.size() < n) {
+    // Start each component from a minimum-degree vertex (a cheap stand-in
+    // for a pseudo-peripheral vertex).
+    std::size_t start = n;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!visited[v] && (start == n || degree(v) < degree(start))) start = v;
+    }
+    visited[start] = true;
+    std::queue<std::size_t> frontier;
+    frontier.push(start);
+    while (!frontier.empty()) {
+      const std::size_t v = frontier.front();
+      frontier.pop();
+      order.push_back(v);
+      std::vector<std::size_t> next;
+      for (const std::size_t w : adj[v])
+        if (!visited[w]) {
+          visited[w] = true;
+          next.push_back(w);
+        }
+      std::sort(next.begin(), next.end(),
+                [&](std::size_t a, std::size_t b) { return degree(a) < degree(b); });
+      for (const std::size_t w : next) frontier.push(w);
+    }
+  }
+  std::reverse(order.begin(), order.end());
+  return order;  // order[new_index] = old_index
+}
+
+EnvelopeCholesky::EnvelopeCholesky(const CsrMatrix& a, bool reorder) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n)
+    throw std::invalid_argument("EnvelopeCholesky: matrix must be square");
+
+  perm_.resize(n);
+  if (reorder) {
+    perm_ = reverse_cuthill_mckee(a);
+  } else {
+    std::iota(perm_.begin(), perm_.end(), std::size_t{0});
+  }
+  inv_perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) inv_perm_[perm_[i]] = i;
+
+  // Envelope of the permuted matrix: first nonzero column per row.
+  first_col_.assign(n, 0);
+  for (std::size_t r = 0; r < n; ++r) {
+    std::size_t first = r;
+    for (std::size_t c = 0; c < n; ++c) {
+      if (a.at(perm_[r], perm_[c]) != 0.0) {
+        first = std::min(first, c);
+        break;  // columns scanned in order: the first hit is the minimum
+      }
+    }
+    first_col_[r] = std::min(first, r);
+  }
+  // Cholesky fill keeps each row's envelope but rows below can only grow
+  // toward columns >= their own first_col; the row envelope is final.
+  row_start_.assign(n + 1, 0);
+  for (std::size_t r = 0; r < n; ++r)
+    row_start_[r + 1] = row_start_[r] + (r - first_col_[r] + 1);
+  values_.assign(row_start_[n], 0.0);
+
+  // Load A (lower triangle) into the envelope.
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = first_col_[r]; c <= r; ++c)
+      values_[row_start_[r] + (c - first_col_[r])] = a.at(perm_[r], perm_[c]);
+
+  // Envelope Cholesky (row-oriented, in place).
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = first_col_[i]; j < i; ++j) {
+      // l_ij = (a_ij - sum_{k} l_ik l_jk) / l_jj over the shared envelope.
+      const std::size_t k_lo = std::max(first_col_[i], first_col_[j]);
+      double s = values_[row_start_[i] + (j - first_col_[i])];
+      for (std::size_t k = k_lo; k < j; ++k)
+        s -= entry(i, k) * entry(j, k);
+      values_[row_start_[i] + (j - first_col_[i])] = s / entry(j, j);
+    }
+    double d = values_[row_start_[i] + (i - first_col_[i])];
+    for (std::size_t k = first_col_[i]; k < i; ++k) d -= entry(i, k) * entry(i, k);
+    if (d <= 0.0)
+      throw std::runtime_error("EnvelopeCholesky: matrix not positive definite");
+    values_[row_start_[i] + (i - first_col_[i])] = std::sqrt(d);
+  }
+}
+
+Vector EnvelopeCholesky::solve(std::span<const double> b) const {
+  const std::size_t n = size();
+  if (b.size() != n) throw std::invalid_argument("EnvelopeCholesky::solve: size");
+
+  // Permute, forward-substitute (L y = Pb), back-substitute (L^T z = y),
+  // un-permute.
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[perm_[i]];
+    for (std::size_t k = first_col_[i]; k < i; ++k) s -= entry(i, k) * y[k];
+    y[i] = s / entry(i, i);
+  }
+  Vector z(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    // Column ii of L below the diagonal: rows whose envelope reaches ii.
+    for (std::size_t r = ii + 1; r < n; ++r) {
+      if (first_col_[r] <= ii) s -= entry(r, ii) * z[r];
+    }
+    z[ii] = s / entry(ii, ii);
+  }
+  Vector x(n);
+  for (std::size_t i = 0; i < n; ++i) x[perm_[i]] = z[i];
+  return x;
+}
+
+}  // namespace ntr::linalg

@@ -1,0 +1,82 @@
+#pragma once
+
+/// \mainpage ntr -- Non-Tree Routing
+///
+/// Umbrella header for the Non-Tree Routing library (McCoy & Robins,
+/// DATE 1994 reproduction). Include this for everything, or pick the
+/// per-module headers to keep compile times down:
+///
+///   geom/     points, Manhattan metric, Hanan grid, rectilinear segments
+///   graph/    routing graphs with cycles, MST, paths, bridges, embedding
+///   linalg/   dense LU/Cholesky, CSR + conjugate gradient
+///   spice/    Table-1 technology, linear netlists, deck I/O, graph->RC
+///   sim/      MNA, DC/moments, transient engine (the SPICE substitute)
+///   delay/    Elmore (tree + graph), D2M, bounds, Sherman-Morrison
+///             screener, pluggable DelayEvaluator
+///   steiner/  Iterated 1-Steiner
+///   route/    star/SPT, Prim-Dijkstra, BRBC, ERT/SERT
+///   core/     LDRG, SLDRG, H1-H3, screened LDRG, exhaustive ORG,
+///             wire sizing (WSORG), solve() facade  -- the paper's heart
+///   grid/     GCell grid, Lee/A*/Dijkstra maze search, congestion-aware
+///             multi-net global routing with rip-up-and-reroute
+///   sta/      static timing analysis -> sink criticalities for CSORG
+///   expt/     seeded nets, winners/all-cases aggregation, paper tables
+///   viz/      SVG rendering of routings
+///   io/       .net/.route text formats, CLI option parsing
+
+#include "core/exhaustive.h"
+#include "core/heuristics.h"
+#include "core/horg.h"
+#include "core/ldrg.h"
+#include "core/ldrg_screened.h"
+#include "core/solver.h"
+#include "core/wire_sizing.h"
+#include "delay/bounds.h"
+#include "delay/elmore.h"
+#include "delay/evaluator.h"
+#include "delay/moments.h"
+#include "delay/screener.h"
+#include "delay/two_pole.h"
+#include "expt/comparison.h"
+#include "expt/net_generator.h"
+#include "expt/protocol.h"
+#include "expt/statistics.h"
+#include "flow/timing_flow.h"
+#include "geom/bbox.h"
+#include "geom/hanan.h"
+#include "geom/point.h"
+#include "geom/segments.h"
+#include "graph/bridges.h"
+#include "graph/embedding.h"
+#include "graph/metrics.h"
+#include "graph/mst.h"
+#include "graph/net.h"
+#include "graph/paths.h"
+#include "graph/routing_graph.h"
+#include "grid/global_router.h"
+#include "grid/grid.h"
+#include "grid/layered.h"
+#include "grid/net_router.h"
+#include "grid/search.h"
+#include "io/cli.h"
+#include "io/net_io.h"
+#include "linalg/dense_matrix.h"
+#include "linalg/sparse.h"
+#include "linalg/sparse_cholesky.h"
+#include "linalg/vector_ops.h"
+#include "route/brbc.h"
+#include "route/constructions.h"
+#include "route/local_search.h"
+#include "route/ert.h"
+#include "sim/mna.h"
+#include "sim/transient.h"
+#include "sim/waveform_io.h"
+#include "spice/deck_io.h"
+#include "spice/graph_netlist.h"
+#include "spice/netlist.h"
+#include "spice/spef.h"
+#include "spice/technology.h"
+#include "spice/units.h"
+#include "sta/timing_graph.h"
+#include "steiner/iterated_one_steiner.h"
+#include "viz/svg.h"

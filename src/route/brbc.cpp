@@ -1,0 +1,80 @@
+#include "route/brbc.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "graph/paths.h"
+
+namespace ntr::route {
+
+graph::RoutingGraph brbc_routing(const graph::Net& net, double epsilon) {
+  if (epsilon < 0.0)
+    throw std::invalid_argument("brbc_routing: epsilon must be non-negative");
+  net.validate();
+
+  // Q starts as the MST.
+  graph::RoutingGraph q = graph::mst_routing(net);
+  const graph::NodeId source = q.source();
+
+  const auto direct = [&](graph::NodeId v) {
+    return geom::manhattan_distance(q.node(source).pos, q.node(v).pos);
+  };
+
+  // Depth-first (Euler) tour of the MST, accumulating traversed length.
+  // Shortcuts added to q do not participate in the tour, so snapshot the
+  // MST adjacency first.
+  std::vector<std::vector<std::pair<graph::NodeId, double>>> adj(q.node_count());
+  for (const graph::GraphEdge& e : q.edges()) {
+    adj[e.u].emplace_back(e.v, e.length);
+    adj[e.v].emplace_back(e.u, e.length);
+  }
+
+  struct Frame {
+    graph::NodeId node;
+    std::size_t next = 0;
+  };
+  std::vector<Frame> stack{{source, 0}};
+  std::vector<bool> visited(q.node_count(), false);
+  visited[source] = true;
+  double running = 0.0;
+
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next >= adj[f.node].size()) {
+      const graph::NodeId done = f.node;
+      stack.pop_back();
+      // Backtracking along the tree edge is part of the Euler tour and
+      // contributes to the accumulated length.
+      if (!stack.empty()) {
+        for (const auto& [nbr, len] : adj[stack.back().node]) {
+          if (nbr == done) {
+            running += len;
+            break;
+          }
+        }
+      }
+      continue;
+    }
+    const auto [child, len] = adj[f.node][f.next++];
+    if (visited[child]) continue;
+    visited[child] = true;
+    running += len;
+    if (running >= epsilon * direct(child)) {
+      q.add_edge(source, child);  // the geometric shortest path is direct
+      running = 0.0;
+    }
+    stack.push_back({child, 0});
+  }
+
+  // Final tree: shortest paths within Q from the source.
+  const graph::ShortestPaths sp = graph::shortest_paths(q, source);
+  graph::RoutingGraph tree(net);
+  for (graph::NodeId v = 1; v < tree.node_count(); ++v) {
+    if (sp.parent[v] == graph::kInvalidNode)
+      throw std::logic_error("brbc_routing: disconnected shortcut graph");
+    tree.add_edge(sp.parent[v], v);
+  }
+  return tree;
+}
+
+}  // namespace ntr::route

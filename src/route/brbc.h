@@ -1,0 +1,26 @@
+#pragma once
+
+#include "graph/net.h"
+#include "graph/routing_graph.h"
+
+namespace ntr::route {
+
+/// Bounded-Radius Bounded-Cost routing tree (Cong, Kahng, Robins,
+/// Sarrafzadeh, Wong -- "Provably Good Performance-Driven Global
+/// Routing", the paper's ref [8]).
+///
+/// Walk a depth-first tour of the MST accumulating traversed wirelength;
+/// whenever the accumulated length since the last shortcut reaches
+/// epsilon * d(source, v), splice in the direct source-v wire and reset.
+/// The output is the shortest-path tree of the MST-plus-shortcuts graph,
+/// which provably satisfies
+///     radius  <= (1 + epsilon) * max_v d(source, v)
+///     cost    <= (1 + 2/epsilon) * cost(MST).
+/// epsilon -> infinity degenerates to the MST; epsilon = 0 to the SPT.
+///
+/// This is the third classical cost/radius trade-off baseline (next to
+/// prim_dijkstra_routing and the ERT family) that the non-tree LDRG
+/// routings are measured against.
+graph::RoutingGraph brbc_routing(const graph::Net& net, double epsilon);
+
+}  // namespace ntr::route

@@ -1,0 +1,58 @@
+#include "route/constructions.h"
+
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace ntr::route {
+
+graph::RoutingGraph star_routing(const graph::Net& net) {
+  graph::RoutingGraph g(net);
+  for (graph::NodeId n = 1; n < g.node_count(); ++n) g.add_edge(g.source(), n);
+  return g;
+}
+
+graph::RoutingGraph prim_dijkstra_routing(const graph::Net& net, double c) {
+  if (c < 0.0 || c > 1.0)
+    throw std::invalid_argument("prim_dijkstra_routing: c must lie in [0,1]");
+  graph::RoutingGraph g(net);
+  const std::size_t n = g.node_count();
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<bool> in_tree(n, false);
+  std::vector<double> pathlength(n, 0.0);  // wire length source -> node, for tree nodes
+  std::vector<double> best_key(n, kInf);
+  std::vector<graph::NodeId> best_parent(n, 0);
+
+  in_tree[0] = true;
+  const auto dist = [&](graph::NodeId a, graph::NodeId b) {
+    return geom::manhattan_distance(g.node(a).pos, g.node(b).pos);
+  };
+  for (graph::NodeId v = 1; v < n; ++v) best_key[v] = dist(0, v);
+
+  for (std::size_t step = 1; step < n; ++step) {
+    graph::NodeId pick = n;
+    double pick_key = kInf;
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (!in_tree[v] && best_key[v] < pick_key) {
+        pick = v;
+        pick_key = best_key[v];
+      }
+    }
+    const graph::NodeId parent = best_parent[pick];
+    in_tree[pick] = true;
+    pathlength[pick] = pathlength[parent] + dist(parent, pick);
+    g.add_edge(parent, pick);
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (in_tree[v]) continue;
+      const double key = c * pathlength[pick] + dist(pick, v);
+      if (key < best_key[v]) {
+        best_key[v] = key;
+        best_parent[v] = pick;
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace ntr::route

@@ -1,0 +1,23 @@
+#pragma once
+
+#include "graph/net.h"
+#include "graph/routing_graph.h"
+
+namespace ntr::route {
+
+/// Shortest-path-tree routing. In the geometric complete graph the
+/// shortest source-sink route is the direct connection, so the SPT is the
+/// source-rooted star: minimum radius, maximum cost. The classical
+/// radius-extreme counterpart of the MST.
+graph::RoutingGraph star_routing(const graph::Net& net);
+
+/// Prim-Dijkstra trade-off construction (Alpert et al., paper ref [1]):
+/// grow a tree from the source, always adding the pin v and tree node u
+/// minimizing
+///     c * pathlength(source -> u) + d(u, v).
+/// c = 0 reduces to Prim's MST; c = 1 to a Dijkstra shortest-path tree
+/// (star radius, though often cheaper than the star through path sharing).
+/// Intermediate c trades wirelength against radius.
+graph::RoutingGraph prim_dijkstra_routing(const graph::Net& net, double c);
+
+}  // namespace ntr::route

@@ -1,0 +1,92 @@
+#include "sim/mna.h"
+
+#include <stdexcept>
+
+namespace ntr::sim {
+
+MnaSystem assemble_mna(const spice::Circuit& circuit) {
+  if (circuit.elements().empty())
+    throw std::invalid_argument("assemble_mna: empty circuit");
+
+  MnaSystem mna;
+  mna.node_unknowns = circuit.node_count() - 1;
+  mna.branch_unknowns =
+      circuit.element_count(spice::ElementKind::kVoltageSource) +
+      circuit.element_count(spice::ElementKind::kInductor);
+  const std::size_t n = mna.size();
+  mna.g = linalg::DenseMatrix(n, n);
+  mna.c = linalg::DenseMatrix(n, n);
+  mna.b_final.assign(n, 0.0);
+
+  // Unknown index of a node, or npos for ground.
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  const auto idx = [&](spice::CircuitNode node) {
+    return node == spice::kGround ? kNone : mna.unknown_of_node(node);
+  };
+
+  const auto stamp_pair = [&](linalg::DenseMatrix& m, std::size_t a, std::size_t b,
+                              double value) {
+    if (a != kNone) m(a, a) += value;
+    if (b != kNone) m(b, b) += value;
+    if (a != kNone && b != kNone) {
+      m(a, b) -= value;
+      m(b, a) -= value;
+    }
+  };
+
+  std::size_t next_branch = mna.node_unknowns;
+  for (const spice::Element& e : circuit.elements()) {
+    const std::size_t a = idx(e.a);
+    const std::size_t b = idx(e.b);
+    switch (e.kind) {
+      case spice::ElementKind::kResistor:
+        stamp_pair(mna.g, a, b, 1.0 / e.value);
+        break;
+      case spice::ElementKind::kCapacitor:
+        stamp_pair(mna.c, a, b, e.value);
+        break;
+      case spice::ElementKind::kInductor: {
+        // Branch current unknown i: KCL rows get +-i; branch row enforces
+        // v_a - v_b = L di/dt.
+        const std::size_t br = next_branch++;
+        if (a != kNone) {
+          mna.g(a, br) += 1.0;
+          mna.g(br, a) += 1.0;
+        }
+        if (b != kNone) {
+          mna.g(b, br) -= 1.0;
+          mna.g(br, b) -= 1.0;
+        }
+        mna.c(br, br) -= e.value;
+        break;
+      }
+      case spice::ElementKind::kVoltageSource: {
+        const std::size_t br = next_branch++;
+        if (a != kNone) {
+          mna.g(a, br) += 1.0;
+          mna.g(br, a) += 1.0;
+        }
+        if (b != kNone) {
+          mna.g(b, br) -= 1.0;
+          mna.g(br, b) -= 1.0;
+        }
+        // Both DC and step sources hold `value` for t >= 0.
+        mna.b_final[br] = e.value;
+        break;
+      }
+    }
+  }
+  return mna;
+}
+
+linalg::Vector dc_operating_point(const MnaSystem& mna) {
+  const linalg::LuFactorization lu(mna.g);
+  return lu.solve(mna.b_final);
+}
+
+linalg::Vector first_moment(const MnaSystem& mna, const linalg::Vector& x_inf) {
+  const linalg::LuFactorization lu(mna.g);
+  return lu.solve(mna.c.multiply(x_inf));
+}
+
+}  // namespace ntr::sim

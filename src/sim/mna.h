@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/dense_matrix.h"
+#include "spice/netlist.h"
+
+namespace ntr::sim {
+
+/// Modified nodal analysis of a linear circuit:
+///
+///   C x'(t) + G x(t) = b(t)
+///
+/// Unknowns x are the non-ground node voltages followed by one branch
+/// current per voltage source and per inductor. Voltage sources and
+/// inductors are stamped symmetrically, so G and C are symmetric (though
+/// not positive definite once branch rows are present -- the solvers use
+/// LU). For the paper's step-driven nets, b(t) is zero for t < 0 and the
+/// constant `b_final` for t >= 0.
+struct MnaSystem {
+  std::size_t node_unknowns = 0;    ///< node voltages (circuit nodes minus ground)
+  std::size_t branch_unknowns = 0;  ///< V-source + inductor currents
+  linalg::DenseMatrix g;            ///< conductance / incidence part
+  linalg::DenseMatrix c;            ///< capacitance / inductance part
+  linalg::Vector b_final;           ///< source vector for t >= 0
+
+  [[nodiscard]] std::size_t size() const { return node_unknowns + branch_unknowns; }
+
+  /// Index of a circuit node's voltage in x. Ground has no unknown.
+  [[nodiscard]] std::size_t unknown_of_node(spice::CircuitNode n) const {
+    return n - 1;  // node 0 is ground
+  }
+  [[nodiscard]] double node_voltage(const linalg::Vector& x, spice::CircuitNode n) const {
+    return n == spice::kGround ? 0.0 : x.at(unknown_of_node(n));
+  }
+};
+
+/// Assembles the MNA matrices of a circuit. Throws std::invalid_argument
+/// if the circuit has no elements.
+MnaSystem assemble_mna(const spice::Circuit& circuit);
+
+/// DC steady state of the step response (all sources at their final value):
+/// solves G x = b_final. Throws std::runtime_error when G is singular
+/// (e.g. a node with no DC path to ground).
+linalg::Vector dc_operating_point(const MnaSystem& mna);
+
+/// Per-unknown first time moment of the step response,
+/// m1 = G^{-1} C x_inf: for a node whose voltage rises monotonically to
+/// x_inf, m1 / x_inf is exactly the Elmore delay of that node. Defined for
+/// arbitrary (non-tree) topologies; this is the workhorse behind both the
+/// auto time-step heuristic and the graph Elmore evaluator.
+linalg::Vector first_moment(const MnaSystem& mna, const linalg::Vector& x_inf);
+
+}  // namespace ntr::sim

@@ -1,0 +1,134 @@
+#pragma once
+
+#include <limits>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "linalg/dense_matrix.h"
+#include "sim/mna.h"
+#include "spice/netlist.h"
+
+namespace ntr::sim {
+
+enum class Integration {
+  kBackwardEuler,  ///< L-stable, first order; damps the t=0 discontinuity
+  kTrapezoidal,    ///< A-stable, second order; the default after BE startup
+};
+
+struct TransientOptions {
+  /// Fixed step; 0 selects tau_max / steps_per_tau automatically, where
+  /// tau_max is the largest per-node first-moment (Elmore) time constant.
+  double time_step_s = 0.0;
+  /// Simulation horizon; 0 selects max_tau_multiple * tau_max.
+  double max_time_s = 0.0;
+  Integration method = Integration::kTrapezoidal;
+  /// Backward-Euler steps taken before switching to trapezoidal, absorbing
+  /// the inconsistent initial condition of the ideal step without ringing.
+  unsigned startup_be_steps = 2;
+  double steps_per_tau = 200.0;
+  double max_tau_multiple = 40.0;
+};
+
+/// Step-response transient engine over an assembled MNA system. This is
+/// the repo's SPICE substitute: for the paper's linear RC(L) decks it
+/// computes the same waveforms a SPICE .TRAN analysis would, via LU-
+/// factored companion models at a fixed step.
+class TransientSimulator {
+ public:
+  explicit TransientSimulator(const spice::Circuit& circuit,
+                              const TransientOptions& options = {});
+
+  /// tau estimate (max Elmore over nodes) used for auto stepping.
+  [[nodiscard]] double characteristic_time() const { return tau_; }
+  [[nodiscard]] double time_step() const { return h_; }
+  [[nodiscard]] double max_time() const { return t_max_; }
+
+  /// Voltage of `node` in the DC steady state (final value of the step
+  /// response).
+  [[nodiscard]] double final_voltage(spice::CircuitNode node) const {
+    return mna_.node_voltage(x_inf_, node);
+  }
+
+  struct Waveform {
+    std::vector<double> time_s;
+    /// voltage_v[k][i]: voltage of watched node k at time_s[i].
+    std::vector<std::vector<double>> voltage_v;
+  };
+
+  /// Simulates up to t_end (capped at max_time()) recording the watched
+  /// nodes at every step.
+  Waveform run(double t_end_s, std::span<const spice::CircuitNode> watch);
+
+  /// Adaptive-step waveform capture: every step is taken with both
+  /// backward Euler and trapezoidal companions; their difference
+  /// estimates the local truncation error, and the step size halves /
+  /// doubles to hold the estimate near rel_tolerance x the final swing.
+  /// Non-uniform time points. Useful for circuits with well-separated
+  /// time constants, where the fixed step derived from the largest
+  /// constant under-resolves the fast initial transient.
+  Waveform run_adaptive(double t_end_s, std::span<const spice::CircuitNode> watch,
+                        double rel_tolerance = 1e-4);
+
+  struct ThresholdReport {
+    /// First time each watched node reaches threshold_fraction of its own
+    /// final value (linearly interpolated); +inf if never within max_time.
+    std::vector<double> crossing_s;
+    std::vector<double> final_v;
+    bool all_crossed = false;
+    /// max over watched nodes of crossing_s (the paper's t(G) when the
+    /// watched set is the sinks); +inf if any node failed to cross.
+    double max_crossing_s = 0.0;
+  };
+
+  /// Marches the step response until every watched node has crossed its
+  /// threshold (or max_time is hit). This implements the "50% of Vdd"
+  /// SPICE delay measurement used throughout the paper.
+  ThresholdReport measure_crossings(std::span<const spice::CircuitNode> watch,
+                                    double threshold_fraction = 0.5);
+
+  struct MultiThresholdReport {
+    /// crossing_s[f][k]: first time watched node k reaches fraction f of
+    /// its final value; +inf if never within max_time.
+    std::vector<std::vector<double>> crossing_s;
+    std::vector<double> final_v;
+    bool all_crossed = false;
+  };
+
+  /// Like measure_crossings but for several threshold fractions in one
+  /// sweep (fractions must be strictly increasing, each in (0,1)).
+  MultiThresholdReport measure_multi_crossings(
+      std::span<const spice::CircuitNode> watch, std::span<const double> fractions);
+
+  /// 10%-to-90% rise time (slew) per watched node: the waveform-quality
+  /// metric that complements the 50% delay. +inf for nodes that never
+  /// settle.
+  std::vector<double> measure_rise_times(std::span<const spice::CircuitNode> watch,
+                                         double lo_fraction = 0.1,
+                                         double hi_fraction = 0.9);
+
+ private:
+  MnaSystem mna_;
+  linalg::Vector x_inf_;
+  double tau_ = 0.0;
+  double h_ = 0.0;
+  double t_max_ = 0.0;
+  TransientOptions options_;
+
+  // Companion-model factorizations: (G + C/h) for BE, (G + 2C/h) for trap.
+  std::unique_ptr<linalg::LuFactorization> lu_be_;
+  std::unique_ptr<linalg::LuFactorization> lu_trap_;
+
+  void ensure_factorizations();
+  /// Advances x by one step of size h_; `use_be` picks the method.
+  void advance(linalg::Vector& x, bool use_be) const;
+};
+
+/// Convenience: max 50%-threshold delay over all watched nodes of a
+/// circuit's step response.
+double max_threshold_delay(const spice::Circuit& circuit,
+                           std::span<const spice::CircuitNode> watch,
+                           const TransientOptions& options = {},
+                           double threshold_fraction = 0.5);
+
+}  // namespace ntr::sim

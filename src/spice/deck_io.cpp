@@ -1,0 +1,148 @@
+#include "spice/deck_io.h"
+
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "spice/units.h"
+
+namespace ntr::spice {
+
+std::string write_deck(const Circuit& circuit, std::string_view title,
+                       double tran_step_s, double tran_stop_s) {
+  std::ostringstream out;
+  out << "* " << title << "\n";
+  for (const Element& e : circuit.elements()) {
+    const std::string& na = circuit.node_name(e.a);
+    const std::string& nb = circuit.node_name(e.b);
+    switch (e.kind) {
+      case ElementKind::kResistor:
+      case ElementKind::kCapacitor:
+      case ElementKind::kInductor:
+        out << e.name << ' ' << na << ' ' << nb << ' ' << format_spice_number(e.value)
+            << "\n";
+        break;
+      case ElementKind::kVoltageSource:
+        if (e.waveform == SourceWaveform::kStep) {
+          out << e.name << ' ' << na << ' ' << nb << " PWL(0 0 1p "
+              << format_spice_number(e.value) << ")\n";
+        } else {
+          out << e.name << ' ' << na << ' ' << nb << " DC "
+              << format_spice_number(e.value) << "\n";
+        }
+        break;
+    }
+  }
+  out << ".TRAN " << format_spice_number(tran_step_s) << ' '
+      << format_spice_number(tran_stop_s) << "\n";
+  for (std::size_t n = 1; n < circuit.node_count(); ++n)
+    out << ".PRINT TRAN V(" << circuit.node_name(n) << ")\n";
+  out << ".END\n";
+  return out.str();
+}
+
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::string token;
+  for (const char c : line) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!token.empty()) {
+        tokens.push_back(token);
+        token.clear();
+      }
+    } else {
+      token.push_back(c);
+    }
+  }
+  if (!token.empty()) tokens.push_back(token);
+  return tokens;
+}
+
+}  // namespace
+
+Circuit parse_deck(std::string_view deck) {
+  Circuit circuit;
+  std::unordered_map<std::string, CircuitNode> nodes{{"0", kGround}, {"GND", kGround}};
+  const auto node_of = [&](const std::string& name) {
+    auto [it, inserted] = nodes.try_emplace(name, 0);
+    if (inserted) it->second = circuit.add_node(name);
+    return it->second;
+  };
+
+  std::istringstream in{std::string(deck)};
+  std::string line;
+  bool first_line = true;
+  while (std::getline(in, line)) {
+    // A leading comment line is the traditional title; we also accept decks
+    // starting directly with elements.
+    if (first_line) {
+      first_line = false;
+      if (!line.empty() && line[0] == '*') continue;
+    }
+    const std::vector<std::string> tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    const std::string& head = tokens[0];
+    if (head[0] == '*') continue;  // comment
+    if (head[0] == '.') continue;  // control cards (.TRAN/.PRINT/.END)
+
+    const char kind = static_cast<char>(std::toupper(static_cast<unsigned char>(head[0])));
+    if (tokens.size() < 4)
+      throw std::invalid_argument("parse_deck: malformed element line: " + line);
+    const CircuitNode a = node_of(tokens[1]);
+    const CircuitNode b = node_of(tokens[2]);
+    switch (kind) {
+      case 'R':
+        circuit.add_resistor(head, a, b, parse_spice_number(tokens[3]));
+        break;
+      case 'C':
+        circuit.add_capacitor(head, a, b, parse_spice_number(tokens[3]));
+        break;
+      case 'L':
+        circuit.add_inductor(head, a, b, parse_spice_number(tokens[3]));
+        break;
+      case 'V': {
+        // Accept "V a b DC v", "V a b v" and "V a b PWL(0 0 t v)".
+        std::string rest;
+        for (std::size_t i = 3; i < tokens.size(); ++i) {
+          if (i > 3) rest += ' ';
+          rest += tokens[i];
+        }
+        std::string upper;
+        for (const char c : rest)
+          upper.push_back(static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+        if (upper.rfind("PWL", 0) == 0) {
+          // Final PWL level = last numeric field.
+          const std::size_t close = rest.rfind(')');
+          const std::size_t open = rest.find('(');
+          if (open == std::string::npos || close == std::string::npos || close <= open)
+            throw std::invalid_argument("parse_deck: malformed PWL: " + line);
+          std::string body = rest.substr(open + 1, close - open - 1);
+          for (char& c : body)
+            if (c == ',') c = ' ';
+          const std::vector<std::string> fields = tokenize(body);
+          if (fields.empty())
+            throw std::invalid_argument("parse_deck: empty PWL: " + line);
+          circuit.add_voltage_source(head, a, b, parse_spice_number(fields.back()),
+                                     SourceWaveform::kStep);
+        } else if (upper.rfind("DC", 0) == 0) {
+          circuit.add_voltage_source(head, a, b, parse_spice_number(rest.substr(2)),
+                                     SourceWaveform::kDc);
+        } else {
+          circuit.add_voltage_source(head, a, b, parse_spice_number(rest),
+                                     SourceWaveform::kDc);
+        }
+        break;
+      }
+      default:
+        throw std::invalid_argument(
+            "parse_deck: unsupported element (only R/C/L/V): " + line);
+    }
+  }
+  return circuit;
+}
+
+}  // namespace ntr::spice

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "spice/netlist.h"
+
+namespace ntr::spice {
+
+/// Serializes the circuit as a SPICE2-compatible deck. Step sources are
+/// written as PWL waveforms with a 1 ps rise. The deck includes a .TRAN
+/// card covering `tran_stop_s` with `tran_step_s` resolution and .PRINT
+/// cards for every node, so the file can be fed to an external SPICE for
+/// cross-validation of the in-repo transient engine.
+std::string write_deck(const Circuit& circuit, std::string_view title,
+                       double tran_step_s = 1e-12, double tran_stop_s = 20e-9);
+
+/// Parses a deck produced by write_deck (or hand-written in the same
+/// R/C/L/V subset). Node names are preserved; element ordering follows the
+/// deck. Throws std::invalid_argument on malformed decks and on elements
+/// outside the supported linear subset.
+Circuit parse_deck(std::string_view deck);
+
+}  // namespace ntr::spice

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "graph/routing_graph.h"
+#include "spice/technology.h"
+
+namespace ntr::spice {
+
+/// Serializes one routed net's parasitics as a (minimal, syntactically
+/// conforming) IEEE 1481 SPEF *D_NET section with header: distributed RC
+/// with one node per routing-graph node, wire resistance per edge, half
+/// of each wire's capacitance lumped at either endpoint, and the sink
+/// load capacitances at sink pins. Units: R in OHM, C in FF.
+///
+/// This is the standard hand-off format from routers to sign-off timing
+/// tools, so a routing produced here (tree or non-tree -- SPEF has no
+/// acyclicity requirement) can be consumed by an external STA for
+/// cross-validation, just as write_deck() hands the same network to an
+/// external SPICE.
+///
+/// Node naming: pins are "<net>:P<i>" (i = graph node id), internal
+/// Steiner nodes "<net>:S<i>". The driver pin (node 0) is the net's
+/// output connection; sink pins are input connections.
+std::string write_spef(const graph::RoutingGraph& g, const Technology& tech,
+                       std::string_view net_name = "net0",
+                       std::string_view design_name = "ntr");
+
+}  // namespace ntr::spice

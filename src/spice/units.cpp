@@ -1,0 +1,107 @@
+#include "spice/units.h"
+
+#include <array>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace ntr::spice {
+
+double parse_spice_number(std::string_view text) {
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.front())))
+    text.remove_prefix(1);
+  if (text.empty()) throw std::invalid_argument("parse_spice_number: empty");
+  double mantissa = 0.0;
+  const char* begin = text.data();
+  const char* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, mantissa);
+  if (ec != std::errc{} || ptr == begin)
+    throw std::invalid_argument("parse_spice_number: no numeric mantissa in '" +
+                                std::string(text) + "'");
+
+  std::string suffix;
+  for (const char* p = ptr; p != end; ++p)
+    suffix.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(*p))));
+
+  double scale = 1.0;
+  if (!suffix.empty()) {
+    if (suffix.rfind("meg", 0) == 0) {
+      scale = 1e6;
+    } else {
+      switch (suffix[0]) {
+        case 't': scale = 1e12; break;
+        case 'g': scale = 1e9; break;
+        case 'k': scale = 1e3; break;
+        case 'm': scale = 1e-3; break;
+        case 'u': scale = 1e-6; break;
+        case 'n': scale = 1e-9; break;
+        case 'p': scale = 1e-12; break;
+        case 'f': scale = 1e-15; break;
+        case 'a': scale = 1e-18; break;
+        default:
+          // Unit letters like "ohm" or "v": no scaling.
+          if (!std::isalpha(static_cast<unsigned char>(suffix[0])))
+            throw std::invalid_argument("parse_spice_number: bad suffix '" + suffix + "'");
+      }
+    }
+  }
+  return mantissa * scale;
+}
+
+std::string format_spice_number(double value) {
+  struct Scale {
+    double factor;
+    const char* suffix;
+  };
+  static constexpr std::array<Scale, 9> kScales{{{1e12, "t"},
+                                                 {1e9, "g"},
+                                                 {1e6, "meg"},
+                                                 {1e3, "k"},
+                                                 {1.0, ""},
+                                                 {1e-3, "m"},
+                                                 {1e-6, "u"},
+                                                 {1e-9, "n"},
+                                                 {1e-12, "p"}}};
+  if (value == 0.0) return "0";
+  const double mag = std::abs(value);
+  if (mag >= 1e15 || mag < 1e-16) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    return buf;
+  }
+  // Femto handled with the table's smallest bucket check below.
+  for (const Scale& s : kScales) {
+    if (mag >= s.factor) {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.6g%s", value / s.factor, s.suffix);
+      return buf;
+    }
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g%s", value / 1e-15, "f");
+  return buf;
+}
+
+std::string format_time(double seconds) {
+  struct Scale {
+    double factor;
+    const char* suffix;
+  };
+  static constexpr std::array<Scale, 5> kScales{
+      {{1.0, "s"}, {1e-3, "ms"}, {1e-6, "us"}, {1e-9, "ns"}, {1e-12, "ps"}}};
+  const double mag = std::abs(seconds);
+  for (const Scale& s : kScales) {
+    if (mag >= s.factor) {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.4g%s", seconds / s.factor, s.suffix);
+      return buf;
+    }
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.4g%s", seconds / 1e-15, "fs");
+  return buf;
+}
+
+}  // namespace ntr::spice

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace ntr::spice {
+
+/// Parses a SPICE-style engineering number: optional sign, mantissa,
+/// optional scale suffix (f p n u m k meg g t, case-insensitive; trailing
+/// unit letters after the suffix are ignored, as SPICE does with "15.3fF").
+/// Throws std::invalid_argument on malformed input.
+double parse_spice_number(std::string_view text);
+
+/// Formats a value with an engineering suffix, e.g. 1.53e-14 -> "15.3f".
+/// Values outside [1e-18, 1e15) fall back to scientific notation.
+std::string format_spice_number(double value);
+
+/// Seconds -> human-readable string, e.g. 1.23e-9 -> "1.23ns".
+std::string format_time(double seconds);
+
+}  // namespace ntr::spice

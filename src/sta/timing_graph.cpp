@@ -1,0 +1,188 @@
+#include "sta/timing_graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace ntr::sta {
+
+NetId TimingGraph::add_net(std::string name) {
+  nets_.push_back(Net{std::move(name), kNoId, {}, {}});
+  return nets_.size() - 1;
+}
+
+GateId TimingGraph::add_gate(std::string name, double delay_s,
+                             std::vector<NetId> inputs, NetId output) {
+  if (output >= nets_.size())
+    throw std::out_of_range("TimingGraph::add_gate: output net out of range");
+  if (nets_[output].driver != kNoId)
+    throw std::invalid_argument("TimingGraph::add_gate: net already driven: " +
+                                nets_[output].name);
+  if (delay_s < 0.0)
+    throw std::invalid_argument("TimingGraph::add_gate: negative delay");
+  const GateId id = gates_.size();
+  for (const NetId in : inputs) {
+    if (in >= nets_.size())
+      throw std::out_of_range("TimingGraph::add_gate: input net out of range");
+    nets_[in].sinks.push_back(id);
+    nets_[in].sink_delay_s.push_back(0.0);
+  }
+  nets_[output].driver = id;
+  gates_.push_back(Gate{std::move(name), delay_s, std::move(inputs), output});
+  return id;
+}
+
+void TimingGraph::set_interconnect_delay(NetId net, GateId sink_gate, double delay_s) {
+  Net& n = nets_.at(net);
+  for (std::size_t i = 0; i < n.sinks.size(); ++i) {
+    if (n.sinks[i] == sink_gate) {
+      n.sink_delay_s[i] = delay_s;
+      return;
+    }
+  }
+  throw std::invalid_argument("set_interconnect_delay: gate is not a sink of net");
+}
+
+namespace {
+
+/// Gates in topological order (inputs before outputs); throws on cycles.
+std::vector<GateId> topological_gates(const TimingGraph& design) {
+  std::vector<std::size_t> pending(design.gate_count(), 0);
+  for (GateId g = 0; g < design.gate_count(); ++g) {
+    for (const NetId in : design.gate(g).inputs)
+      if (!design.is_primary_input(in)) ++pending[g];
+  }
+  std::queue<GateId> ready;
+  for (GateId g = 0; g < design.gate_count(); ++g)
+    if (pending[g] == 0) ready.push(g);
+
+  std::vector<GateId> order;
+  order.reserve(design.gate_count());
+  while (!ready.empty()) {
+    const GateId g = ready.front();
+    ready.pop();
+    order.push_back(g);
+    const NetId out = design.gate(g).output;
+    for (const GateId sink : design.net(out).sinks)
+      if (--pending[sink] == 0) ready.push(sink);
+  }
+  if (order.size() != design.gate_count())
+    throw std::invalid_argument("analyze: combinational cycle in the design");
+  return order;
+}
+
+}  // namespace
+
+TimingReport analyze(const TimingGraph& design, double clock_period_s) {
+  if (clock_period_s <= 0.0)
+    throw std::invalid_argument("analyze: clock period must be positive");
+  const std::vector<GateId> order = topological_gates(design);
+
+  TimingReport report;
+  report.clock_period_s = clock_period_s;
+  report.net_arrival_s.assign(design.net_count(), 0.0);
+  report.gate_arrival_s.assign(design.gate_count(), 0.0);
+
+  // Forward pass: arrivals.
+  for (const GateId g : order) {
+    const TimingGraph::Gate& gate = design.gate(g);
+    double latest = 0.0;
+    for (const NetId in : gate.inputs) {
+      const TimingGraph::Net& net = design.net(in);
+      for (std::size_t i = 0; i < net.sinks.size(); ++i) {
+        if (net.sinks[i] != g) continue;
+        latest = std::max(latest, report.net_arrival_s[in] + net.sink_delay_s[i]);
+      }
+    }
+    report.gate_arrival_s[g] = latest + gate.delay_s;
+    report.net_arrival_s[gate.output] = report.gate_arrival_s[g];
+  }
+
+  // Backward pass: required times at net driver points.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  report.net_required_s.assign(design.net_count(), kInf);
+  for (NetId n = 0; n < design.net_count(); ++n)
+    if (design.is_primary_output(n)) report.net_required_s[n] = clock_period_s;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const TimingGraph::Gate& gate = design.gate(*it);
+    const double required_out = report.net_required_s[gate.output];
+    for (const NetId in : gate.inputs) {
+      const TimingGraph::Net& net = design.net(in);
+      for (std::size_t i = 0; i < net.sinks.size(); ++i) {
+        if (net.sinks[i] != *it) continue;
+        report.net_required_s[in] =
+            std::min(report.net_required_s[in],
+                     required_out - gate.delay_s - net.sink_delay_s[i]);
+      }
+    }
+  }
+
+  report.net_slack_s.resize(design.net_count());
+  report.worst_slack_s = kInf;
+  for (NetId n = 0; n < design.net_count(); ++n) {
+    report.net_slack_s[n] = report.net_required_s[n] - report.net_arrival_s[n];
+    // Dangling nets (no sinks, no path to a PO through gates) keep +inf
+    // required; their slack is +inf and does not constrain anything.
+    if (report.net_slack_s[n] < report.worst_slack_s)
+      report.worst_slack_s = report.net_slack_s[n];
+    if (design.is_primary_output(n))
+      report.worst_arrival_s = std::max(report.worst_arrival_s, report.net_arrival_s[n]);
+  }
+
+  // Critical path: walk back from the latest primary output.
+  NetId at = kNoId;
+  double worst = -1.0;
+  for (NetId n = 0; n < design.net_count(); ++n) {
+    if (design.is_primary_output(n) && report.net_arrival_s[n] > worst) {
+      worst = report.net_arrival_s[n];
+      at = n;
+    }
+  }
+  while (at != kNoId) {
+    report.critical_path.push_back(at);
+    const GateId driver = design.net(at).driver;
+    if (driver == kNoId) break;  // reached a primary input
+    // Pick the input pin whose (arrival + interconnect) set the gate.
+    const TimingGraph::Gate& gate = design.gate(driver);
+    NetId next = kNoId;
+    double best = -1.0;
+    for (const NetId in : gate.inputs) {
+      const TimingGraph::Net& net = design.net(in);
+      for (std::size_t i = 0; i < net.sinks.size(); ++i) {
+        if (net.sinks[i] != driver) continue;
+        const double t = report.net_arrival_s[in] + net.sink_delay_s[i];
+        if (t > best) {
+          best = t;
+          next = in;
+        }
+      }
+    }
+    at = next;
+  }
+  std::reverse(report.critical_path.begin(), report.critical_path.end());
+  return report;
+}
+
+std::vector<double> sink_criticalities(const TimingGraph& design,
+                                       const TimingReport& report, NetId net_id) {
+  const TimingGraph::Net& net = design.net(net_id);
+  std::vector<double> alpha(net.sinks.size(), 0.0);
+  for (std::size_t i = 0; i < net.sinks.size(); ++i) {
+    const GateId g = net.sinks[i];
+    // Pin-specific slack: how much later this pin could switch without
+    // violating the period through ITS fan-out cone.
+    const double pin_required = report.net_required_s[design.gate(g).output] -
+                                design.gate(g).delay_s - net.sink_delay_s[i];
+    const double pin_slack =
+        pin_required - report.net_arrival_s[net_id];
+    if (std::isfinite(pin_slack)) {
+      alpha[i] = std::max(0.0, (report.clock_period_s - pin_slack) /
+                                   report.clock_period_s);
+    }
+  }
+  return alpha;
+}
+
+}  // namespace ntr::sta

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ntr::sta {
+
+using GateId = std::size_t;
+using NetId = std::size_t;
+inline constexpr std::size_t kNoId = static_cast<std::size_t>(-1);
+
+/// A combinational gate-level design: gates with a fixed intrinsic delay,
+/// connected by nets. Each net has one driver (a gate output or a primary
+/// input) and any number of sink gate pins; each (net, sink) pin carries
+/// an *interconnect* delay, which is exactly what this library's routing
+/// constructions + delay evaluators produce. The paper's Section 5.1
+/// motivates critical-sink routing with "timing information obtained
+/// during the performance-driven placement phase" -- this module is that
+/// information source.
+class TimingGraph {
+ public:
+  /// Adds a net. Nets start driverless (primary inputs until a gate
+  /// claims them as output).
+  NetId add_net(std::string name);
+
+  /// Adds a gate with intrinsic `delay_s`, reading `inputs` and driving
+  /// `output`. Throws if the output net already has a driver.
+  GateId add_gate(std::string name, double delay_s, std::vector<NetId> inputs,
+                  NetId output);
+
+  /// Interconnect delay from the net's driver to one of its sink pins
+  /// (identified by the sink gate and its input position on that gate).
+  void set_interconnect_delay(NetId net, GateId sink_gate, double delay_s);
+
+  [[nodiscard]] std::size_t net_count() const { return nets_.size(); }
+  [[nodiscard]] std::size_t gate_count() const { return gates_.size(); }
+  [[nodiscard]] const std::string& net_name(NetId n) const { return nets_.at(n).name; }
+  [[nodiscard]] const std::string& gate_name(GateId g) const {
+    return gates_.at(g).name;
+  }
+  [[nodiscard]] bool is_primary_input(NetId n) const {
+    return nets_.at(n).driver == kNoId;
+  }
+  [[nodiscard]] bool is_primary_output(NetId n) const {
+    return nets_.at(n).sinks.empty();
+  }
+
+  struct Net {
+    std::string name;
+    GateId driver = kNoId;        ///< kNoId = primary input
+    std::vector<GateId> sinks;    ///< gates reading this net
+    std::vector<double> sink_delay_s;  ///< interconnect delay per sink
+  };
+  struct Gate {
+    std::string name;
+    double delay_s = 0.0;
+    std::vector<NetId> inputs;
+    NetId output = kNoId;
+  };
+
+  [[nodiscard]] const Net& net(NetId n) const { return nets_.at(n); }
+  [[nodiscard]] const Gate& gate(GateId g) const { return gates_.at(g); }
+
+ private:
+  std::vector<Net> nets_;
+  std::vector<Gate> gates_;
+};
+
+/// Full forward/backward static timing analysis result.
+struct TimingReport {
+  double clock_period_s = 0.0;
+  std::vector<double> net_arrival_s;    ///< at the net's driver point
+  std::vector<double> gate_arrival_s;   ///< at the gate output
+  std::vector<double> net_required_s;   ///< latest tolerable driver-point time
+  std::vector<double> net_slack_s;      ///< required - arrival per net
+  double worst_arrival_s = 0.0;         ///< critical path delay
+  double worst_slack_s = 0.0;
+  std::vector<NetId> critical_path;     ///< nets along the worst path, PI -> PO
+};
+
+/// Topological forward (arrival) and backward (required/slack) passes.
+/// Throws std::invalid_argument on combinational cycles.
+TimingReport analyze(const TimingGraph& design, double clock_period_s);
+
+/// Criticality alpha_i of each sink pin of `net`, in sink order:
+/// max(0, (period - slack_of_that_pin) / period). Slack-free pins get 0;
+/// pins on the critical path get values near (or above) 1. This is the
+/// alpha vector the CSORG formulation consumes.
+std::vector<double> sink_criticalities(const TimingGraph& design,
+                                       const TimingReport& report, NetId net);
+
+}  // namespace ntr::sta

@@ -1,0 +1,166 @@
+#include "steiner/iterated_one_steiner.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+#include "geom/hanan.h"
+#include "graph/mst.h"
+
+namespace ntr::steiner {
+
+namespace {
+
+double mst_cost(std::span<const geom::Point> points) {
+  const std::vector<graph::IndexEdge> edges = graph::prim_mst(points);
+  return graph::edges_cost(points, edges);
+}
+
+/// Degrees of each point in the MST of `points`.
+std::vector<std::size_t> mst_degrees(std::span<const geom::Point> points) {
+  std::vector<std::size_t> deg(points.size(), 0);
+  for (const auto& [u, v] : graph::prim_mst(points)) {
+    ++deg[u];
+    ++deg[v];
+  }
+  return deg;
+}
+
+}  // namespace
+
+double one_steiner_gain(std::vector<geom::Point> points, const geom::Point& candidate) {
+  const double before = mst_cost(points);
+  points.push_back(candidate);
+  const double after = mst_cost(points);
+  return before - after;
+}
+
+SteinerResult iterated_one_steiner(const graph::Net& net, const SteinerOptions& options) {
+  net.validate();
+
+  std::vector<geom::Point> augmented = net.pins;  // pins followed by Steiner points
+  std::vector<geom::Point> chosen;
+
+  // Candidates come from the Hanan grid of the *original* pins: Hanan's
+  // theorem covers the optimal rectilinear Steiner tree with this set.
+  const std::vector<geom::Point> candidates = geom::hanan_grid(net.pins);
+
+  while (options.max_steiner_points == 0 || chosen.size() < options.max_steiner_points) {
+    const double current_cost = mst_cost(augmented);
+    const double min_gain = std::max(options.min_relative_gain * current_cost, 0.0);
+
+    // Best single candidate this round.
+    double best_gain = min_gain;
+    const geom::Point* best = nullptr;
+    std::unordered_set<geom::Point> used(augmented.begin(), augmented.end());
+    for (const geom::Point& c : candidates) {
+      if (used.contains(c)) continue;
+      std::vector<geom::Point> with = augmented;
+      with.push_back(c);
+      const double gain = current_cost - mst_cost(with);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = &c;
+      }
+    }
+    if (best == nullptr) break;
+
+    augmented.push_back(*best);
+    chosen.push_back(*best);
+
+    // Prune Steiner points that the new MST uses with degree <= 2: a
+    // degree-2 Steiner point never shortens a rectilinear MST, and a
+    // degree-<=1 point is dead weight.
+    for (bool pruned = true; pruned;) {
+      pruned = false;
+      const std::vector<std::size_t> deg = mst_degrees(augmented);
+      for (std::size_t i = augmented.size(); i-- > net.pins.size();) {
+        if (deg[i] <= 2) {
+          const geom::Point victim = augmented[i];
+          augmented.erase(augmented.begin() + static_cast<std::ptrdiff_t>(i));
+          std::erase(chosen, victim);
+          pruned = true;
+          break;  // degrees are stale after erase; recompute
+        }
+      }
+    }
+  }
+
+  // Materialize the routing graph: net nodes first, then Steiner nodes.
+  SteinerResult result;
+  result.steiner_points = chosen;
+  result.graph = graph::RoutingGraph(net);
+  for (const geom::Point& s : chosen)
+    result.graph.add_node(s, graph::NodeKind::kSteiner);
+  for (const auto& [u, v] : graph::prim_mst(augmented)) result.graph.add_edge(u, v);
+  return result;
+}
+
+ExactSteinerResult exact_steiner_tree(const graph::Net& net,
+                                      std::size_t max_steiner_points,
+                                      std::size_t max_pins_guard) {
+  net.validate();
+  if (net.size() > max_pins_guard)
+    throw std::invalid_argument(
+        "exact_steiner_tree: net too large for brute force (raise the guard "
+        "explicitly if you really mean it)");
+
+  const std::vector<geom::Point> candidates = geom::hanan_grid(net.pins);
+  // A rectilinear SMT on n pins never needs more than n-2 Steiner points.
+  const std::size_t budget =
+      std::min(max_steiner_points,
+               net.size() >= 2 ? net.size() - 2 : std::size_t{0});
+
+  ExactSteinerResult best;
+  double best_cost = std::numeric_limits<double>::infinity();
+  std::vector<geom::Point> chosen;
+
+  // Enumerate subsets of size <= budget (combinations via start index),
+  // evaluating each by the MST over pins + subset.
+  const auto evaluate = [&]() {
+    std::vector<geom::Point> points = net.pins;
+    points.insert(points.end(), chosen.begin(), chosen.end());
+    const double cost = mst_cost(points);
+    ++best.trees_evaluated;
+    if (cost < best_cost) {
+      best_cost = cost;
+      best.steiner_points = chosen;
+    }
+  };
+  const auto recurse = [&](auto&& self, std::size_t start) -> void {
+    evaluate();
+    if (chosen.size() >= budget) return;
+    for (std::size_t i = start; i < candidates.size(); ++i) {
+      chosen.push_back(candidates[i]);
+      self(self, i + 1);
+      chosen.pop_back();
+    }
+  };
+  recurse(recurse, 0);
+
+  // Materialize the winning tree (pruning unused Steiner points: keep
+  // only those the MST actually uses with degree >= 3).
+  std::vector<geom::Point> augmented = net.pins;
+  augmented.insert(augmented.end(), best.steiner_points.begin(),
+                   best.steiner_points.end());
+  for (bool pruned = true; pruned;) {
+    pruned = false;
+    const std::vector<std::size_t> deg = mst_degrees(augmented);
+    for (std::size_t i = augmented.size(); i-- > net.pins.size();) {
+      if (deg[i] <= 2) {
+        const geom::Point victim = augmented[i];
+        augmented.erase(augmented.begin() + static_cast<std::ptrdiff_t>(i));
+        std::erase(best.steiner_points, victim);
+        pruned = true;
+        break;
+      }
+    }
+  }
+  best.graph = graph::RoutingGraph(net);
+  for (const geom::Point& s : best.steiner_points)
+    best.graph.add_node(s, graph::NodeKind::kSteiner);
+  for (const auto& [u, v] : graph::prim_mst(augmented)) best.graph.add_edge(u, v);
+  return best;
+}
+
+}  // namespace ntr::steiner

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/point.h"
+#include "graph/net.h"
+#include "graph/routing_graph.h"
+
+namespace ntr::steiner {
+
+struct SteinerOptions {
+  /// Upper bound on Steiner points added (the Iterated 1-Steiner loop
+  /// rarely needs more than the sink count). 0 means "no bound".
+  std::size_t max_steiner_points = 0;
+  /// Gains below this fraction of the current tree cost are treated as
+  /// zero, guaranteeing termination in the presence of floating-point
+  /// noise.
+  double min_relative_gain = 1e-12;
+};
+
+struct SteinerResult {
+  /// Steiner points actually used, in insertion order.
+  std::vector<geom::Point> steiner_points;
+  /// Routing tree over net pins + Steiner points: node 0 is the source,
+  /// nodes 1..k the sinks, then the Steiner nodes; edges form the MST of
+  /// the augmented point set.
+  graph::RoutingGraph graph;
+};
+
+/// Iterated 1-Steiner heuristic of Kahng & Robins (the algorithm the paper
+/// names for step 1 of SLDRG, refs [2,3,13]):
+/// repeatedly add the Hanan-grid candidate that maximizes the MST cost
+/// reduction of the augmented point set, pruning Steiner points whose MST
+/// degree drops to 2 or below, until no candidate yields a positive gain.
+SteinerResult iterated_one_steiner(const graph::Net& net,
+                                   const SteinerOptions& options = {});
+
+/// MST cost reduction obtained by adding a single extra point (the "1-Steiner
+/// gain"); exposed for testing and for analysis tools.
+double one_steiner_gain(std::vector<geom::Point> points, const geom::Point& candidate);
+
+/// Exact rectilinear Steiner minimal tree for TINY nets, by brute force
+/// over all subsets of up to `max_steiner_points` Hanan-grid candidates
+/// (Hanan's theorem makes this exhaustive for k <= n-2). Exponential --
+/// a ground-truth oracle for testing the Iterated 1-Steiner heuristic,
+/// not a router. Throws std::invalid_argument for nets above
+/// `max_pins_guard` pins (cost blows up combinatorially).
+struct ExactSteinerResult {
+  std::vector<geom::Point> steiner_points;
+  graph::RoutingGraph graph;
+  std::size_t trees_evaluated = 0;
+};
+
+ExactSteinerResult exact_steiner_tree(const graph::Net& net,
+                                      std::size_t max_steiner_points = 3,
+                                      std::size_t max_pins_guard = 7);
+
+}  // namespace ntr::steiner

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/transient.h"
+#include "spice/netlist.h"
+
+namespace ntr::sim {
+namespace {
+
+/// Two well-separated time constants: a fast 10ps pole at node a feeding
+/// a slow 1ns pole at node b.
+spice::Circuit two_scale_circuit() {
+  spice::Circuit ckt;
+  const auto in = ckt.add_node("in");
+  const auto a = ckt.add_node("a");
+  const auto b = ckt.add_node("b");
+  ckt.add_voltage_source("V1", in, spice::kGround, 1.0, spice::SourceWaveform::kStep);
+  ckt.add_resistor("R1", in, a, 100.0);
+  ckt.add_capacitor("Ca", a, spice::kGround, 1e-13);  // 10 ps with R1
+  ckt.add_resistor("R2", a, b, 10'000.0);
+  ckt.add_capacitor("Cb", b, spice::kGround, 1e-13);  // 1 ns with R2
+  return ckt;
+}
+
+double interpolate(const TransientSimulator::Waveform& wf, std::size_t col,
+                   double t) {
+  for (std::size_t i = 1; i < wf.time_s.size(); ++i) {
+    if (wf.time_s[i] >= t) {
+      const double f = (t - wf.time_s[i - 1]) / (wf.time_s[i] - wf.time_s[i - 1]);
+      return wf.voltage_v[col][i - 1] +
+             f * (wf.voltage_v[col][i] - wf.voltage_v[col][i - 1]);
+    }
+  }
+  return wf.voltage_v[col].back();
+}
+
+TEST(Adaptive, MatchesFixedFineStepOnRc) {
+  spice::Circuit ckt;
+  const auto in = ckt.add_node("in");
+  const auto out = ckt.add_node("out");
+  ckt.add_voltage_source("V1", in, spice::kGround, 1.0, spice::SourceWaveform::kStep);
+  ckt.add_resistor("R1", in, out, 1000.0);
+  ckt.add_capacitor("C1", out, spice::kGround, 1e-12);
+
+  TransientSimulator sim(ckt);
+  const std::vector<spice::CircuitNode> watch{out};
+  const auto wf = sim.run_adaptive(3e-9, watch, 1e-5);
+  ASSERT_GT(wf.time_s.size(), 10u);
+  for (double t : {0.3e-9, 0.7e-9, 1.5e-9, 2.5e-9}) {
+    const double expected = 1.0 - std::exp(-t / 1e-9);
+    EXPECT_NEAR(interpolate(wf, 0, t), expected, 2e-3) << "t=" << t;
+  }
+}
+
+TEST(Adaptive, StepsGrowOverTheRun) {
+  TransientSimulator sim(two_scale_circuit());
+  const std::vector<spice::CircuitNode> watch{3};
+  const auto wf = sim.run_adaptive(5e-9, watch);
+  ASSERT_GT(wf.time_s.size(), 20u);
+  const double first_step = wf.time_s[1] - wf.time_s[0];
+  const double last_step = wf.time_s.back() - wf.time_s[wf.time_s.size() - 2];
+  EXPECT_GT(last_step, 4.0 * first_step);
+  // Time strictly increases.
+  for (std::size_t i = 1; i < wf.time_s.size(); ++i)
+    EXPECT_GT(wf.time_s[i], wf.time_s[i - 1]);
+}
+
+TEST(Adaptive, ResolvesFastPoleThatFixedStepMisses) {
+  // Analytic check on the FAST node a (tau ~= 10ps): v_a at t = 20ps has
+  // climbed most of the way; the default fixed step (tau_max/200 ~ 5ps)
+  // is marginal there, while the adaptive run must track it well.
+  TransientSimulator sim(two_scale_circuit());
+  const std::vector<spice::CircuitNode> watch{2};
+  const auto wf = sim.run_adaptive(1e-10, watch, 1e-5);
+  // v_a(t) for the cascade is close to 1 - exp(-t/10ps) because the second
+  // stage barely loads the first (R2 >> R1).
+  const double t = 2e-11;
+  EXPECT_NEAR(interpolate(wf, 0, t), 1.0 - std::exp(-t / 1.01e-11), 0.03);
+}
+
+TEST(Adaptive, ToleranceValidation) {
+  TransientSimulator sim(two_scale_circuit());
+  const std::vector<spice::CircuitNode> watch{2};
+  EXPECT_THROW(sim.run_adaptive(1e-9, watch, 0.0), std::invalid_argument);
+  EXPECT_THROW(sim.run_adaptive(1e-9, watch, -1.0), std::invalid_argument);
+}
+
+TEST(Adaptive, TighterToleranceTakesMoreSteps) {
+  TransientSimulator sim_loose(two_scale_circuit());
+  TransientSimulator sim_tight(two_scale_circuit());
+  const std::vector<spice::CircuitNode> watch{3};
+  const auto loose = sim_loose.run_adaptive(5e-9, watch, 1e-3);
+  const auto tight = sim_tight.run_adaptive(5e-9, watch, 1e-6);
+  EXPECT_GT(tight.time_s.size(), loose.time_s.size());
+}
+
+}  // namespace
+}  // namespace ntr::sim

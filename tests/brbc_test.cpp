@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "expt/net_generator.h"
+#include "graph/paths.h"
+#include "route/brbc.h"
+#include "route/constructions.h"
+
+namespace ntr::route {
+namespace {
+
+double direct_radius(const graph::Net& net) {
+  double r = 0.0;
+  for (std::size_t i = 1; i < net.size(); ++i)
+    r = std::max(r, geom::manhattan_distance(net.source(), net.pins[i]));
+  return r;
+}
+
+TEST(Brbc, RejectsNegativeEpsilon) {
+  expt::NetGenerator gen(1);
+  const graph::Net net = gen.random_net(5);
+  EXPECT_THROW(brbc_routing(net, -0.1), std::invalid_argument);
+}
+
+TEST(Brbc, EpsilonZeroIsShortestPathTree) {
+  expt::NetGenerator gen(3);
+  const graph::Net net = gen.random_net(12);
+  const graph::RoutingGraph g = brbc_routing(net, 0.0);
+  EXPECT_TRUE(g.is_tree());
+  // Every pin at exactly its direct distance.
+  const graph::ShortestPaths sp = graph::shortest_paths(g, 0);
+  for (graph::NodeId v = 1; v < g.node_count(); ++v)
+    EXPECT_NEAR(sp.distance[v],
+                geom::manhattan_distance(net.source(), net.pins[v]), 1e-6);
+}
+
+TEST(Brbc, HugeEpsilonIsMst) {
+  expt::NetGenerator gen(5);
+  const graph::Net net = gen.random_net(12);
+  const graph::RoutingGraph g = brbc_routing(net, 1e9);
+  const graph::RoutingGraph mst = graph::mst_routing(net);
+  EXPECT_NEAR(g.total_wirelength(), mst.total_wirelength(), 1e-6);
+}
+
+class BrbcBoundsTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(BrbcBoundsTest, RadiusAndCostBoundsHold) {
+  const double epsilon = GetParam();
+  expt::NetGenerator gen(7 + static_cast<std::uint64_t>(epsilon * 10));
+  for (int trial = 0; trial < 8; ++trial) {
+    const graph::Net net = gen.random_net(15);
+    const graph::RoutingGraph g = brbc_routing(net, epsilon);
+    ASSERT_TRUE(g.is_tree());
+
+    const double radius = graph::routing_radius(g);
+    EXPECT_LE(radius, (1.0 + epsilon) * direct_radius(net) * (1 + 1e-9))
+        << "epsilon " << epsilon;
+
+    if (epsilon > 0.0) {
+      const double mst_cost = graph::mst_routing(net).total_wirelength();
+      EXPECT_LE(g.total_wirelength(), (1.0 + 2.0 / epsilon) * mst_cost * (1 + 1e-9))
+          << "epsilon " << epsilon;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Epsilons, BrbcBoundsTest,
+                         ::testing::Values(0.25, 0.5, 1.0, 2.0));
+
+TEST(Brbc, MonotoneTradeoffAtExtremes) {
+  expt::NetGenerator gen(13);
+  const graph::Net net = gen.random_net(20);
+  const graph::RoutingGraph tight = brbc_routing(net, 0.1);
+  const graph::RoutingGraph loose = brbc_routing(net, 4.0);
+  EXPECT_LE(graph::routing_radius(tight), graph::routing_radius(loose) * (1 + 1e-9));
+  EXPECT_LE(loose.total_wirelength(), tight.total_wirelength() * (1 + 1e-9));
+}
+
+}  // namespace
+}  // namespace ntr::route

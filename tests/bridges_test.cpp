@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "core/ldrg.h"
+#include "delay/evaluator.h"
+#include "expt/net_generator.h"
+#include "graph/bridges.h"
+#include "graph/mst.h"
+
+namespace ntr::graph {
+namespace {
+
+Net square_net() {
+  return Net{{{0, 0}, {100, 0}, {100, 100}, {0, 100}}};
+}
+
+TEST(Bridges, EveryTreeEdgeIsABridge) {
+  expt::NetGenerator gen(5);
+  for (int trial = 0; trial < 5; ++trial) {
+    const RoutingGraph g = mst_routing(gen.random_net(12));
+    const std::vector<EdgeId> bridges = find_bridges(g);
+    EXPECT_EQ(bridges.size(), g.edge_count());
+    EXPECT_EQ(redundant_edge_count(g), 0u);
+  }
+}
+
+TEST(Bridges, CycleEdgesAreNotBridges) {
+  RoutingGraph g(square_net());
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 0);
+  EXPECT_TRUE(find_bridges(g).empty());
+  EXPECT_EQ(redundant_edge_count(g), 4u);
+}
+
+TEST(Bridges, MixedGraph) {
+  // Square cycle plus a dangling sink: exactly one bridge.
+  Net net = square_net();
+  net.pins.push_back({200, 0});
+  RoutingGraph g(net);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 0);
+  const EdgeId dangling = g.add_edge(1, 4);
+  const std::vector<EdgeId> bridges = find_bridges(g);
+  ASSERT_EQ(bridges.size(), 1u);
+  EXPECT_EQ(bridges[0], dangling);
+  const std::vector<bool> redundant = redundant_edges(g);
+  EXPECT_FALSE(redundant[dangling]);
+  EXPECT_TRUE(redundant[0]);
+}
+
+TEST(Bridges, DisconnectedComponentsHandled) {
+  RoutingGraph g(square_net());
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  const std::vector<EdgeId> bridges = find_bridges(g);
+  EXPECT_EQ(bridges.size(), 2u);
+}
+
+TEST(Bridges, LdrgEdgesCreateRedundancy) {
+  // Each accepted LDRG edge closes a cycle, so redundancy must be
+  // positive afterwards -- the structural signature of non-tree routing.
+  expt::NetGenerator gen(77);
+  const spice::Technology tech = spice::kTable1Technology;
+  const delay::GraphElmoreEvaluator eval(tech);
+  int improved_nets = 0;
+  for (int trial = 0; trial < 6; ++trial) {
+    const RoutingGraph mst = mst_routing(gen.random_net(10));
+    const core::LdrgResult res = core::ldrg(mst, eval);
+    if (!res.improved()) continue;
+    ++improved_nets;
+    EXPECT_GT(redundant_edge_count(res.graph), 0u);
+    // A single extra edge makes the whole cycle redundant: at least 3
+    // edges (the added one plus >= 2 tree edges).
+    EXPECT_GE(redundant_edge_count(res.graph), 3u);
+  }
+  EXPECT_GT(improved_nets, 0);
+}
+
+TEST(Bridges, DeepPathDoesNotOverflow) {
+  // 20k-node path: the iterative implementation must handle it.
+  Net net;
+  for (int i = 0; i < 20'000; ++i)
+    net.pins.push_back({static_cast<double>(i), 0.0});
+  RoutingGraph g(net);
+  for (NodeId n = 0; n + 1 < g.node_count(); ++n) g.add_edge(n, n + 1);
+  EXPECT_EQ(find_bridges(g).size(), g.edge_count());
+}
+
+}  // namespace
+}  // namespace ntr::graph

@@ -1,0 +1,79 @@
+// The shipped data/ corpus must parse, validate, and exercise the shapes
+// it claims to exercise.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/ldrg.h"
+#include "core/solver.h"
+#include "delay/evaluator.h"
+#include "io/net_io.h"
+#include "steiner/iterated_one_steiner.h"
+
+namespace ntr {
+namespace {
+
+const spice::Technology kTech = spice::kTable1Technology;
+
+std::filesystem::path corpus_dir() {
+  std::filesystem::path probe = std::filesystem::current_path();
+  for (int up = 0; up < 6; ++up) {
+    if (std::filesystem::exists(probe / "data" / "horseshoe.net"))
+      return probe / "data";
+    probe = probe.parent_path();
+  }
+  return {};
+}
+
+class CorpusTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = corpus_dir();
+    if (dir_.empty()) GTEST_SKIP() << "data/ corpus not found";
+  }
+  std::filesystem::path dir_;
+};
+
+TEST_F(CorpusTest, EveryNetParsesAndRoutes) {
+  std::size_t count = 0;
+  const delay::GraphElmoreEvaluator eval(kTech);
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    if (entry.path().extension() != ".net") continue;
+    ++count;
+    const graph::Net net = io::read_net_file(entry.path().string());
+    EXPECT_NO_THROW(net.validate()) << entry.path();
+    const core::Solution sol = core::solve(net, core::Strategy::kMst, eval);
+    EXPECT_TRUE(sol.graph.is_tree()) << entry.path();
+    EXPECT_GT(sol.delay_s, 0.0) << entry.path();
+  }
+  EXPECT_GE(count, 6u);
+}
+
+TEST_F(CorpusTest, HorseshoeTriggersLdrg) {
+  const graph::Net net = io::read_net_file((dir_ / "horseshoe.net").string());
+  const delay::TransientEvaluator eval(kTech);
+  const core::LdrgResult res = core::ldrg(graph::mst_routing(net), eval);
+  EXPECT_TRUE(res.improved());
+  EXPECT_LT(res.final_objective, res.initial_objective * 0.8);
+}
+
+TEST_F(CorpusTest, CrossHasTheCenterSteinerPoint) {
+  const graph::Net net = io::read_net_file((dir_ / "cross.net").string());
+  const steiner::SteinerResult res = steiner::iterated_one_steiner(net);
+  ASSERT_EQ(res.steiner_points.size(), 1u);
+  EXPECT_EQ(res.steiner_points[0], (geom::Point{5000, 5000}));
+}
+
+TEST_F(CorpusTest, TwoClustersKeepTrunkDominated) {
+  const graph::Net net = io::read_net_file((dir_ / "two_clusters.net").string());
+  const graph::RoutingGraph mst = graph::mst_routing(net);
+  // The inter-cluster trunk dwarfs intra-cluster wiring: one edge carries
+  // more than half the total wirelength.
+  double longest = 0.0;
+  for (const graph::GraphEdge& e : mst.edges()) longest = std::max(longest, e.length);
+  EXPECT_GT(longest, 0.5 * mst.total_wirelength());
+}
+
+}  // namespace
+}  // namespace ntr

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "expt/comparison.h"
+#include "expt/net_generator.h"
+#include "expt/statistics.h"
+
+namespace ntr::expt {
+namespace {
+
+TEST(NetGenerator, DeterministicForSameSeed) {
+  NetGenerator a(123), b(123);
+  const graph::Net na = a.random_net(10);
+  const graph::Net nb = b.random_net(10);
+  EXPECT_EQ(na.pins, nb.pins);
+}
+
+TEST(NetGenerator, DifferentSeedsDiffer) {
+  NetGenerator a(1), b(2);
+  EXPECT_NE(a.random_net(10).pins, b.random_net(10).pins);
+}
+
+TEST(NetGenerator, PinsInsideLayoutAndDistinct) {
+  NetGenerator gen(7, 500.0);
+  for (int trial = 0; trial < 5; ++trial) {
+    const graph::Net net = gen.random_net(20);
+    EXPECT_NO_THROW(net.validate());
+    for (const geom::Point& p : net.pins) {
+      EXPECT_GE(p.x, 0.0);
+      EXPECT_LE(p.x, 500.0);
+      EXPECT_GE(p.y, 0.0);
+      EXPECT_LE(p.y, 500.0);
+    }
+  }
+}
+
+TEST(NetGenerator, BatchProducesIndependentNets) {
+  NetGenerator gen(9);
+  const std::vector<graph::Net> nets = gen.random_nets(5, 8);
+  ASSERT_EQ(nets.size(), 5u);
+  for (std::size_t i = 1; i < nets.size(); ++i)
+    EXPECT_NE(nets[i].pins, nets[0].pins);
+}
+
+TEST(NetGenerator, RejectsTinyNets) {
+  NetGenerator gen(1);
+  EXPECT_THROW(gen.random_net(1), std::invalid_argument);
+}
+
+TEST(Statistics, MeanStddevMinMax) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_NEAR(sample_stddev(xs), 1.2909944, 1e-6);
+  EXPECT_DOUBLE_EQ(min_of(xs), 1.0);
+  EXPECT_DOUBLE_EQ(max_of(xs), 4.0);
+  EXPECT_THROW(mean(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(Statistics, PearsonCorrelation) {
+  const std::vector<double> a{1, 2, 3, 4};
+  const std::vector<double> b{2, 4, 6, 8};
+  EXPECT_NEAR(pearson_correlation(a, b), 1.0, 1e-12);
+  const std::vector<double> c{8, 6, 4, 2};
+  EXPECT_NEAR(pearson_correlation(a, c), -1.0, 1e-12);
+}
+
+TEST(Comparison, TrialRecordRatiosAndWinner) {
+  const TrialRecord win{10.0, 100.0, 8.0, 120.0};
+  EXPECT_DOUBLE_EQ(win.delay_ratio(), 0.8);
+  EXPECT_DOUBLE_EQ(win.cost_ratio(), 1.2);
+  EXPECT_TRUE(win.winner());
+  const TrialRecord tie{10.0, 100.0, 10.0, 100.0};
+  EXPECT_FALSE(tie.winner());
+  const TrialRecord lose{10.0, 100.0, 12.0, 90.0};
+  EXPECT_FALSE(lose.winner());
+}
+
+TEST(Comparison, AggregateSplitsWinnersFromAllCases) {
+  const std::vector<TrialRecord> trials{
+      {10, 100, 8, 120},   // winner: ratio 0.8 / 1.2
+      {10, 100, 12, 110},  // loser:  ratio 1.2 / 1.1
+  };
+  const AggregateRow row = aggregate(10, trials);
+  EXPECT_EQ(row.net_size, 10u);
+  EXPECT_EQ(row.trials, 2u);
+  EXPECT_DOUBLE_EQ(row.all_delay_ratio, 1.0);
+  EXPECT_NEAR(row.all_cost_ratio, 1.15, 1e-12);
+  EXPECT_DOUBLE_EQ(row.percent_winners, 50.0);
+  EXPECT_DOUBLE_EQ(row.winners_delay_ratio, 0.8);
+  EXPECT_DOUBLE_EQ(row.winners_cost_ratio, 1.2);
+  // Ratios 0.8 and 1.2: sample stddev = |1.2-0.8|/sqrt(2) = 0.2*sqrt(2).
+  EXPECT_NEAR(row.all_delay_stddev, 0.2 * std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(row.delay_ci95, 1.96 * row.all_delay_stddev / std::sqrt(2.0), 1e-12);
+}
+
+TEST(Comparison, AggregateWithNoWinnersYieldsNa) {
+  const std::vector<TrialRecord> trials{{10, 100, 11, 100}, {10, 100, 12, 100}};
+  const AggregateRow row = aggregate(5, trials);
+  EXPECT_DOUBLE_EQ(row.percent_winners, 0.0);
+  EXPECT_TRUE(std::isnan(row.winners_delay_ratio));
+
+  std::ostringstream os;
+  print_paper_table(os, "t", std::vector<AggregateRow>{row});
+  EXPECT_NE(os.str().find("NA"), std::string::npos);
+}
+
+TEST(Comparison, PaperTableLayout) {
+  const std::vector<TrialRecord> trials{{10, 100, 8, 120}};
+  const AggregateRow row = aggregate(30, trials);
+  std::ostringstream os;
+  print_paper_table(os, "Table X", std::vector<AggregateRow>{row});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Table X"), std::string::npos);
+  EXPECT_NE(out.find("Percent"), std::string::npos);
+  EXPECT_NE(out.find("Winners Only"), std::string::npos);
+  EXPECT_NE(out.find("30"), std::string::npos);
+  EXPECT_NE(out.find("0.80"), std::string::npos);
+  EXPECT_NE(out.find("100"), std::string::npos);  // 100% winners
+}
+
+TEST(Comparison, CsvOutput) {
+  const std::vector<TrialRecord> trials{{10, 100, 8, 120}};
+  const AggregateRow row = aggregate(20, trials);
+  std::ostringstream os;
+  print_csv(os, std::vector<AggregateRow>{row});
+  EXPECT_NE(os.str().find("net_size,trials"), std::string::npos);
+  EXPECT_NE(os.str().find("delay_ci95"), std::string::npos);
+  EXPECT_NE(os.str().find("20,1,0.8,1.2,100,0.8,1.2,0,0,0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ntr::expt

@@ -1,0 +1,158 @@
+// Randomized round-trip ("fuzz-lite") tests of every serialization layer:
+// SPICE decks, .net/.route files, and SVG structural sanity, driven by
+// randomly generated circuits and routings.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "expt/net_generator.h"
+#include "io/net_io.h"
+#include "spice/deck_io.h"
+#include "spice/graph_netlist.h"
+#include "viz/svg.h"
+
+namespace ntr {
+namespace {
+
+spice::Circuit random_circuit(unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> rv(1.0, 1e5);
+  std::uniform_real_distribution<double> cv(1e-15, 1e-9);
+  std::uniform_real_distribution<double> lv(1e-12, 1e-6);
+
+  spice::Circuit ckt;
+  const std::size_t node_count = 3 + rng() % 10;
+  std::vector<spice::CircuitNode> nodes{spice::kGround};
+  for (std::size_t i = 1; i <= node_count; ++i)
+    nodes.push_back(ckt.add_node("n" + std::to_string(i)));
+
+  const auto pick_pair = [&](spice::CircuitNode& a, spice::CircuitNode& b) {
+    a = nodes[rng() % nodes.size()];
+    do {
+      b = nodes[rng() % nodes.size()];
+    } while (b == a);
+  };
+
+  const std::size_t element_count = 4 + rng() % 20;
+  for (std::size_t e = 0; e < element_count; ++e) {
+    spice::CircuitNode a, b;
+    pick_pair(a, b);
+    switch (rng() % 4) {
+      case 0:
+        ckt.add_resistor("R" + std::to_string(e), a, b, rv(rng));
+        break;
+      case 1:
+        ckt.add_capacitor("C" + std::to_string(e), a, b, cv(rng));
+        break;
+      case 2:
+        ckt.add_inductor("L" + std::to_string(e), a, b, lv(rng));
+        break;
+      case 3:
+        ckt.add_voltage_source("V" + std::to_string(e), a, b, rv(rng) / 1e4,
+                               rng() % 2 ? spice::SourceWaveform::kStep
+                                         : spice::SourceWaveform::kDc);
+        break;
+    }
+  }
+  return ckt;
+}
+
+class FuzzSeeds : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FuzzSeeds, DeckRoundTripPreservesEveryElement) {
+  const spice::Circuit original = random_circuit(GetParam());
+  const spice::Circuit parsed =
+      spice::parse_deck(spice::write_deck(original, "fuzz"));
+  ASSERT_EQ(parsed.elements().size(), original.elements().size());
+  for (std::size_t i = 0; i < original.elements().size(); ++i) {
+    const spice::Element& a = original.elements()[i];
+    const spice::Element& b = parsed.elements()[i];
+    EXPECT_EQ(b.kind, a.kind);
+    EXPECT_EQ(b.waveform, a.waveform);
+    EXPECT_NEAR(b.value, a.value, std::abs(a.value) * 1e-5);
+    EXPECT_EQ(parsed.node_name(b.a), original.node_name(a.a));
+    EXPECT_EQ(parsed.node_name(b.b), original.node_name(a.b));
+  }
+}
+
+TEST_P(FuzzSeeds, RoutingFileRoundTrip) {
+  expt::NetGenerator gen(GetParam());
+  const graph::Net net = gen.random_net(4 + GetParam() % 12);
+  graph::RoutingGraph g = graph::mst_routing(net);
+  std::mt19937 rng(GetParam() + 5);
+  // Random chords and widths.
+  for (int k = 0; k < 3; ++k) {
+    const graph::NodeId u = rng() % g.node_count();
+    const graph::NodeId v = rng() % g.node_count();
+    if (u != v) g.add_edge(u, v);
+  }
+  for (graph::EdgeId e = 0; e < g.edge_count(); ++e)
+    if (rng() % 3 == 0) g.set_edge_width(e, 1.0 + static_cast<double>(rng() % 3));
+
+  const graph::RoutingGraph back = io::read_routing(io::write_routing(g));
+  ASSERT_EQ(back.node_count(), g.node_count());
+  ASSERT_EQ(back.edge_count(), g.edge_count());
+  EXPECT_NEAR(back.total_wirelength(), g.total_wirelength(), 1e-6);
+  EXPECT_NEAR(back.total_wire_area(), g.total_wire_area(), 1e-6);
+  EXPECT_EQ(back.cycle_count(), g.cycle_count());
+}
+
+TEST_P(FuzzSeeds, NetFileRoundTrip) {
+  expt::NetGenerator gen(GetParam() * 13 + 1);
+  const graph::Net net = gen.random_net(3 + GetParam() % 20);
+  const graph::Net back = io::read_net(io::write_net(net));
+  ASSERT_EQ(back.size(), net.size());
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    EXPECT_NEAR(back.pins[i].x, net.pins[i].x, 1e-6);
+    EXPECT_NEAR(back.pins[i].y, net.pins[i].y, 1e-6);
+  }
+}
+
+TEST_P(FuzzSeeds, SvgStaysStructurallySound) {
+  expt::NetGenerator gen(GetParam() * 7 + 3);
+  graph::RoutingGraph g = graph::mst_routing(gen.random_net(8));
+  g.add_edge(0, 5);
+  const std::string svg = viz::render_svg(g);
+  EXPECT_EQ(svg.find("nan"), std::string::npos);
+  EXPECT_EQ(svg.find("inf"), std::string::npos);
+  // One circle per sink, one filled 12x12 source square.
+  std::size_t circles = 0, pos = 0;
+  while ((pos = svg.find("<circle", pos)) != std::string::npos) {
+    ++circles;
+    ++pos;
+  }
+  EXPECT_EQ(circles, g.sinks().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds, ::testing::Range(1u, 13u));
+
+TEST(FuzzMalformed, DeckParserRejectsGarbage) {
+  const char* bad_decks[] = {
+      "* t\nR1 a\n.END\n",            // too few tokens
+      "* t\nR1 a b notanumber\n",     // bad value
+      "* t\nX1 a b c d\n",            // unsupported element
+      "* t\nR1 a b -5\n",             // negative resistance
+      "* t\nV1 a b PWL(broken\n",     // unbalanced PWL
+  };
+  for (const char* deck : bad_decks)
+    EXPECT_THROW(spice::parse_deck(deck), std::invalid_argument) << deck;
+}
+
+TEST(FuzzMalformed, NetAndRoutingParsersRejectGarbage) {
+  const char* bad_nets[] = {"pin\n", "pin 1 2 3\n", "pin x y\n", "point 1 2\n"};
+  for (const char* text : bad_nets)
+    EXPECT_THROW(io::read_net(text), std::invalid_argument) << text;
+
+  const char* bad_routings[] = {
+      "node 0 0 source\nedge 0 5\n",            // dangling edge
+      "node 0 0 source\nnode 1 1 sink\nedge 0 0\n",  // self loop
+      "node 0 0 sink\nnode 1 1 source\n",       // source not first
+      "node 0 0 source\nnode 1 1 sink\nedge 0 1 -2\n",  // bad width
+  };
+  for (const char* text : bad_routings)
+    EXPECT_THROW(io::read_routing(text), std::invalid_argument) << text;
+}
+
+}  // namespace
+}  // namespace ntr

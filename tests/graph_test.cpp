@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "graph/net.h"
+#include "graph/paths.h"
+#include "graph/routing_graph.h"
+#include "graph/union_find.h"
+
+namespace ntr::graph {
+namespace {
+
+Net square_net() {
+  // source at origin, three sinks on a unit-ish square (um scale).
+  return Net{{{0, 0}, {100, 0}, {100, 100}, {0, 100}}};
+}
+
+TEST(Net, ValidationRejectsDegenerateNets) {
+  EXPECT_THROW((Net{{{0, 0}}}).validate(), std::invalid_argument);
+  EXPECT_THROW((Net{{{0, 0}, {0, 0}}}).validate(), std::invalid_argument);
+  EXPECT_NO_THROW(square_net().validate());
+}
+
+TEST(UnionFind, MergesAndCounts) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.component_count(), 5u);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_TRUE(uf.unite(1, 2));
+  EXPECT_FALSE(uf.unite(0, 2));
+  EXPECT_EQ(uf.component_count(), 3u);
+  EXPECT_TRUE(uf.connected(0, 2));
+  EXPECT_FALSE(uf.connected(0, 4));
+}
+
+TEST(RoutingGraph, ConstructionFromNet) {
+  const RoutingGraph g(square_net());
+  EXPECT_EQ(g.node_count(), 4u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_EQ(g.node(0).kind, NodeKind::kSource);
+  EXPECT_EQ(g.node(3).kind, NodeKind::kSink);
+  EXPECT_EQ(g.sinks().size(), 3u);
+  EXPECT_FALSE(g.is_connected());
+}
+
+TEST(RoutingGraph, AddEdgeComputesManhattanLength) {
+  RoutingGraph g(square_net());
+  const EdgeId e = g.add_edge(0, 2);
+  EXPECT_DOUBLE_EQ(g.edge(e).length, 200.0);
+  EXPECT_TRUE(g.has_edge(2, 0));
+  EXPECT_DOUBLE_EQ(g.total_wirelength(), 200.0);
+}
+
+TEST(RoutingGraph, AddEdgeRejectsSelfLoopAndDeduplicates) {
+  RoutingGraph g(square_net());
+  EXPECT_THROW(g.add_edge(1, 1), std::invalid_argument);
+  const EdgeId e1 = g.add_edge(0, 1);
+  const EdgeId e2 = g.add_edge(1, 0);
+  EXPECT_EQ(e1, e2);
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(RoutingGraph, TreeAndCycleDetection) {
+  RoutingGraph g(square_net());
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  EXPECT_TRUE(g.is_tree());
+  EXPECT_EQ(g.cycle_count(), 0u);
+  g.add_edge(3, 0);  // close the square: one cycle
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_FALSE(g.is_tree());
+  EXPECT_EQ(g.cycle_count(), 1u);
+}
+
+TEST(RoutingGraph, RemoveEdgeRestoresTree) {
+  RoutingGraph g(square_net());
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 0);
+  g.remove_edge(*g.find_edge(3, 0));
+  EXPECT_TRUE(g.is_tree());
+  EXPECT_FALSE(g.has_edge(3, 0));
+}
+
+TEST(RoutingGraph, SplitEdgeInsertsSteinerNode) {
+  RoutingGraph g(square_net());
+  const EdgeId e = g.add_edge(0, 1);
+  const NodeId mid = g.split_edge(e, {40, 0});
+  EXPECT_EQ(g.node(mid).kind, NodeKind::kSteiner);
+  EXPECT_EQ(g.node_count(), 5u);
+  EXPECT_EQ(g.edge_count(), 2u);
+  // Splitting on the bbox path preserves total length.
+  EXPECT_DOUBLE_EQ(g.total_wirelength(), 100.0);
+  EXPECT_TRUE(g.has_edge(0, mid));
+  EXPECT_TRUE(g.has_edge(mid, 1));
+}
+
+TEST(RoutingGraph, WireAreaTracksWidths) {
+  RoutingGraph g(square_net());
+  const EdgeId e = g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_DOUBLE_EQ(g.total_wire_area(), 200.0);
+  g.set_edge_width(e, 3.0);
+  EXPECT_DOUBLE_EQ(g.total_wire_area(), 400.0);
+  EXPECT_DOUBLE_EQ(g.total_wirelength(), 200.0);  // cost ignores widths
+  EXPECT_THROW(g.set_edge_width(e, 0.0), std::invalid_argument);
+}
+
+TEST(Paths, DijkstraOnCycleTakesShorterWay) {
+  RoutingGraph g(square_net());
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 0);
+  const ShortestPaths sp = shortest_paths(g, 0);
+  EXPECT_DOUBLE_EQ(sp.distance[2], 200.0);  // both ways equal
+  EXPECT_DOUBLE_EQ(sp.distance[3], 100.0);  // direct edge beats the long way
+  EXPECT_EQ(sp.parent[3], 0u);
+}
+
+TEST(Paths, RootTreeRejectsCycles) {
+  RoutingGraph g(square_net());
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 0);
+  EXPECT_THROW(root_tree(g, 0), std::invalid_argument);
+}
+
+TEST(Paths, TreePathLengthsAndExtraction) {
+  RoutingGraph g(square_net());
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const RootedTree t = root_tree(g, 0);
+  const std::vector<double> len = tree_path_lengths(g, t);
+  EXPECT_DOUBLE_EQ(len[0], 0.0);
+  EXPECT_DOUBLE_EQ(len[3], 300.0);
+  const std::vector<NodeId> path = tree_path(t, 3);
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(path.front(), 0u);
+  EXPECT_EQ(path.back(), 3u);
+}
+
+TEST(Paths, RoutingRadiusIsMaxSinkDistance) {
+  RoutingGraph g(square_net());
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  EXPECT_DOUBLE_EQ(routing_radius(g), 300.0);
+  g.add_edge(3, 0);
+  EXPECT_DOUBLE_EQ(routing_radius(g), 200.0);
+}
+
+TEST(Paths, UnreachableNodesReportInfinity) {
+  RoutingGraph g(square_net());
+  g.add_edge(0, 1);
+  const ShortestPaths sp = shortest_paths(g, 0);
+  EXPECT_TRUE(std::isinf(sp.distance[2]));
+  EXPECT_EQ(sp.parent[2], kInvalidNode);
+}
+
+TEST(RoutingGraph, MstRoutingSpansNet) {
+  const RoutingGraph g = mst_routing(square_net());
+  EXPECT_TRUE(g.is_tree());
+  EXPECT_DOUBLE_EQ(g.total_wirelength(), 300.0);
+}
+
+}  // namespace
+}  // namespace ntr::graph

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "expt/net_generator.h"
+#include "io/cli.h"
+#include "io/net_io.h"
+
+namespace ntr::io {
+namespace {
+
+TEST(NetIo, ReadBasicNet) {
+  const graph::Net net = read_net(
+      "# comment line\n"
+      "pin 0 0\n"
+      "pin 1250.5 3400  # trailing comment\n"
+      "\n"
+      "pin 9000 100\n");
+  ASSERT_EQ(net.size(), 3u);
+  EXPECT_EQ(net.source(), (geom::Point{0, 0}));
+  EXPECT_EQ(net.pins[1], (geom::Point{1250.5, 3400}));
+}
+
+TEST(NetIo, NetRoundTrip) {
+  expt::NetGenerator gen(42);
+  const graph::Net original = gen.random_net(15);
+  const graph::Net reparsed = read_net(write_net(original));
+  ASSERT_EQ(reparsed.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_NEAR(reparsed.pins[i].x, original.pins[i].x, 1e-6);
+    EXPECT_NEAR(reparsed.pins[i].y, original.pins[i].y, 1e-6);
+  }
+}
+
+TEST(NetIo, RejectsMalformedNets) {
+  EXPECT_THROW(read_net("pin 1\n"), std::invalid_argument);
+  EXPECT_THROW(read_net("pin a b\n"), std::invalid_argument);
+  EXPECT_THROW(read_net("vertex 1 2\n"), std::invalid_argument);
+  EXPECT_THROW(read_net("pin 0 0\n"), std::invalid_argument);          // one pin only
+  EXPECT_THROW(read_net("pin 0 0\npin 0 0\n"), std::invalid_argument); // duplicate
+}
+
+TEST(NetIo, RoutingRoundTripPreservesEverything) {
+  graph::Net net{{{0, 0}, {5000, 100}, {10000, 0}}};
+  graph::RoutingGraph g(net);
+  const graph::EdgeId long_edge = g.add_edge(0, 2);
+  const graph::NodeId mid = g.split_edge(long_edge, {5000, 0});
+  g.add_edge(mid, 1);
+  g.set_edge_width(*g.find_edge(0, mid), 2.5);
+
+  const graph::RoutingGraph back = read_routing(write_routing(g));
+  ASSERT_EQ(back.node_count(), g.node_count());
+  ASSERT_EQ(back.edge_count(), g.edge_count());
+  for (graph::NodeId n = 0; n < g.node_count(); ++n) {
+    EXPECT_EQ(back.node(n).pos, g.node(n).pos);
+    EXPECT_EQ(back.node(n).kind, g.node(n).kind);
+  }
+  for (graph::EdgeId e = 0; e < g.edge_count(); ++e) {
+    EXPECT_EQ(back.edge(e).u, g.edge(e).u);
+    EXPECT_EQ(back.edge(e).v, g.edge(e).v);
+    EXPECT_DOUBLE_EQ(back.edge(e).width, g.edge(e).width);
+    EXPECT_DOUBLE_EQ(back.edge(e).length, g.edge(e).length);
+  }
+}
+
+TEST(NetIo, RoutingValidation) {
+  EXPECT_THROW(read_routing(""), std::invalid_argument);
+  EXPECT_THROW(read_routing("node 0 0 sink\n"), std::invalid_argument);  // no source
+  EXPECT_THROW(read_routing("node 0 0 source\nnode 1 1 wat\n"),
+               std::invalid_argument);
+  EXPECT_THROW(read_routing("edge 0 1\nnode 0 0 source\n"), std::invalid_argument);
+}
+
+TEST(NetIo, FileRoundTrip) {
+  const std::string dir = ::testing::TempDir();
+  expt::NetGenerator gen(9);
+  const graph::Net net = gen.random_net(8);
+  write_net_file(dir + "/io_test.net", net);
+  EXPECT_EQ(read_net_file(dir + "/io_test.net").size(), net.size());
+
+  const graph::RoutingGraph g = graph::mst_routing(net);
+  write_routing_file(dir + "/io_test.route", g);
+  EXPECT_EQ(read_routing_file(dir + "/io_test.route").edge_count(), g.edge_count());
+
+  EXPECT_THROW(read_net_file(dir + "/does_not_exist.net"), std::runtime_error);
+}
+
+std::vector<std::string> args(std::initializer_list<const char*> list) {
+  return {list.begin(), list.end()};
+}
+
+TEST(Cli, ParsesTypicalInvocation) {
+  const CliOptions opts = parse_cli(args({"--random", "10", "--seed", "7",
+                                          "--strategy", "sldrg", "--evaluator", "d2m",
+                                          "--svg", "out.svg", "--report"}));
+  EXPECT_EQ(opts.random_pins, 10u);
+  EXPECT_EQ(opts.seed, 7u);
+  EXPECT_EQ(opts.strategy, core::Strategy::kSldrg);
+  EXPECT_EQ(opts.evaluator, "d2m");
+  EXPECT_EQ(opts.svg_path, "out.svg");
+  EXPECT_TRUE(opts.per_sink_report);
+}
+
+TEST(Cli, StrategyNames) {
+  EXPECT_EQ(strategy_from_name("mst"), core::Strategy::kMst);
+  EXPECT_EQ(strategy_from_name("ert-ldrg"), core::Strategy::kErtLdrg);
+  EXPECT_EQ(strategy_from_name("h3"), core::Strategy::kH3);
+  EXPECT_THROW(strategy_from_name("bogus"), std::invalid_argument);
+}
+
+TEST(Cli, InputExclusivity) {
+  EXPECT_THROW(parse_cli(args({"--strategy", "mst"})), std::invalid_argument);
+  EXPECT_THROW(parse_cli(args({"--net", "a.net", "--random", "5"})),
+               std::invalid_argument);
+  EXPECT_NO_THROW(parse_cli(args({"--net", "a.net"})));
+}
+
+TEST(Cli, ValueValidation) {
+  EXPECT_THROW(parse_cli(args({"--random"})), std::invalid_argument);
+  EXPECT_THROW(parse_cli(args({"--random", "xyz"})), std::invalid_argument);
+  EXPECT_THROW(parse_cli(args({"--random", "5", "--pd", "1.5"})),
+               std::invalid_argument);
+  EXPECT_THROW(parse_cli(args({"--random", "5", "--brbc", "-1"})),
+               std::invalid_argument);
+  EXPECT_THROW(parse_cli(args({"--random", "5", "--pd", "0.5", "--brbc", "1"})),
+               std::invalid_argument);
+  EXPECT_THROW(parse_cli(args({"--random", "5", "--evaluator", "hspice"})),
+               std::invalid_argument);
+  EXPECT_THROW(parse_cli(args({"--random", "5", "--frobnicate"})),
+               std::invalid_argument);
+}
+
+TEST(Cli, HelpBypassesValidation) {
+  const CliOptions opts = parse_cli(args({"--help"}));
+  EXPECT_TRUE(opts.help);
+  EXPECT_FALSE(cli_usage().empty());
+  EXPECT_NE(cli_usage().find("--strategy"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ntr::io

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "expt/net_generator.h"
+#include "grid/layered.h"
+
+namespace ntr::grid {
+namespace {
+
+TEST(LayeredUsage, BoundaryIdsAndAccounting) {
+  LayeredGrid g(5, 4, 100.0, 1, 10.0);
+  const LayeredCell a{{1, 1}, 0}, b{{2, 1}, 0};
+  EXPECT_EQ(g.boundary_id(a, b), g.boundary_id(b, a));
+  const LayeredCell va{{1, 1}, 1}, vb{{1, 2}, 1};
+  EXPECT_EQ(g.boundary_id(va, vb), g.boundary_id(vb, va));
+  EXPECT_NE(g.boundary_id(a, b), g.boundary_id(va, vb));
+  // Wrong-layer / non-neighbor queries are rejected.
+  EXPECT_THROW(static_cast<void>(g.boundary_id(a, va)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(g.boundary_id(a, LayeredCell{{3, 1}, 0})),
+               std::invalid_argument);
+
+  g.add_usage(a, b, 2);
+  EXPECT_EQ(g.usage(b, a), 2u);
+  EXPECT_EQ(g.total_overflow(), 1u);
+  EXPECT_EQ(g.max_usage(), 2u);
+  g.add_usage(a, b, -2);
+  EXPECT_EQ(g.total_overflow(), 0u);
+  EXPECT_THROW(g.add_usage(a, b, -1), std::logic_error);
+}
+
+TEST(LayeredUsage, CommitReleaseReversible) {
+  LayeredGrid g(20, 20, 100.0, 2, 10.0);
+  graph::Net net{{{50, 50}, {1450, 50}, {1450, 1450}}};
+  const LayeredNetRouting r = route_net_layered(g, net);
+  commit_usage(g, r, +1);
+  EXPECT_GT(g.max_usage(), 0u);
+  EXPECT_FALSE(has_overflow(g, r));
+  commit_usage(g, r, +1);
+  EXPECT_FALSE(has_overflow(g, r));  // capacity 2: full, not over
+  commit_usage(g, r, +1);
+  EXPECT_TRUE(has_overflow(g, r));
+  commit_usage(g, r, -1);
+  commit_usage(g, r, -1);
+  commit_usage(g, r, -1);
+  EXPECT_EQ(g.max_usage(), 0u);
+}
+
+TEST(LayeredGlobal, ParallelNetsSpreadAcrossTracks) {
+  // Three identical-row 2-pin nets, capacity 1: the router must fan them
+  // onto different horizontal tracks (layer 0 rows) to clear overflow.
+  LayeredGrid g(16, 6, 100.0, 1, 5.0);
+  std::vector<graph::Net> nets;
+  for (int i = 0; i < 3; ++i) {
+    // Pins in distinct cells (columns 0/15), same row band.
+    nets.push_back(graph::Net{{{50.0, 250.0 + i * 1e-9}, {1550.0, 250.0 + i * 1e-9}}});
+  }
+  const LayeredGlobalResult result = route_nets_layered(g, nets);
+  EXPECT_EQ(result.overflow, 0u);
+  EXPECT_LE(g.max_usage(), g.capacity());
+  EXPECT_EQ(result.nets.size(), 3u);
+}
+
+TEST(LayeredGlobal, RandomBatchRoutesWithBudget) {
+  LayeredGrid g(40, 40, 250.0, 6, 25.0);
+  expt::NetGenerator gen(17);
+  std::vector<graph::Net> nets;
+  while (nets.size() < 10) {
+    graph::Net candidate = gen.random_net(4);
+    std::vector<std::size_t> cells;
+    bool ok = true;
+    for (const geom::Point& p : candidate.pins) cells.push_back(g.cell_index(g.snap(p)));
+    std::sort(cells.begin(), cells.end());
+    for (std::size_t i = 1; i < cells.size(); ++i)
+      if (cells[i] == cells[i - 1]) ok = false;
+    if (ok) nets.push_back(std::move(candidate));
+  }
+  const LayeredGlobalResult result = route_nets_layered(g, nets);
+  EXPECT_EQ(result.overflow, 0u);
+  EXPECT_GT(result.total_wirelength_um, 0.0);
+  EXPECT_GT(result.total_vias, 0u);  // any vertical displacement needs vias
+}
+
+}  // namespace
+}  // namespace ntr::grid

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "delay/evaluator.h"
+#include "expt/net_generator.h"
+#include "grid/layered.h"
+
+namespace ntr::grid {
+namespace {
+
+TEST(LayeredGrid, ConstructionAndValidation) {
+  EXPECT_THROW(LayeredGrid(1, 5, 100.0), std::invalid_argument);
+  EXPECT_THROW(LayeredGrid(5, 5, -1.0), std::invalid_argument);
+  EXPECT_THROW(LayeredGrid(5, 5, 100.0, 1, -5.0), std::invalid_argument);
+  const LayeredGrid g(8, 6, 100.0, 2, 25.0);
+  EXPECT_EQ(g.state_count(), 2u * 48u);
+  EXPECT_DOUBLE_EQ(g.via_cost(), 25.0);
+}
+
+TEST(LayeredRoute, HvDisciplineIsRespected) {
+  const LayeredGrid g(12, 12, 100.0);
+  const std::vector<LayeredCell> sources{{{0, 0}, 0}};
+  const LayeredPath path = layered_route(g, sources, {7, 5});
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.front(), (LayeredCell{{0, 0}, 0}));
+  EXPECT_EQ(path.back(), (LayeredCell{{7, 5}, 0}));
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const LayeredCell a = path[i], b = path[i + 1];
+    if (a.cell == b.cell) {
+      EXPECT_NE(a.layer, b.layer);  // via
+    } else if (a.cell.row == b.cell.row) {
+      EXPECT_EQ(a.layer, 0u);  // horizontal move on layer 0
+      EXPECT_EQ(b.layer, 0u);
+    } else {
+      EXPECT_EQ(a.cell.col, b.cell.col);
+      EXPECT_EQ(a.layer, 1u);  // vertical move on layer 1
+      EXPECT_EQ(b.layer, 1u);
+    }
+  }
+}
+
+TEST(LayeredRoute, ViaCostControlsLayerChanges) {
+  // An L-shaped route needs exactly 2 vias (up to M2, down at the end).
+  // With an exorbitant via cost the router still needs them (no other
+  // way to move vertically), so the count stays minimal.
+  const LayeredGrid cheap(12, 12, 100.0, 1, 1.0);
+  const LayeredGrid dear(12, 12, 100.0, 1, 10'000.0);
+  const std::vector<LayeredCell> sources{{{0, 0}, 0}};
+  const auto vias = [](const LayeredPath& p) {
+    std::size_t v = 0;
+    for (std::size_t i = 0; i + 1 < p.size(); ++i)
+      if (p[i].cell == p[i + 1].cell) ++v;
+    return v;
+  };
+  const LayeredPath pc = layered_route(cheap, sources, {6, 6});
+  const LayeredPath pd = layered_route(dear, sources, {6, 6});
+  ASSERT_FALSE(pc.empty());
+  ASSERT_FALSE(pd.empty());
+  EXPECT_GE(vias(pc), 2u);
+  EXPECT_EQ(vias(pd), 2u);  // the unavoidable minimum
+}
+
+TEST(LayeredRoute, BlockagesArePerLayer) {
+  LayeredGrid g(10, 3, 100.0, 1, 1.0);
+  // Wall the horizontal layer at column 5 across all rows; the vertical
+  // layer stays open, but vertical wires cannot advance in x, so the
+  // target is unreachable.
+  for (std::size_t r = 0; r < 3; ++r) g.block({5, r}, 0);
+  const std::vector<LayeredCell> sources{{{0, 1}, 0}};
+  EXPECT_TRUE(layered_route(g, sources, {9, 1}).empty());
+
+  // Blocking only layer 1 at that column leaves horizontal routes fine.
+  LayeredGrid g2(10, 3, 100.0, 1, 1.0);
+  for (std::size_t r = 0; r < 3; ++r) g2.block({5, r}, 1);
+  EXPECT_FALSE(layered_route(g2, sources, {9, 1}).empty());
+}
+
+TEST(LayeredNet, RoutesAndCountsViasAndWire) {
+  const LayeredGrid g(40, 40, 250.0, 4, 30.0);
+  graph::Net net{{{125, 125}, {5125, 125}, {5125, 5125}}};
+  const LayeredNetRouting r = route_net_layered(g, net);
+  ASSERT_EQ(r.paths.size(), 2u);
+  // Straight horizontal first hop (same row): zero vias needed for it,
+  // the vertical hop needs at least two.
+  EXPECT_GE(r.via_count, 2u);
+  EXPECT_NEAR(r.wirelength_um, 10000.0, 1e-9);  // 20 + 20 cells x 250um
+}
+
+TEST(LayeredNet, ConvertsToConnectedRoutingGraph) {
+  const LayeredGrid g(40, 40, 250.0, 4, 30.0);
+  expt::NetGenerator gen(3);
+  const graph::Net net = gen.random_net(6);
+  const LayeredNetRouting r = route_net_layered(g, net);
+  const graph::RoutingGraph rg = to_routing_graph(g, net, r);
+  EXPECT_TRUE(rg.is_connected());
+  EXPECT_EQ(rg.sinks().size(), net.sink_count());
+  EXPECT_NEAR(rg.total_wirelength(), r.wirelength_um, 1e-6);
+
+  // And it is electrically usable.
+  const delay::TransientEvaluator eval(spice::kTable1Technology);
+  for (const double d : eval.sink_delays(rg)) {
+    EXPECT_GT(d, 0.0);
+    EXPECT_TRUE(std::isfinite(d));
+  }
+}
+
+TEST(LayeredNet, Validation) {
+  LayeredGrid g(10, 10, 100.0);
+  g.block(g.snap({450, 450}), 0);
+  graph::Net blocked{{{50, 50}, {450, 450}}};
+  EXPECT_THROW(route_net_layered(g, blocked), std::invalid_argument);
+  graph::Net colliding{{{50, 50}, {60, 60}}};
+  EXPECT_THROW(route_net_layered(g, colliding), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ntr::grid

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/ldrg.h"
+#include "delay/evaluator.h"
+#include "expt/net_generator.h"
+#include "graph/metrics.h"
+#include "route/constructions.h"
+#include "spice/spef.h"
+
+namespace ntr::graph {
+namespace {
+
+const spice::Technology kTech = spice::kTable1Technology;
+
+TEST(Metrics, TreeBasics) {
+  Net net{{{0, 0}, {1000, 0}, {1000, 1000}}};
+  RoutingGraph g = mst_routing(net);
+  const RoutingMetrics m = compute_metrics(g);
+  EXPECT_EQ(m.nodes, 3u);
+  EXPECT_EQ(m.sinks, 2u);
+  EXPECT_EQ(m.steiner_nodes, 0u);
+  EXPECT_EQ(m.cycles, 0u);
+  EXPECT_EQ(m.redundant_edges, 0u);
+  EXPECT_DOUBLE_EQ(m.wirelength_um, 2000.0);
+  EXPECT_DOUBLE_EQ(m.radius_um, 2000.0);
+  EXPECT_DOUBLE_EQ(m.max_direct_um, 2000.0);
+  EXPECT_DOUBLE_EQ(m.radius_ratio, 1.0);
+}
+
+TEST(Metrics, NonTreeShowsRedundancy) {
+  Net net{{{0, 0}, {1000, 0}, {1000, 1000}, {0, 1000}}};
+  RoutingGraph g(net);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 0);
+  const RoutingMetrics m = compute_metrics(g);
+  EXPECT_EQ(m.cycles, 1u);
+  EXPECT_EQ(m.redundant_edges, 4u);
+  // Opposite corner: 2000 um along either side of the ring; the cycle
+  // cuts node 3's path (1000 direct) but node 2 stays the radius.
+  EXPECT_DOUBLE_EQ(m.radius_um, 2000.0);
+  EXPECT_DOUBLE_EQ(m.radius_ratio, 1.0);
+}
+
+TEST(Metrics, StarHasUnitDetour) {
+  expt::NetGenerator gen(3);
+  const Net net = gen.random_net(10);
+  const RoutingMetrics m = compute_metrics(route::star_routing(net));
+  EXPECT_NEAR(m.mean_detour, 1.0, 1e-12);
+  EXPECT_NEAR(m.radius_ratio, 1.0, 1e-12);
+}
+
+TEST(Metrics, LdrgReducesRadiusRatioVsMst) {
+  expt::NetGenerator gen(9);
+  const delay::GraphElmoreEvaluator eval(kTech);
+  double mst_ratio = 0.0, ldrg_ratio = 0.0;
+  for (int t = 0; t < 5; ++t) {
+    const Net net = gen.random_net(12);
+    const RoutingGraph mst = mst_routing(net);
+    const core::LdrgResult res = core::ldrg(mst, eval);
+    mst_ratio += compute_metrics(mst).radius_ratio;
+    ldrg_ratio += compute_metrics(res.graph).radius_ratio;
+  }
+  EXPECT_LT(ldrg_ratio, mst_ratio);
+}
+
+TEST(Metrics, RejectsDisconnected) {
+  Net net{{{0, 0}, {100, 100}}};
+  const RoutingGraph g(net);
+  EXPECT_THROW(compute_metrics(g), std::invalid_argument);
+}
+
+TEST(Metrics, StreamOutput) {
+  Net net{{{0, 0}, {500, 0}}};
+  RoutingGraph g = mst_routing(net);
+  std::ostringstream os;
+  os << compute_metrics(g);
+  EXPECT_NE(os.str().find("2 nodes"), std::string::npos);
+  EXPECT_NE(os.str().find("wl 500"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ntr::graph
+
+namespace ntr::spice {
+namespace {
+
+TEST(Spef, HeaderAndSections) {
+  graph::Net net{{{0, 0}, {2000, 0}, {2000, 2000}}};
+  graph::RoutingGraph g = graph::mst_routing(net);
+  const std::string spef = write_spef(g, kTable1Technology, "clk_fanout");
+  EXPECT_EQ(spef.rfind("*SPEF", 0), 0u);
+  for (const char* required :
+       {"*DESIGN", "*C_UNIT 1 FF", "*R_UNIT 1 OHM", "*D_NET clk_fanout", "*CONN",
+        "*CAP", "*RES", "*END"}) {
+    EXPECT_NE(spef.find(required), std::string::npos) << required;
+  }
+  // One driver (O) and two loads (I).
+  EXPECT_NE(spef.find("*P clk_fanout:P0 O"), std::string::npos);
+  EXPECT_NE(spef.find("*P clk_fanout:P1 I"), std::string::npos);
+  EXPECT_NE(spef.find("*P clk_fanout:P2 I"), std::string::npos);
+}
+
+TEST(Spef, TotalCapMatchesNetworkTotal) {
+  graph::Net net{{{0, 0}, {1000, 0}}};
+  graph::RoutingGraph g(net);
+  g.add_edge(0, 1);
+  const std::string spef = write_spef(g, kTable1Technology);
+  // total = wire (352 fF/mm * 1mm = 352fF? no: 0.352 fF/um * 1000um = 352 fF)
+  // + one sink load 15.3 fF.
+  const double expected_ff =
+      kTable1Technology.wire_capacitance(1000.0) * 1e15 + 15.3;
+  std::istringstream in(spef);
+  std::string line;
+  double reported = -1.0;
+  while (std::getline(in, line)) {
+    if (line.rfind("*D_NET", 0) == 0) {
+      std::istringstream ls(line);
+      std::string tag, name;
+      ls >> tag >> name >> reported;
+      break;
+    }
+  }
+  EXPECT_NEAR(reported, expected_ff, expected_ff * 1e-4);
+}
+
+TEST(Spef, NonTreeAndSteinerNodesSupported) {
+  graph::Net net{{{0, 0}, {2000, 0}, {2000, 2000}}};
+  graph::RoutingGraph g = graph::mst_routing(net);
+  const graph::EdgeId e = *g.find_edge(0, 1);
+  g.split_edge(e, {1000, 0});
+  g.add_edge(0, 2);  // cycle
+  const std::string spef = write_spef(g, kTable1Technology, "n1");
+  EXPECT_NE(spef.find("n1:S3"), std::string::npos);   // internal node named S
+  EXPECT_EQ(spef.find("*P n1:S3"), std::string::npos);  // ...but not a *CONN pin
+  // Resistor count = edge count.
+  std::size_t res_lines = 0;
+  std::istringstream in(spef);
+  std::string line;
+  bool in_res = false;
+  while (std::getline(in, line)) {
+    if (line == "*RES") {
+      in_res = true;
+      continue;
+    }
+    if (line == "*END") in_res = false;
+    if (in_res && !line.empty()) ++res_lines;
+  }
+  EXPECT_EQ(res_lines, g.edge_count());
+}
+
+TEST(Spef, RejectsEmptyRouting) {
+  const graph::RoutingGraph empty;
+  EXPECT_THROW(static_cast<void>(write_spef(empty, kTable1Technology)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ntr::spice

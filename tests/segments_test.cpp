@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "core/ldrg.h"
+#include "delay/evaluator.h"
+#include "expt/net_generator.h"
+#include "geom/segments.h"
+#include "graph/embedding.h"
+
+namespace ntr::geom {
+namespace {
+
+TEST(Segments, LRouteShapes) {
+  // Diagonal: horizontal leg at p.y, vertical at q.x.
+  const auto diag = l_route({0, 0}, {10, 5});
+  ASSERT_EQ(diag.size(), 2u);
+  EXPECT_TRUE(diag[0].horizontal);
+  EXPECT_DOUBLE_EQ(diag[0].fixed, 0.0);
+  EXPECT_DOUBLE_EQ(diag[0].length(), 10.0);
+  EXPECT_FALSE(diag[1].horizontal);
+  EXPECT_DOUBLE_EQ(diag[1].fixed, 10.0);
+  EXPECT_DOUBLE_EQ(diag[1].length(), 5.0);
+
+  // Axis-aligned: single segment; coincident: none.
+  EXPECT_EQ(l_route({0, 0}, {7, 0}).size(), 1u);
+  EXPECT_EQ(l_route({0, 0}, {0, 7}).size(), 1u);
+  EXPECT_TRUE(l_route({3, 3}, {3, 3}).empty());
+}
+
+TEST(Segments, LRouteLengthEqualsManhattan) {
+  std::vector<std::pair<Point, Point>> cases{
+      {{0, 0}, {10, 5}}, {{-3, 7}, {4, -2}}, {{1, 1}, {1, 9}}};
+  for (const auto& [p, q] : cases) {
+    const auto route = l_route(p, q);
+    EXPECT_DOUBLE_EQ(total_length(route), manhattan_distance(p, q));
+  }
+}
+
+TEST(Segments, UnionMergesOverlaps) {
+  const std::vector<Segment> segs{
+      {true, 0.0, 0.0, 10.0},   // [0,10] on y=0
+      {true, 0.0, 5.0, 15.0},   // overlaps -> union [0,15]
+      {true, 0.0, 20.0, 25.0},  // disjoint piece
+      {true, 1.0, 0.0, 10.0},   // different track: full
+      {false, 0.0, 0.0, 10.0},  // vertical at x=0: different orientation
+  };
+  EXPECT_DOUBLE_EQ(total_length(segs), 45.0);
+  EXPECT_DOUBLE_EQ(union_length(segs), 15.0 + 5.0 + 10.0 + 10.0);
+}
+
+TEST(Segments, UnionHandlesTouchingIntervals) {
+  const std::vector<Segment> segs{{true, 0.0, 0.0, 5.0}, {true, 0.0, 5.0, 9.0}};
+  EXPECT_DOUBLE_EQ(union_length(segs), 9.0);
+}
+
+TEST(Segments, ZeroLengthIgnored) {
+  const std::vector<Segment> segs{{true, 0.0, 3.0, 3.0}};
+  EXPECT_DOUBLE_EQ(union_length(segs), 0.0);
+}
+
+}  // namespace
+}  // namespace ntr::geom
+
+namespace ntr::graph {
+namespace {
+
+TEST(Embedding, TreeWithoutSharedTracksHasNoOverlap) {
+  Net net{{{0, 0}, {1000, 500}, {2000, 1500}}};
+  RoutingGraph g(net);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_NEAR(metal_length(g), g.total_wirelength(), 1e-9);
+  EXPECT_NEAR(overlap_length(g), 0.0, 1e-9);
+}
+
+TEST(Embedding, ParallelSourceEdgeCreatesOverlap) {
+  // Chain along the x axis plus a direct source wire to the far pin: the
+  // L-embeddings share the y=0 track completely.
+  Net net{{{0, 0}, {1000, 0}, {2000, 0}}};
+  RoutingGraph g(net);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);  // the LDRG-style extra wire
+  EXPECT_DOUBLE_EQ(g.total_wirelength(), 4000.0);
+  EXPECT_DOUBLE_EQ(metal_length(g), 2000.0);
+  EXPECT_DOUBLE_EQ(overlap_length(g), 2000.0);
+}
+
+TEST(Embedding, MetalNeverExceedsEdgeSum) {
+  expt::NetGenerator gen(15);
+  const spice::Technology tech = spice::kTable1Technology;
+  const delay::GraphElmoreEvaluator eval(tech);
+  for (int trial = 0; trial < 6; ++trial) {
+    const Net net = gen.random_net(10);
+    const RoutingGraph mst = mst_routing(net);
+    const core::LdrgResult res = core::ldrg(mst, eval);
+    EXPECT_LE(metal_length(res.graph), res.graph.total_wirelength() * (1 + 1e-9));
+    EXPECT_GE(overlap_length(res.graph), -1e-9);
+  }
+}
+
+TEST(Embedding, SegmentsCoverEveryEdge) {
+  Net net{{{0, 0}, {500, 700}, {900, 100}}};
+  RoutingGraph g = mst_routing(net);
+  const std::vector<geom::Segment> segs = embed_routing(g);
+  EXPECT_NEAR(geom::total_length(segs), g.total_wirelength(), 1e-9);
+}
+
+}  // namespace
+}  // namespace ntr::graph

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "delay/evaluator.h"
+#include "expt/net_generator.h"
+#include "sim/transient.h"
+#include "spice/graph_netlist.h"
+
+namespace ntr::sim {
+namespace {
+
+spice::Circuit rc_lowpass(double r, double c) {
+  spice::Circuit ckt;
+  const spice::CircuitNode in = ckt.add_node("in");
+  const spice::CircuitNode out = ckt.add_node("out");
+  ckt.add_voltage_source("V1", in, spice::kGround, 1.0, spice::SourceWaveform::kStep);
+  ckt.add_resistor("R1", in, out, r);
+  ckt.add_capacitor("C1", out, spice::kGround, c);
+  return ckt;
+}
+
+TEST(Slew, SinglePoleRiseTimeIsLnNineTau) {
+  const double r = 1000.0, c = 1e-12;  // tau = 1ns
+  TransientSimulator sim(rc_lowpass(r, c));
+  const std::vector<spice::CircuitNode> watch{2};
+  const std::vector<double> rise = sim.measure_rise_times(watch);
+  ASSERT_EQ(rise.size(), 1u);
+  // t(0.9) - t(0.1) = tau (ln 10 - ln(10/9)) = tau * ln 9.
+  EXPECT_NEAR(rise[0], r * c * std::log(9.0), r * c * 0.01);
+}
+
+TEST(Slew, MultiThresholdMonotoneInFraction) {
+  TransientSimulator sim(rc_lowpass(500.0, 2e-12));
+  const std::vector<spice::CircuitNode> watch{2};
+  const std::vector<double> fractions{0.1, 0.5, 0.9};
+  const auto report = sim.measure_multi_crossings(watch, fractions);
+  ASSERT_TRUE(report.all_crossed);
+  EXPECT_LT(report.crossing_s[0][0], report.crossing_s[1][0]);
+  EXPECT_LT(report.crossing_s[1][0], report.crossing_s[2][0]);
+}
+
+TEST(Slew, MultiMatchesSingleThresholdMeasurement) {
+  TransientSimulator sim_a(rc_lowpass(1000.0, 1e-12));
+  TransientSimulator sim_b(rc_lowpass(1000.0, 1e-12));
+  const std::vector<spice::CircuitNode> watch{2};
+  const std::vector<double> fractions{0.5};
+  const auto multi = sim_a.measure_multi_crossings(watch, fractions);
+  const auto single = sim_b.measure_crossings(watch, 0.5);
+  EXPECT_NEAR(multi.crossing_s[0][0], single.crossing_s[0],
+              single.crossing_s[0] * 1e-9);
+}
+
+TEST(Slew, FractionValidation) {
+  TransientSimulator sim(rc_lowpass(1000.0, 1e-12));
+  const std::vector<spice::CircuitNode> watch{2};
+  const std::vector<double> unordered{0.9, 0.1};
+  EXPECT_THROW(sim.measure_multi_crossings(watch, unordered), std::invalid_argument);
+  const std::vector<double> out_of_range{0.0, 0.5};
+  EXPECT_THROW(sim.measure_multi_crossings(watch, out_of_range),
+               std::invalid_argument);
+  EXPECT_THROW(sim.measure_rise_times(watch, 0.9, 0.1), std::invalid_argument);
+}
+
+TEST(Slew, FarSinksHaveSlowerEdgesOnRealNets) {
+  // On an MST routing, the slowest sink also tends to see the laziest
+  // edge; at minimum, all rise times are positive and finite.
+  expt::NetGenerator gen(17);
+  const graph::Net net = gen.random_net(10);
+  const graph::RoutingGraph g = graph::mst_routing(net);
+  const spice::Technology tech = spice::kTable1Technology;
+  const spice::GraphNetlist netlist = spice::build_netlist(g, tech);
+  std::vector<spice::CircuitNode> watch;
+  for (const graph::NodeId s : netlist.sink_graph_nodes)
+    watch.push_back(netlist.graph_to_circuit[s]);
+  TransientSimulator sim(netlist.circuit);
+  const std::vector<double> rise = sim.measure_rise_times(watch);
+  for (const double r : rise) {
+    EXPECT_GT(r, 0.0);
+    EXPECT_TRUE(std::isfinite(r));
+  }
+}
+
+TEST(Slew, UnreachableNodeReportsInfiniteRise) {
+  spice::Circuit ckt;
+  const auto in = ckt.add_node("in");
+  const auto a = ckt.add_node("a");
+  const auto orphan = ckt.add_node("x");
+  ckt.add_voltage_source("V1", in, spice::kGround, 1.0, spice::SourceWaveform::kStep);
+  ckt.add_resistor("R1", in, a, 100.0);
+  ckt.add_capacitor("Ca", a, spice::kGround, 1e-12);
+  ckt.add_resistor("Rx", orphan, spice::kGround, 100.0);
+  ckt.add_capacitor("Cx", orphan, spice::kGround, 1e-12);
+  TransientSimulator sim(ckt);
+  const std::vector<spice::CircuitNode> watch{a, orphan};
+  const std::vector<double> rise = sim.measure_rise_times(watch);
+  EXPECT_TRUE(std::isfinite(rise[0]));
+  EXPECT_TRUE(std::isinf(rise[1]));
+}
+
+}  // namespace
+}  // namespace ntr::sim

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/solver.h"
+#include "delay/evaluator.h"
+#include "expt/net_generator.h"
+
+namespace ntr::core {
+namespace {
+
+const spice::Technology kTech = spice::kTable1Technology;
+
+const std::vector<Strategy> kAllStrategies{
+    Strategy::kMst,   Strategy::kStar,    Strategy::kSteinerTree,
+    Strategy::kErt,   Strategy::kSert,    Strategy::kLdrg,
+    Strategy::kSldrg, Strategy::kErtLdrg, Strategy::kH1,
+    Strategy::kH2,    Strategy::kH3};
+
+TEST(Solver, EveryStrategyYieldsConnectedRouting) {
+  expt::NetGenerator gen(71);
+  const graph::Net net = gen.random_net(8);
+  const delay::TransientEvaluator eval(kTech);
+  for (const Strategy s : kAllStrategies) {
+    const Solution sol = solve(net, s, eval);
+    EXPECT_TRUE(sol.graph.is_connected()) << strategy_name(s);
+    EXPECT_GT(sol.delay_s, 0.0) << strategy_name(s);
+    EXPECT_GT(sol.cost_um, 0.0) << strategy_name(s);
+    // Every net pin must appear at its original coordinates.
+    EXPECT_GE(sol.graph.node_count(), net.size()) << strategy_name(s);
+  }
+}
+
+TEST(Solver, TreeStrategiesAreTrees) {
+  expt::NetGenerator gen(73);
+  const graph::Net net = gen.random_net(9);
+  const delay::TransientEvaluator eval(kTech);
+  for (const Strategy s : {Strategy::kMst, Strategy::kStar, Strategy::kSteinerTree,
+                           Strategy::kErt, Strategy::kSert}) {
+    EXPECT_TRUE(solve(net, s, eval).graph.is_tree()) << strategy_name(s);
+  }
+}
+
+TEST(Solver, LdrgNeverSlowerThanMst) {
+  expt::NetGenerator gen(79);
+  const delay::TransientEvaluator eval(kTech);
+  for (int trial = 0; trial < 3; ++trial) {
+    const graph::Net net = gen.random_net(10);
+    const Solution mst = solve(net, Strategy::kMst, eval);
+    const Solution ldrg_sol = solve(net, Strategy::kLdrg, eval);
+    EXPECT_LE(ldrg_sol.delay_s, mst.delay_s * (1 + 1e-9));
+    EXPECT_GE(ldrg_sol.cost_um, mst.cost_um * (1 - 1e-9));
+  }
+}
+
+TEST(Solver, ErtLdrgNeverSlowerThanErt) {
+  expt::NetGenerator gen(83);
+  const delay::TransientEvaluator eval(kTech);
+  const graph::Net net = gen.random_net(10);
+  const Solution ert = solve(net, Strategy::kErt, eval);
+  const Solution ert_ldrg = solve(net, Strategy::kErtLdrg, eval);
+  EXPECT_LE(ert_ldrg.delay_s, ert.delay_s * (1 + 1e-9));
+}
+
+TEST(Solver, StrategyNamesAreUniqueAndNonEmpty) {
+  std::vector<std::string> names;
+  for (const Strategy s : kAllStrategies) names.push_back(strategy_name(s));
+  for (const std::string& n : names) EXPECT_FALSE(n.empty());
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::adjacent_find(names.begin(), names.end()), names.end());
+}
+
+TEST(Solver, LdrgOptionsArePassedThrough) {
+  expt::NetGenerator gen(89);
+  const graph::Net net = gen.random_net(10);
+  const delay::TransientEvaluator eval(kTech);
+  SolverConfig config;
+  config.ldrg.max_added_edges = 0;  // LDRG degenerates to the MST
+  const Solution capped = solve(net, Strategy::kLdrg, eval, config);
+  const Solution mst = solve(net, Strategy::kMst, eval);
+  EXPECT_DOUBLE_EQ(capped.cost_um, mst.cost_um);
+}
+
+TEST(Solver, ValidatesNet) {
+  const delay::TransientEvaluator eval(kTech);
+  graph::Net bad;
+  bad.pins = {{0, 0}};
+  EXPECT_THROW(solve(bad, Strategy::kMst, eval), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ntr::core

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sta/timing_graph.h"
+
+namespace ntr::sta {
+namespace {
+
+/// A two-level circuit:
+///   pi_a --g1(1ns)--> mid --g3(2ns)--> out1 (PO)
+///   pi_b --g2(3ns)--> mid2 ^
+/// g3 reads mid and mid2.
+struct SmallDesign {
+  TimingGraph design;
+  NetId pi_a, pi_b, mid, mid2, out1;
+  GateId g1, g2, g3;
+
+  SmallDesign() {
+    pi_a = design.add_net("pi_a");
+    pi_b = design.add_net("pi_b");
+    mid = design.add_net("mid");
+    mid2 = design.add_net("mid2");
+    out1 = design.add_net("out1");
+    g1 = design.add_gate("g1", 1e-9, {pi_a}, mid);
+    g2 = design.add_gate("g2", 3e-9, {pi_b}, mid2);
+    g3 = design.add_gate("g3", 2e-9, {mid, mid2}, out1);
+  }
+};
+
+TEST(Sta, StructureQueries) {
+  const SmallDesign d;
+  EXPECT_TRUE(d.design.is_primary_input(d.pi_a));
+  EXPECT_FALSE(d.design.is_primary_input(d.mid));
+  EXPECT_TRUE(d.design.is_primary_output(d.out1));
+  EXPECT_FALSE(d.design.is_primary_output(d.mid));
+  EXPECT_EQ(d.design.net(d.mid).sinks.size(), 1u);
+}
+
+TEST(Sta, ArrivalTimesWithoutInterconnect) {
+  const SmallDesign d;
+  const TimingReport report = analyze(d.design, 10e-9);
+  EXPECT_DOUBLE_EQ(report.net_arrival_s[d.mid], 1e-9);
+  EXPECT_DOUBLE_EQ(report.net_arrival_s[d.mid2], 3e-9);
+  // g3 waits for the slower input: 3ns + 2ns.
+  EXPECT_DOUBLE_EQ(report.net_arrival_s[d.out1], 5e-9);
+  EXPECT_DOUBLE_EQ(report.worst_arrival_s, 5e-9);
+}
+
+TEST(Sta, InterconnectDelaysShiftArrivals) {
+  SmallDesign d;
+  d.design.set_interconnect_delay(d.mid, d.g3, 4e-9);  // now mid is the slow input
+  const TimingReport report = analyze(d.design, 10e-9);
+  EXPECT_DOUBLE_EQ(report.net_arrival_s[d.out1], 1e-9 + 4e-9 + 2e-9);
+}
+
+TEST(Sta, SlacksAndRequiredTimes) {
+  const SmallDesign d;
+  const TimingReport report = analyze(d.design, 10e-9);
+  EXPECT_DOUBLE_EQ(report.net_required_s[d.out1], 10e-9);
+  EXPECT_DOUBLE_EQ(report.net_slack_s[d.out1], 5e-9);
+  // mid may arrive as late as 10 - 2 = 8ns; it arrives at 1ns: slack 7ns.
+  EXPECT_DOUBLE_EQ(report.net_slack_s[d.mid], 7e-9);
+  EXPECT_DOUBLE_EQ(report.net_slack_s[d.mid2], 5e-9);
+  EXPECT_DOUBLE_EQ(report.worst_slack_s, 5e-9);
+}
+
+TEST(Sta, CriticalPathFollowsSlowestInputs) {
+  const SmallDesign d;
+  const TimingReport report = analyze(d.design, 10e-9);
+  // pi_b -> mid2 -> out1 dominates (3ns gate beats 1ns gate).
+  ASSERT_EQ(report.critical_path.size(), 3u);
+  EXPECT_EQ(report.critical_path[0], d.pi_b);
+  EXPECT_EQ(report.critical_path[1], d.mid2);
+  EXPECT_EQ(report.critical_path[2], d.out1);
+}
+
+TEST(Sta, SinkCriticalitiesReflectSlack) {
+  TimingGraph design;
+  const NetId pi = design.add_net("pi");
+  const NetId fanout = design.add_net("fanout");
+  const NetId slow_out = design.add_net("slow_out");
+  const NetId fast_out = design.add_net("fast_out");
+  design.add_gate("drv", 1e-9, {pi}, fanout);
+  const GateId slow = design.add_gate("slow", 8e-9, {fanout}, slow_out);
+  const GateId fast = design.add_gate("fast", 1e-9, {fanout}, fast_out);
+
+  const TimingReport report = analyze(design, 10e-9);
+  const std::vector<double> alpha = sink_criticalities(design, report, fanout);
+  ASSERT_EQ(alpha.size(), 2u);
+  // Sink order matches insertion: slow gate first.
+  const std::size_t slow_idx = design.net(fanout).sinks[0] == slow ? 0 : 1;
+  EXPECT_GT(alpha[slow_idx], alpha[1 - slow_idx]);
+  EXPECT_NEAR(alpha[slow_idx], 0.9, 1e-9);   // slack 1ns of a 10ns period
+  EXPECT_NEAR(alpha[1 - slow_idx], 0.2, 1e-9);  // slack 8ns
+  (void)fast;
+}
+
+TEST(Sta, DetectsCombinationalCycle) {
+  TimingGraph design;
+  const NetId a = design.add_net("a");
+  const NetId b = design.add_net("b");
+  design.add_gate("g1", 1e-9, {a}, b);
+  design.add_gate("g2", 1e-9, {b}, a);
+  EXPECT_THROW(analyze(design, 10e-9), std::invalid_argument);
+}
+
+TEST(Sta, Validation) {
+  TimingGraph design;
+  const NetId a = design.add_net("a");
+  const NetId b = design.add_net("b");
+  design.add_gate("g", 1e-9, {a}, b);
+  EXPECT_THROW(design.add_gate("g2", 1e-9, {a}, b), std::invalid_argument);
+  EXPECT_THROW(design.add_gate("g3", -1.0, {a}, design.add_net("c")),
+               std::invalid_argument);
+  EXPECT_THROW(design.set_interconnect_delay(b, 0, 1e-9), std::invalid_argument);
+  EXPECT_THROW(analyze(design, 0.0), std::invalid_argument);
+}
+
+TEST(Sta, DeepChainScales) {
+  TimingGraph design;
+  NetId prev = design.add_net("pi");
+  for (int i = 0; i < 500; ++i) {
+    const NetId next = design.add_net("n" + std::to_string(i));
+    design.add_gate("g" + std::to_string(i), 1e-10, {prev}, next);
+    prev = next;
+  }
+  const TimingReport report = analyze(design, 100e-9);
+  EXPECT_NEAR(report.worst_arrival_s, 500 * 1e-10, 1e-15);
+  EXPECT_EQ(report.critical_path.size(), 501u);
+}
+
+}  // namespace
+}  // namespace ntr::sta

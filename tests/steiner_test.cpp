@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "expt/net_generator.h"
+#include "geom/bbox.h"
+#include "graph/mst.h"
+#include "graph/routing_graph.h"
+#include "steiner/iterated_one_steiner.h"
+
+namespace ntr::steiner {
+namespace {
+
+TEST(OneSteinerGain, CrossNetGainsAtCenter) {
+  // Pins at the arms of a plus sign: MST costs 6, the Steiner tree through
+  // the center costs 4.
+  const std::vector<geom::Point> pins{{1, 0}, {0, 1}, {2, 1}, {1, 2}};
+  EXPECT_NEAR(one_steiner_gain(pins, {1, 1}), 2.0, 1e-12);
+  EXPECT_LE(one_steiner_gain(pins, {0, 0}), 1e-12);  // corner gains nothing
+}
+
+TEST(IteratedOneSteiner, SolvesCrossNetExactly) {
+  graph::Net net{{{1, 0}, {0, 1}, {2, 1}, {1, 2}}};
+  const SteinerResult res = iterated_one_steiner(net);
+  ASSERT_EQ(res.steiner_points.size(), 1u);
+  EXPECT_EQ(res.steiner_points[0], (geom::Point{1, 1}));
+  EXPECT_TRUE(res.graph.is_tree());
+  EXPECT_NEAR(res.graph.total_wirelength(), 4.0, 1e-12);
+}
+
+TEST(IteratedOneSteiner, LShapeNeedsNoSteinerPoint) {
+  graph::Net net{{{0, 0}, {10, 0}, {10, 10}}};
+  const SteinerResult res = iterated_one_steiner(net);
+  EXPECT_TRUE(res.steiner_points.empty());
+  EXPECT_NEAR(res.graph.total_wirelength(), 20.0, 1e-12);
+}
+
+TEST(IteratedOneSteiner, MaxPointsCapRespected) {
+  expt::NetGenerator gen(21);
+  const graph::Net net = gen.random_net(15);
+  SteinerOptions opts;
+  opts.max_steiner_points = 2;
+  const SteinerResult res = iterated_one_steiner(net, opts);
+  EXPECT_LE(res.steiner_points.size(), 2u);
+  EXPECT_TRUE(res.graph.is_tree());
+}
+
+class SteinerPropertyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SteinerPropertyTest, NeverCostsMoreThanMst) {
+  expt::NetGenerator gen(31 + GetParam());
+  for (int trial = 0; trial < 8; ++trial) {
+    const graph::Net net = gen.random_net(GetParam());
+    const SteinerResult res = iterated_one_steiner(net);
+    const double mst_cost = graph::mst_routing(net).total_wirelength();
+    EXPECT_LE(res.graph.total_wirelength(), mst_cost * (1.0 + 1e-9));
+    EXPECT_TRUE(res.graph.is_tree());
+    EXPECT_TRUE(res.graph.is_connected());
+  }
+}
+
+TEST_P(SteinerPropertyTest, SteinerNodesHaveDegreeAtLeastThree) {
+  expt::NetGenerator gen(47 + GetParam());
+  const graph::Net net = gen.random_net(GetParam());
+  const SteinerResult res = iterated_one_steiner(net);
+  for (graph::NodeId n = 0; n < res.graph.node_count(); ++n) {
+    if (res.graph.node(n).kind == graph::NodeKind::kSteiner) {
+      EXPECT_GE(res.graph.degree(n), 3u) << "Steiner node " << n;
+    }
+  }
+}
+
+TEST_P(SteinerPropertyTest, CostAtLeastHalfPerimeterBound) {
+  expt::NetGenerator gen(59 + GetParam());
+  const graph::Net net = gen.random_net(GetParam());
+  const SteinerResult res = iterated_one_steiner(net);
+  geom::BBox box(net.pins);
+  EXPECT_GE(res.graph.total_wirelength(), box.half_perimeter() * (1.0 - 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SteinerPropertyTest,
+                         ::testing::Values<std::size_t>(5, 10, 20));
+
+TEST(ExactSteiner, SolvesCrossAndRespectsGuard) {
+  graph::Net cross{{{1, 0}, {0, 1}, {2, 1}, {1, 2}}};
+  const ExactSteinerResult exact = exact_steiner_tree(cross);
+  EXPECT_NEAR(exact.graph.total_wirelength(), 4.0, 1e-12);
+  ASSERT_EQ(exact.steiner_points.size(), 1u);
+  EXPECT_EQ(exact.steiner_points[0], (geom::Point{1, 1}));
+  EXPECT_GT(exact.trees_evaluated, 1u);
+
+  expt::NetGenerator gen(1);
+  EXPECT_THROW(exact_steiner_tree(gen.random_net(12)), std::invalid_argument);
+}
+
+class ExactSteinerOptimalityTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExactSteinerOptimalityTest, IteratedOneSteinerNearTheOptimum) {
+  // Ground truth on tiny nets: the heuristic can never beat the exact
+  // tree, and stays within a few percent of it (its published behavior).
+  expt::NetGenerator gen(GetParam());
+  const graph::Net net = gen.random_net(5);
+  const ExactSteinerResult exact = exact_steiner_tree(net);
+  const SteinerResult heuristic = iterated_one_steiner(net);
+  EXPECT_GE(heuristic.graph.total_wirelength(),
+            exact.graph.total_wirelength() * (1 - 1e-9));
+  EXPECT_LE(heuristic.graph.total_wirelength(),
+            exact.graph.total_wirelength() * 1.05);
+  EXPECT_TRUE(exact.graph.is_tree());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactSteinerOptimalityTest,
+                         ::testing::Values<std::uint64_t>(11, 22, 33, 44, 55));
+
+TEST(IteratedOneSteiner, PreservesNetNodeOrdering) {
+  expt::NetGenerator gen(61);
+  const graph::Net net = gen.random_net(9);
+  const SteinerResult res = iterated_one_steiner(net);
+  ASSERT_GE(res.graph.node_count(), net.size());
+  EXPECT_EQ(res.graph.node(0).kind, graph::NodeKind::kSource);
+  for (std::size_t i = 0; i < net.size(); ++i)
+    EXPECT_EQ(res.graph.node(i).pos, net.pins[i]);
+}
+
+}  // namespace
+}  // namespace ntr::steiner

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "delay/evaluator.h"
+#include "delay/moments.h"
+#include "delay/two_pole.h"
+#include "expt/net_generator.h"
+#include "graph/routing_graph.h"
+
+namespace ntr::delay {
+namespace {
+
+const spice::Technology kTech = spice::kTable1Technology;
+constexpr double kLn2 = 0.6931471805599453;
+
+TEST(TwoPole, SingleRcReducesToOnePole) {
+  // A 2-pin net is electrically (driver R + wire) -> caps: the fitted
+  // model's 50% crossing must match the transient measurement closely.
+  graph::Net net{{{0, 0}, {3000, 0}}};
+  graph::RoutingGraph g(net);
+  g.add_edge(0, 1);
+
+  const std::vector<TwoPoleModel> models = two_pole_models(g, kTech);
+  const TransientEvaluator transient(kTech);
+  const double measured = transient.sink_delays(g)[0];
+  const double modeled = models[1].crossing(0.5);
+  EXPECT_NEAR(modeled, measured, measured * 0.05);
+}
+
+TEST(TwoPole, ResponseShape) {
+  graph::Net net{{{0, 0}, {3000, 0}}};
+  graph::RoutingGraph g(net);
+  g.add_edge(0, 1);
+  const TwoPoleModel m = two_pole_models(g, kTech)[1];
+  EXPECT_DOUBLE_EQ(m.response(0.0), 0.0);
+  EXPECT_NEAR(m.response(m.tau1 * 40.0), 1.0, 1e-6);
+  // Monotone for real poles.
+  ASSERT_TRUE(m.real_poles);
+  double prev = -1.0;
+  for (double t = 0.0; t < 10.0 * m.tau1; t += m.tau1 / 7.0) {
+    EXPECT_GE(m.response(t), prev - 1e-12);
+    prev = m.response(t);
+  }
+}
+
+TEST(TwoPole, CrossingMonotoneInFraction) {
+  graph::Net net{{{0, 0}, {2000, 1000}, {4000, 0}}};
+  graph::RoutingGraph g = graph::mst_routing(net);
+  const TwoPoleModel m = two_pole_models(g, kTech)[2];
+  EXPECT_LT(m.crossing(0.1), m.crossing(0.5));
+  EXPECT_LT(m.crossing(0.5), m.crossing(0.9));
+  EXPECT_THROW(static_cast<void>(m.crossing(0.0)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(m.crossing(1.0)), std::invalid_argument);
+}
+
+class TwoPoleAccuracyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TwoPoleAccuracyTest, BeatsSinglePoleAgainstTransient) {
+  // Across random trees and at several thresholds, the 3-moment two-pole
+  // model must track the transient crossing better than the single-pole
+  // ln(1/(1-f)) * m1 rule on average.
+  expt::NetGenerator gen(5 + GetParam());
+  const TransientEvaluator transient(kTech);
+  const GraphElmoreEvaluator elmore(kTech);
+
+  double two_pole_err = 0.0, single_pole_err = 0.0;
+  int count = 0;
+  for (int trial = 0; trial < 3; ++trial) {
+    const graph::Net net = gen.random_net(GetParam());
+    graph::RoutingGraph g = graph::mst_routing(net);
+    if (trial == 2) g.add_edge(0, g.node_count() - 1);  // one non-tree case
+    const std::vector<TwoPoleModel> models = two_pole_models(g, kTech);
+    const std::vector<double> m1 = graph_elmore_delays(g, kTech);
+    const std::vector<graph::NodeId> sinks = g.sinks();
+    for (const double f : {0.5, 0.9}) {
+      spice::Technology tech_f = kTech;
+      tech_f.threshold_fraction = f;
+      const TransientEvaluator measure(tech_f);
+      const std::vector<double> ref = measure.sink_delays(g);
+      for (std::size_t i = 0; i < sinks.size(); ++i) {
+        const double tp = models[sinks[i]].crossing(f);
+        const double sp = -std::log(1.0 - f) * m1[sinks[i]];
+        two_pole_err += std::abs(tp - ref[i]) / ref[i];
+        single_pole_err += std::abs(sp - ref[i]) / ref[i];
+        ++count;
+      }
+    }
+  }
+  EXPECT_LT(two_pole_err, single_pole_err) << "avg over " << count << " crossings";
+  EXPECT_LT(two_pole_err / count, 0.25);  // and decent in absolute terms
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TwoPoleAccuracyTest,
+                         ::testing::Values<std::size_t>(6, 10, 15));
+
+TEST(TwoPole, LargeNetUsesSparsePathConsistently) {
+  expt::NetGenerator gen(77);
+  const graph::Net net = gen.random_net(400);
+  const graph::RoutingGraph g = graph::mst_routing(net);
+  const std::vector<TwoPoleModel> models = two_pole_models(g, kTech);
+  const std::vector<double> m1 = graph_elmore_delays(g, kTech);
+  // Sanity: each model's 50% crossing sits below its Elmore bound.
+  for (const graph::NodeId s : g.sinks()) {
+    const double t50 = models[s].crossing(0.5);
+    EXPECT_GT(t50, 0.0);
+    EXPECT_LT(t50, m1[s] * 1.2);
+  }
+}
+
+TEST(TwoPole, ModelsAreFiniteEverywhere) {
+  expt::NetGenerator gen(13);
+  const graph::RoutingGraph g = graph::mst_routing(gen.random_net(20));
+  for (const TwoPoleModel& m : two_pole_models(g, kTech)) {
+    EXPECT_TRUE(std::isfinite(m.response(1e-9)));
+    EXPECT_TRUE(std::isfinite(m.crossing(0.5)));
+  }
+  (void)kLn2;
+}
+
+}  // namespace
+}  // namespace ntr::delay

@@ -1,0 +1,138 @@
+// ntr_experiment: run the paper's experimental protocol from the command
+// line -- any baseline vs any candidate strategy, any sizes/trials/seed,
+// measured by the transient (SPICE-substitute) engine.
+//
+//   $ ntr_experiment --candidate ldrg                      # Table 2 shape
+//   $ ntr_experiment --baseline ert --candidate ert-ldrg   # Table 7 shape
+//   $ ntr_experiment --candidate h3 --sizes 10,20 --trials 25 --csv out.csv
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/solver.h"
+#include "delay/evaluator.h"
+#include "expt/protocol.h"
+#include "io/cli.h"
+
+namespace {
+
+using namespace ntr;
+
+struct Options {
+  std::string baseline = "mst";
+  std::string candidate = "ldrg";
+  std::vector<std::size_t> sizes{5, 10, 20, 30};
+  std::size_t trials = 50;
+  std::uint64_t seed = 19940101;
+  std::string csv_path;
+  bool help = false;
+};
+
+const char* kUsage =
+    R"(ntr_experiment -- run the paper's table protocol with any strategy pair
+
+  --baseline NAME    routing normalized against (default mst)
+  --candidate NAME   routing under test (default ldrg)
+                     names: mst|star|steiner|ert|sert|ldrg|sldrg|ert-ldrg|h1|h2|h3
+  --sizes LIST       comma-separated net sizes (default 5,10,20,30)
+  --trials N         nets per size (default 50)
+  --seed S           RNG seed (default 19940101)
+  --csv FILE         also write the aggregate rows as CSV
+  --help
+)";
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw std::invalid_argument(arg + " expects a value");
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      o.help = true;
+    } else if (arg == "--baseline") {
+      o.baseline = next();
+    } else if (arg == "--candidate") {
+      o.candidate = next();
+    } else if (arg == "--trials") {
+      o.trials = std::strtoull(next().c_str(), nullptr, 10);
+      if (o.trials == 0) throw std::invalid_argument("--trials must be positive");
+    } else if (arg == "--seed") {
+      o.seed = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--csv") {
+      o.csv_path = next();
+    } else if (arg == "--sizes") {
+      o.sizes.clear();
+      std::stringstream ss(next());
+      std::string item;
+      while (std::getline(ss, item, ',')) {
+        const unsigned long v = std::strtoul(item.c_str(), nullptr, 10);
+        if (v >= 2) o.sizes.push_back(v);
+      }
+      if (o.sizes.empty()) throw std::invalid_argument("--sizes: nothing parsable");
+    } else {
+      throw std::invalid_argument("unknown argument '" + arg + "'");
+    }
+  }
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  try {
+    options = parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ntr_experiment: %s\n", e.what());
+    return 2;
+  }
+  if (options.help) {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
+
+  try {
+    const spice::Technology tech = spice::kTable1Technology;
+    const delay::TransientEvaluator measure(tech);
+
+    const auto router = [&](const std::string& name) -> expt::RoutingFn {
+      const core::Strategy strategy = io::strategy_from_name(name);
+      return [&measure, strategy, tech](const graph::Net& net) {
+        core::SolverConfig config;
+        config.tech = tech;
+        return core::solve(net, strategy, measure, config).graph;
+      };
+    };
+
+    expt::ProtocolConfig protocol;
+    protocol.net_sizes = options.sizes;
+    protocol.trials = options.trials;
+    protocol.seed = options.seed;
+
+    const std::vector<expt::AggregateRow> rows = expt::run_protocol(
+        protocol, router(options.baseline), router(options.candidate), measure);
+
+    expt::print_paper_table(
+        std::cout,
+        options.candidate + " (normalized to " + options.baseline + ", " +
+            std::to_string(options.trials) + " nets/size, seed " +
+            std::to_string(options.seed) + ")",
+        rows);
+    if (!options.csv_path.empty()) {
+      std::ofstream csv(options.csv_path);
+      expt::print_csv(csv, rows);
+      std::printf("\nwrote %s\n", options.csv_path.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ntr_experiment: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

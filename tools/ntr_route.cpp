@@ -1,0 +1,143 @@
+// ntr_route: command-line front end for the Non-Tree Routing library.
+//
+//   $ ntr_route --random 10 --seed 7 --strategy ldrg --report
+//               --svg out.svg --deck out.sp --routing out.route
+//
+// Reads or generates a net, routes it with the requested algorithm,
+// prints delay/wirelength, and optionally exports the result as an SVG
+// drawing, a SPICE deck, or a reloadable routing file.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/solver.h"
+#include "delay/evaluator.h"
+#include "expt/net_generator.h"
+#include "io/cli.h"
+#include "io/net_io.h"
+#include "graph/metrics.h"
+#include "route/brbc.h"
+#include "route/constructions.h"
+#include "spice/deck_io.h"
+#include "spice/graph_netlist.h"
+#include "spice/spef.h"
+#include "spice/units.h"
+#include "viz/svg.h"
+
+namespace {
+
+std::unique_ptr<ntr::delay::DelayEvaluator> make_evaluator(
+    const std::string& name, const ntr::spice::Technology& tech) {
+  if (name == "elmore")
+    return std::make_unique<ntr::delay::ElmoreTreeEvaluator>(tech);
+  if (name == "graph-elmore")
+    return std::make_unique<ntr::delay::GraphElmoreEvaluator>(tech);
+  if (name == "d2m") return std::make_unique<ntr::delay::TwoPoleEvaluator>(tech);
+  return std::make_unique<ntr::delay::TransientEvaluator>(tech);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  ntr::io::CliOptions opts;
+  try {
+    opts = ntr::io::parse_cli(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ntr_route: %s\n", e.what());
+    return 2;
+  }
+  if (opts.help || args.empty()) {
+    std::fputs(ntr::io::cli_usage().c_str(), stdout);
+    return 0;
+  }
+
+  try {
+    const ntr::spice::Technology tech = ntr::spice::kTable1Technology;
+
+    ntr::graph::Net net;
+    if (!opts.net_file.empty()) {
+      net = ntr::io::read_net_file(opts.net_file);
+    } else {
+      ntr::expt::NetGenerator gen(opts.seed);
+      net = gen.random_net(opts.random_pins);
+    }
+
+    const std::unique_ptr<ntr::delay::DelayEvaluator> evaluator =
+        make_evaluator(opts.evaluator, tech);
+
+    ntr::graph::RoutingGraph routing;
+    std::string label;
+    if (opts.pd_c >= 0.0) {
+      routing = ntr::route::prim_dijkstra_routing(net, opts.pd_c);
+      label = "Prim-Dijkstra(c=" + std::to_string(opts.pd_c) + ")";
+    } else if (opts.brbc_epsilon >= 0.0) {
+      routing = ntr::route::brbc_routing(net, opts.brbc_epsilon);
+      label = "BRBC(eps=" + std::to_string(opts.brbc_epsilon) + ")";
+    } else {
+      ntr::core::SolverConfig config;
+      config.tech = tech;
+      config.ldrg.max_added_edges = opts.max_edges;
+      routing =
+          ntr::core::solve(net, opts.strategy, *evaluator, config).graph;
+      label = ntr::core::strategy_name(opts.strategy);
+    }
+
+    const std::vector<double> sink_delays = evaluator->sink_delays(routing);
+    double max_delay = 0.0;
+    for (const double d : sink_delays) max_delay = std::max(max_delay, d);
+
+    std::printf("%s routing of %zu pins: %zu nodes, %zu edges (%zu cycle%s)\n",
+                label.c_str(), net.size(), routing.node_count(), routing.edge_count(),
+                routing.cycle_count(), routing.cycle_count() == 1 ? "" : "s");
+    std::printf("  wirelength : %.0f um\n", routing.total_wirelength());
+    std::printf("  max delay  : %s (%s evaluator)\n",
+                ntr::spice::format_time(max_delay).c_str(), opts.evaluator.c_str());
+
+    if (opts.per_sink_report) {
+      const std::vector<ntr::graph::NodeId> sinks = routing.sinks();
+      std::printf("  per-sink delays:\n");
+      for (std::size_t i = 0; i < sinks.size(); ++i) {
+        const ntr::geom::Point& p = routing.node(sinks[i]).pos;
+        std::printf("    sink node %3zu (%8.1f, %8.1f): %s\n", sinks[i], p.x, p.y,
+                    ntr::spice::format_time(sink_delays[i]).c_str());
+      }
+    }
+
+    if (!opts.svg_path.empty()) {
+      ntr::viz::SvgOptions svg_opts;
+      svg_opts.title = label;
+      ntr::viz::write_svg(opts.svg_path, routing, svg_opts);
+      std::printf("  wrote %s\n", opts.svg_path.c_str());
+    }
+    if (!opts.deck_path.empty()) {
+      const ntr::spice::GraphNetlist netlist =
+          ntr::spice::build_netlist(routing, tech);
+      std::ofstream out(opts.deck_path);
+      out << ntr::spice::write_deck(netlist.circuit, label);
+      std::printf("  wrote %s\n", opts.deck_path.c_str());
+    }
+    if (!opts.spef_path.empty()) {
+      std::ofstream out(opts.spef_path);
+      out << ntr::spice::write_spef(routing, tech, "net0", "ntr_route");
+      std::printf("  wrote %s\n", opts.spef_path.c_str());
+    }
+    if (opts.metrics) {
+      std::ostringstream card;
+      card << ntr::graph::compute_metrics(routing);
+      std::printf("  metrics    : %s\n", card.str().c_str());
+    }
+    if (!opts.routing_path.empty()) {
+      ntr::io::write_routing_file(opts.routing_path, routing);
+      std::printf("  wrote %s\n", opts.routing_path.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ntr_route: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
