@@ -1,0 +1,71 @@
+#include "check/contracts.h"
+
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace ntr::check {
+
+namespace {
+
+std::atomic<Policy>& policy_slot() noexcept {
+  static std::atomic<Policy> slot{policy_from_environment()};
+  return slot;
+}
+
+std::string diagnostic(const char* kind, const char* expr, const char* file,
+                       int line, const std::string& message) {
+  std::string out;
+  out += kind;
+  out += " failed: ";
+  out += expr;
+  out += "\n  at ";
+  out += file;
+  out += ':';
+  out += std::to_string(line);
+  if (!message.empty()) {
+    out += "\n  ";
+    out += message;
+  }
+  return out;
+}
+
+}  // namespace
+
+Policy policy() noexcept { return policy_slot().load(std::memory_order_relaxed); }
+
+void set_policy(Policy p) noexcept {
+  policy_slot().store(p, std::memory_order_relaxed);
+}
+
+Policy policy_from_environment() noexcept {
+  const char* raw = std::getenv("NTR_CHECK_POLICY");
+  if (raw == nullptr) return Policy::kAbort;
+  std::string value(raw);
+  for (char& c : value) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (value == "throw") return Policy::kThrow;
+  if (value == "log") return Policy::kLog;
+  return Policy::kAbort;  // including explicit "abort" and typos
+}
+
+void fail(const char* kind, const char* expr, const char* file, int line,
+          const std::string& message) {
+  const std::string text = diagnostic(kind, expr, file, line, message);
+  switch (policy()) {
+    case Policy::kThrow:
+      throw ContractViolation(text);
+    case Policy::kLog:
+      std::fputs(text.c_str(), stderr);
+      std::fputc('\n', stderr);
+      return;
+    case Policy::kAbort:
+      break;
+  }
+  std::fputs(text.c_str(), stderr);
+  std::fputc('\n', stderr);
+  std::abort();
+}
+
+}  // namespace ntr::check

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+/// Contract-checking primitives for the ntr library.
+///
+/// Three macro families, all reporting through a single configurable
+/// failure policy (ntr::check::Policy):
+///
+///   NTR_ASSERT(cond)  -- internal invariant, active in every build type.
+///   NTR_CHECK(cond)   -- pre/postcondition, active in every build type.
+///   NTR_DCHECK(cond)  -- expensive structural check (full-graph
+///                        validation, matrix symmetry scans); active only
+///                        when NDEBUG is not defined, or when
+///                        NTR_FORCE_DCHECKS is defined explicitly.
+///
+/// Each has an `_MSG(cond, msg)` variant whose message expression is
+/// evaluated only on failure. The policy is chosen at process start from
+/// the NTR_CHECK_POLICY environment variable ("abort", "throw" or "log")
+/// and can be overridden programmatically with set_policy(); the default
+/// is Policy::kAbort, matching classic assert() semantics.
+namespace ntr::check {
+
+/// Thrown by a failed contract under Policy::kThrow. Deliberately a
+/// std::logic_error: a tripped contract is a bug in the calling code, not
+/// an environmental failure.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+/// What a failed contract does.
+enum class Policy {
+  kAbort,  ///< print the diagnostic to stderr and std::abort()
+  kThrow,  ///< throw ContractViolation with the diagnostic as what()
+  kLog,    ///< print the diagnostic to stderr and continue
+};
+
+/// The active policy. Initialised once from NTR_CHECK_POLICY (falling back
+/// to Policy::kAbort), then stable until set_policy() is called.
+[[nodiscard]] Policy policy() noexcept;
+
+/// Overrides the active policy (thread-safe; used by tests and by hosts
+/// that embed the library).
+void set_policy(Policy p) noexcept;
+
+/// Parses NTR_CHECK_POLICY from the environment on every call:
+/// "abort" / "throw" / "log" (case-insensitive); anything else (or an
+/// unset variable) yields Policy::kAbort.
+[[nodiscard]] Policy policy_from_environment() noexcept;
+
+/// Reacts to a failed contract according to the active policy. `kind` is
+/// the macro name, `expr` the stringified condition. Returns normally only
+/// under Policy::kLog.
+void fail(const char* kind, const char* expr, const char* file, int line,
+          const std::string& message = {});
+
+}  // namespace ntr::check
+
+#define NTR_CHECK_INTERNAL_(kind, cond, msg)                              \
+  (static_cast<bool>(cond)                                                \
+       ? static_cast<void>(0)                                             \
+       : ::ntr::check::fail(kind, #cond, __FILE__, __LINE__, (msg)))
+
+#define NTR_ASSERT(cond) NTR_CHECK_INTERNAL_("NTR_ASSERT", cond, ::std::string())
+#define NTR_ASSERT_MSG(cond, msg) NTR_CHECK_INTERNAL_("NTR_ASSERT", cond, msg)
+#define NTR_CHECK(cond) NTR_CHECK_INTERNAL_("NTR_CHECK", cond, ::std::string())
+#define NTR_CHECK_MSG(cond, msg) NTR_CHECK_INTERNAL_("NTR_CHECK", cond, msg)
+
+#if !defined(NDEBUG) || defined(NTR_FORCE_DCHECKS)
+#define NTR_DCHECK(cond) NTR_CHECK_INTERNAL_("NTR_DCHECK", cond, ::std::string())
+#define NTR_DCHECK_MSG(cond, msg) NTR_CHECK_INTERNAL_("NTR_DCHECK", cond, msg)
+#else
+// Compiled out, but kept type-checked so release builds cannot rot the
+// condition expressions. The `if (false)` branch folds away entirely.
+#define NTR_DCHECK(cond)              \
+  do {                                \
+    if (false) { (void)(cond); }      \
+  } while (false)
+#define NTR_DCHECK_MSG(cond, msg)               \
+  do {                                          \
+    if (false) { (void)(cond); (void)(msg); }   \
+  } while (false)
+#endif

@@ -1,0 +1,280 @@
+#include "check/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace ntr::check {
+
+namespace {
+
+bool is_ident(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True iff `name` occurs in `code` as a whole token; with `require_call`,
+/// the next non-space character must open an argument list.
+bool has_token(std::string_view code, std::string_view name, bool require_call) {
+  std::size_t pos = 0;
+  while ((pos = code.find(name, pos)) != std::string_view::npos) {
+    const std::size_t end = pos + name.size();
+    const bool lb = pos == 0 || !is_ident(code[pos - 1]);
+    const bool rb = end == code.size() || !is_ident(code[end]);
+    if (lb && rb) {
+      if (!require_call) return true;
+      std::size_t next = end;
+      while (next < code.size() && code[next] == ' ') ++next;
+      if (next < code.size() && code[next] == '(') return true;
+    }
+    pos = end;
+  }
+  return false;
+}
+
+/// Default-constructed standard RNG engine: `mt19937 gen;`-style
+/// declarations (or brace forms with an empty initializer).
+bool has_unseeded_engine(std::string_view code) {
+  static constexpr std::string_view kEngines[] = {
+      "mt19937_64",   "mt19937",      "minstd_rand0", "minstd_rand",
+      "ranlux24",     "ranlux48",     "knuth_b",      "default_random_engine"};
+  for (const std::string_view engine : kEngines) {
+    std::size_t pos = 0;
+    while ((pos = code.find(engine, pos)) != std::string_view::npos) {
+      const std::size_t end = pos + engine.size();
+      const bool lb = pos == 0 || !is_ident(code[pos - 1]);
+      const bool rb = end == code.size() || !is_ident(code[end]);
+      pos = end;
+      if (!lb || !rb) continue;
+      std::size_t i = end;
+      while (i < code.size() && code[i] == ' ') ++i;
+      while (i < code.size() && is_ident(code[i])) ++i;  // variable name
+      while (i < code.size() && code[i] == ' ') ++i;
+      if (i >= code.size() || code[i] == ';' || code[i] == ',') return true;
+      if (code[i] == '{') {
+        std::size_t j = i + 1;
+        while (j < code.size() && code[j] == ' ') ++j;
+        if (j < code.size() && code[j] == '}') return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool is_header(std::string_view path) {
+  return path.ends_with(".h") || path.ends_with(".hpp");
+}
+
+struct Stripper {
+  enum class State { kCode, kBlockComment } state = State::kCode;
+
+  /// Removes comments and string/char literal contents from one line,
+  /// carrying block-comment state across lines. Stripped spans are
+  /// blanked (not deleted) so column positions survive.
+  std::string strip(std::string_view line) {
+    std::string out(line);
+    std::size_t i = 0;
+    const auto blank = [&](std::size_t from, std::size_t to) {
+      for (std::size_t k = from; k < to && k < out.size(); ++k) out[k] = ' ';
+    };
+    while (i < out.size()) {
+      if (state == State::kBlockComment) {
+        const std::size_t close = out.find("*/", i);
+        if (close == std::string::npos) {
+          blank(i, out.size());
+          return out;
+        }
+        blank(i, close + 2);
+        state = State::kCode;
+        i = close + 2;
+        continue;
+      }
+      const char c = out[i];
+      if (c == '/' && i + 1 < out.size() && out[i + 1] == '/') {
+        blank(i, out.size());
+        return out;
+      }
+      if (c == '/' && i + 1 < out.size() && out[i + 1] == '*') {
+        state = State::kBlockComment;
+        blank(i, i + 2);
+        i += 2;
+        continue;
+      }
+      if (c == '"' && i > 0 && out[i - 1] == 'R') {
+        // Raw string literal: R"delim( ... )delim". Content confined to
+        // one line in this codebase; anything unterminated is blanked.
+        const std::size_t open = out.find('(', i);
+        if (open == std::string::npos) {
+          blank(i, out.size());
+          return out;
+        }
+        const std::string close = ")" + out.substr(i + 1, open - i - 1) + "\"";
+        const std::size_t endpos = out.find(close, open);
+        const std::size_t stop =
+            endpos == std::string::npos ? out.size() : endpos + close.size();
+        blank(i - 1, stop);
+        i = stop;
+        continue;
+      }
+      // A ' directly after an identifier character is a digit separator
+      // (1'000'000) or part of a literal suffix, not a char literal.
+      if (c == '"' || (c == '\'' && (i == 0 || !is_ident(out[i - 1])))) {
+        const char quote = c;
+        std::size_t j = i + 1;
+        while (j < out.size() && out[j] != quote) {
+          if (out[j] == '\\') ++j;
+          ++j;
+        }
+        const std::size_t stop = j < out.size() ? j + 1 : out.size();
+        blank(i, stop);
+        i = stop;
+        continue;
+      }
+      ++i;
+    }
+    return out;
+  }
+};
+
+bool suppressed(std::string_view raw_line, std::string_view file_content,
+                std::string_view rule) {
+  const std::string line_tag = "ntr-lint-allow(" + std::string(rule) + ")";
+  if (raw_line.find(line_tag) != std::string_view::npos) return true;
+  if (raw_line.find("ntr-lint-allow(all)") != std::string_view::npos) return true;
+  const std::string file_tag = "ntr-lint-allow-file(" + std::string(rule) + ")";
+  return file_content.find(file_tag) != std::string_view::npos;
+}
+
+}  // namespace
+
+std::string format(const LintDiagnostic& d) {
+  return d.file + ":" + std::to_string(d.line) + ": [" + d.rule + "] " + d.message;
+}
+
+std::vector<LintDiagnostic> lint_source(std::string_view path,
+                                        std::string_view content) {
+  std::vector<LintDiagnostic> out;
+  const bool header = is_header(path);
+  const bool rng_scope = path.find("src/core/") != std::string_view::npos ||
+                         path.find("src/route/") != std::string_view::npos;
+  const bool library_scope = path.find("src/") != std::string_view::npos;
+
+  const auto report = [&](std::string_view raw_line, std::size_t line,
+                          std::string_view rule, std::string message) {
+    if (suppressed(raw_line, content, rule)) return;
+    out.push_back(LintDiagnostic{std::string(path), line, std::string(rule),
+                                 std::move(message)});
+  };
+
+  Stripper stripper;
+  bool pragma_once_seen = false;
+  std::size_t line_no = 0;
+  std::istringstream lines{std::string(content)};
+  for (std::string raw; std::getline(lines, raw);) {
+    ++line_no;
+    const std::string code = stripper.strip(raw);
+
+    if (code.find("#pragma once") != std::string::npos) pragma_once_seen = true;
+
+    if (has_token(code, "assert", /*require_call=*/true)) {
+      report(raw, line_no, "raw-assert",
+             "use NTR_ASSERT/NTR_CHECK/NTR_DCHECK instead of raw assert()");
+    } else if (code.find("<cassert>") != std::string::npos ||
+               code.find("<assert.h>") != std::string::npos) {
+      report(raw, line_no, "raw-assert",
+             "include check/contracts.h instead of <cassert>");
+    }
+
+    if (header && code.find("using namespace") != std::string::npos &&
+        has_token(code, "using", /*require_call=*/false)) {
+      report(raw, line_no, "using-namespace-header",
+             "`using namespace` in a header leaks into every includer");
+    }
+
+    if (rng_scope) {
+      if (has_token(code, "rand", true) || has_token(code, "srand", true) ||
+          has_token(code, "random_shuffle", false)) {
+        report(raw, line_no, "unseeded-rng",
+               "rand()/srand()/random_shuffle in core/route code; inject a "
+               "seeded std::mt19937 instead");
+      } else if (has_unseeded_engine(code)) {
+        report(raw, line_no, "unseeded-rng",
+               "default-constructed RNG engine; results must be reproducible, "
+               "pass an explicit seed");
+      }
+    }
+
+    if (library_scope &&
+        (code.find("std::cout") != std::string::npos ||
+         has_token(code, "printf", true))) {
+      report(raw, line_no, "cout-in-library",
+             "library code must not print to stdout; return data or take an "
+             "std::ostream&");
+    }
+  }
+
+  if (header && !pragma_once_seen) {
+    report("", 1, "pragma-once", "header is missing #pragma once");
+  }
+  return out;
+}
+
+std::vector<LintDiagnostic> lint_file(const std::filesystem::path& repo_root,
+                                      const std::filesystem::path& file) {
+  std::error_code ec;
+  std::filesystem::path rel = std::filesystem::relative(file, repo_root, ec);
+  if (ec || rel.empty() || *rel.begin() == "..") rel = file;
+  const std::string path = rel.generic_string();
+
+  std::ifstream in(file, std::ios::binary);
+  if (!in) {
+    return {LintDiagnostic{path, 0, "io", "cannot read file"}};
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return lint_source(path, buffer.str());
+}
+
+std::vector<LintDiagnostic> lint_paths(
+    const std::filesystem::path& repo_root,
+    std::span<const std::filesystem::path> paths) {
+  std::vector<std::filesystem::path> files;
+  const auto scannable = [](const std::filesystem::path& p) {
+    const std::string ext = p.extension().string();
+    return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp";
+  };
+  const auto walk = [&](const std::filesystem::path& dir, const auto& self) -> void {
+    std::vector<std::filesystem::path> entries;
+    for (const auto& entry : std::filesystem::directory_iterator(dir))
+      entries.push_back(entry.path());
+    std::sort(entries.begin(), entries.end());
+    for (const std::filesystem::path& p : entries) {
+      const std::string name = p.filename().string();
+      if (std::filesystem::is_directory(p)) {
+        if (name.empty() || name.front() == '.' || name.starts_with("build") ||
+            name == "lint_fixtures")
+          continue;
+        self(p, self);
+      } else if (scannable(p)) {
+        files.push_back(p);
+      }
+    }
+  };
+  for (const std::filesystem::path& p : paths) {
+    if (std::filesystem::is_directory(p)) {
+      walk(p, walk);
+    } else {
+      files.push_back(p);
+    }
+  }
+
+  std::vector<LintDiagnostic> out;
+  for (const std::filesystem::path& f : files) {
+    std::vector<LintDiagnostic> found = lint_file(repo_root, f);
+    out.insert(out.end(), std::make_move_iterator(found.begin()),
+               std::make_move_iterator(found.end()));
+  }
+  return out;
+}
+
+}  // namespace ntr::check

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <filesystem>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ntr::check {
+
+/// One repo-specific style/correctness finding from the ntr_lint pass.
+struct LintDiagnostic {
+  std::string file;   ///< repo-relative path with '/' separators
+  std::size_t line = 0;  ///< 1-based; 0 for whole-file findings
+  std::string rule;
+  std::string message;
+};
+
+/// "file:line: [rule] message" -- clickable in editors and CI logs.
+[[nodiscard]] std::string format(const LintDiagnostic& d);
+
+/// Scans one translation unit's text. `path` (repo-relative, '/'
+/// separators) selects which rules apply:
+///
+///   raw-assert             everywhere: assert(...) calls or <cassert>
+///                          includes instead of the NTR_* contract macros
+///   pragma-once            headers (.h/.hpp) must contain #pragma once
+///   using-namespace-header no `using namespace` at header scope
+///   unseeded-rng           src/core/ and src/route/: rand()/srand()/
+///                          random_shuffle or default-constructed standard
+///                          engines (results must be reproducible, so
+///                          randomness is always injected and seeded)
+///   cout-in-library        src/: no std::cout / bare printf in library
+///                          code (tools, benches and examples may print)
+///
+/// Comments and string/char literals are ignored. A line containing
+/// `ntr-lint-allow(<rule>)` (or `ntr-lint-allow(all)`) suppresses findings
+/// of that rule on that line; `ntr-lint-allow-file(<rule>)` anywhere in
+/// the file suppresses the rule for the whole file.
+[[nodiscard]] std::vector<LintDiagnostic> lint_source(std::string_view path,
+                                                      std::string_view content);
+
+/// Reads and scans one file. `repo_root` is stripped from the reported
+/// path. Unreadable files yield a single diagnostic under rule "io".
+[[nodiscard]] std::vector<LintDiagnostic> lint_file(
+    const std::filesystem::path& repo_root, const std::filesystem::path& file);
+
+/// Walks files and directories (recursively; .h/.hpp/.cc/.cpp only),
+/// scanning each file. Directories named "lint_fixtures", hidden
+/// directories, and directories whose name starts with "build" are
+/// skipped during recursion -- pass such a directory explicitly to scan
+/// it (that is how the fixture corpus tests the linter).
+[[nodiscard]] std::vector<LintDiagnostic> lint_paths(
+    const std::filesystem::path& repo_root,
+    std::span<const std::filesystem::path> paths);
+
+}  // namespace ntr::check

@@ -1,0 +1,9 @@
+#pragma once
+
+/// Umbrella header for the structural validators. Individual call sites
+/// should prefer the specific header (validate_graph.h, validate_mna.h,
+/// validate_timing.h) to keep their include graphs narrow.
+
+#include "check/validate_graph.h"   // IWYU pragma: export
+#include "check/validate_mna.h"     // IWYU pragma: export
+#include "check/validate_timing.h"  // IWYU pragma: export

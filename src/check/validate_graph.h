@@ -1,0 +1,136 @@
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <set>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "check/validation.h"
+#include "geom/point.h"
+#include "graph/routing_graph.h"
+#include "graph/union_find.h"
+
+namespace ntr::check {
+
+/// Which RoutingGraph invariants to enforce beyond the structural core
+/// (in-range endpoints, no self-loops, no parallel edges, Manhattan edge
+/// lengths, positive widths, consistent adjacency).
+struct GraphValidateOptions {
+  /// Node 0 must exist, be NodeKind::kSource, and be the only source.
+  bool require_source = false;
+  /// Every node must be reachable from node 0 (the paper's graphs are
+  /// single-component by definition; intermediate construction states are
+  /// not, so this defaults off).
+  bool require_connected = false;
+  /// Absolute tolerance (um) on |edge.length - manhattan(u, v)|.
+  double length_tolerance_um = 1e-9;
+};
+
+/// Validates a raw node/edge set. Exposed separately from the
+/// RoutingGraph overload so tests can feed deliberately corrupted edge
+/// lists that the RoutingGraph mutation API itself refuses to build.
+inline ValidationReport validate_graph(std::span<const graph::GraphNode> nodes,
+                                       std::span<const graph::GraphEdge> edges,
+                                       const GraphValidateOptions& options = {}) {
+  ValidationReport report;
+  const std::size_t n = nodes.size();
+
+  std::set<std::pair<graph::NodeId, graph::NodeId>> seen;
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    const graph::GraphEdge& edge = edges[e];
+    const std::string tag = "edge " + std::to_string(e);
+    if (edge.u >= n || edge.v >= n) {
+      report.errors.push_back(tag + ": dangling endpoint (" + std::to_string(edge.u) +
+                              ", " + std::to_string(edge.v) + ") with " +
+                              std::to_string(n) + " nodes");
+      continue;  // remaining checks dereference the endpoints
+    }
+    if (edge.u == edge.v) {
+      report.errors.push_back(tag + ": self-loop at node " + std::to_string(edge.u));
+      continue;
+    }
+    const auto key = std::minmax(edge.u, edge.v);
+    if (!seen.insert(key).second) {
+      report.errors.push_back(tag + ": parallel edge between " +
+                              std::to_string(key.first) + " and " +
+                              std::to_string(key.second));
+    }
+    const double want = geom::manhattan_distance(nodes[edge.u].pos, nodes[edge.v].pos);
+    if (!(std::abs(edge.length - want) <= options.length_tolerance_um)) {
+      report.errors.push_back(tag + ": length " + std::to_string(edge.length) +
+                              " != Manhattan distance " + std::to_string(want));
+    }
+    if (!(edge.width > 0.0) || !std::isfinite(edge.width)) {
+      report.errors.push_back(tag + ": non-positive width " +
+                              std::to_string(edge.width));
+    }
+  }
+
+  if (options.require_source) {
+    if (n == 0) {
+      report.errors.emplace_back("graph is empty but a source node is required");
+    } else if (nodes[0].kind != graph::NodeKind::kSource) {
+      report.errors.emplace_back("node 0 is not the source");
+    }
+    for (std::size_t i = 1; i < n; ++i) {
+      if (nodes[i].kind == graph::NodeKind::kSource) {
+        report.errors.push_back("node " + std::to_string(i) +
+                                " is a second source node");
+      }
+    }
+  }
+
+  if (options.require_connected && n > 0) {
+    graph::UnionFind uf(n);
+    for (const graph::GraphEdge& edge : edges) {
+      if (edge.u < n && edge.v < n) uf.unite(edge.u, edge.v);
+    }
+    if (uf.component_count() != 1) {
+      report.errors.push_back("graph is disconnected (" +
+                              std::to_string(uf.component_count()) +
+                              " components)");
+    }
+  }
+  return report;
+}
+
+/// Validates a RoutingGraph, additionally cross-checking the adjacency
+/// index against the edge list (every incident edge id in range, actually
+/// incident, listed exactly once per endpoint, and covering all edges).
+inline ValidationReport validate_graph(const graph::RoutingGraph& g,
+                                       const GraphValidateOptions& options = {}) {
+  ValidationReport report = validate_graph(g.nodes(), g.edges(), options);
+
+  std::size_t incident_total = 0;
+  for (graph::NodeId node = 0; node < g.node_count(); ++node) {
+    std::set<graph::EdgeId> unique;
+    for (const graph::EdgeId e : g.incident_edges(node)) {
+      ++incident_total;
+      if (e >= g.edge_count()) {
+        report.errors.push_back("adjacency of node " + std::to_string(node) +
+                                ": edge id " + std::to_string(e) + " out of range");
+        continue;
+      }
+      const graph::GraphEdge& edge = g.edge(e);
+      if (edge.u != node && edge.v != node) {
+        report.errors.push_back("adjacency of node " + std::to_string(node) +
+                                ": edge " + std::to_string(e) + " is not incident");
+      }
+      if (!unique.insert(e).second) {
+        report.errors.push_back("adjacency of node " + std::to_string(node) +
+                                ": edge " + std::to_string(e) + " listed twice");
+      }
+    }
+  }
+  if (incident_total != 2 * g.edge_count()) {
+    report.errors.push_back("adjacency covers " + std::to_string(incident_total) +
+                            " endpoints for " + std::to_string(g.edge_count()) +
+                            " edges");
+  }
+  return report;
+}
+
+}  // namespace ntr::check

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+#include "check/validation.h"
+#include "linalg/sparse.h"
+#include "linalg/sparse_cholesky.h"
+#include "sim/mna.h"
+
+namespace ntr::check {
+
+struct MnaValidateOptions {
+  /// When to run the sparse-Cholesky SPD probe on the node-voltage block
+  /// of G. kAuto runs it only when the system has no branch unknowns --
+  /// with voltage-source/inductor branch rows present G is symmetric
+  /// indefinite by construction and the probe would be meaningless.
+  enum class Spd { kAuto, kRequire, kSkip };
+  Spd spd = Spd::kAuto;
+  /// Require g(i,i) > 0 on the node block (true for any circuit in which
+  /// every node has at least one resistive connection). Off by default:
+  /// capacitor-only nodes legally stamp a zero conductance diagonal.
+  bool require_positive_node_diagonal = false;
+  /// Absolute tolerance on |m(i,j) - m(j,i)|, scaled by max(1, |m(i,j)|).
+  double symmetry_tolerance = 1e-9;
+};
+
+/// Validates an assembled MNA system: consistent dimensions, finite
+/// entries, symmetric G and C, non-negative node-block diagonal of G, and
+/// (optionally) positive definiteness of the node-voltage conductance
+/// block via the envelope Cholesky factorization.
+inline ValidationReport validate_mna(const sim::MnaSystem& mna,
+                                     const MnaValidateOptions& options = {}) {
+  ValidationReport report;
+  const std::size_t n = mna.size();
+
+  if (mna.g.rows() != n || mna.g.cols() != n)
+    report.errors.emplace_back("G is not " + std::to_string(n) + "x" +
+                               std::to_string(n));
+  if (mna.c.rows() != n || mna.c.cols() != n)
+    report.errors.emplace_back("C is not " + std::to_string(n) + "x" +
+                               std::to_string(n));
+  if (mna.b_final.size() != n)
+    report.errors.emplace_back("b_final has " + std::to_string(mna.b_final.size()) +
+                               " entries for " + std::to_string(n) + " unknowns");
+  if (!report.ok()) return report;  // entry scans below assume square shape
+
+  const auto check_symmetric = [&](const linalg::DenseMatrix& m, const char* name) {
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) {
+        if (!std::isfinite(m(r, c))) {
+          report.errors.push_back(std::string(name) + "(" + std::to_string(r) + "," +
+                                  std::to_string(c) + ") is not finite");
+          return;
+        }
+        if (c <= r) continue;
+        const double diff = std::abs(m(r, c) - m(c, r));
+        const double scale = std::max(1.0, std::abs(m(r, c)));
+        if (diff > options.symmetry_tolerance * scale) {
+          report.errors.push_back(std::string(name) + " is not symmetric at (" +
+                                  std::to_string(r) + "," + std::to_string(c) +
+                                  "): " + std::to_string(m(r, c)) + " vs " +
+                                  std::to_string(m(c, r)));
+          return;  // one witness per matrix keeps the report readable
+        }
+      }
+    }
+  };
+  check_symmetric(mna.g, "G");
+  check_symmetric(mna.c, "C");
+
+  for (std::size_t i = 0; i < mna.node_unknowns; ++i) {
+    const double d = mna.g(i, i);
+    if (d < 0.0 || (options.require_positive_node_diagonal && d <= 0.0)) {
+      report.errors.push_back("G node diagonal (" + std::to_string(i) +
+                              ") = " + std::to_string(d));
+      break;
+    }
+  }
+
+  const bool probe_spd =
+      options.spd == MnaValidateOptions::Spd::kRequire ||
+      (options.spd == MnaValidateOptions::Spd::kAuto && mna.branch_unknowns == 0);
+  if (report.ok() && probe_spd && mna.node_unknowns > 0) {
+    linalg::TripletBuilder builder(mna.node_unknowns, mna.node_unknowns);
+    for (std::size_t r = 0; r < mna.node_unknowns; ++r)
+      for (std::size_t c = 0; c < mna.node_unknowns; ++c)
+        if (mna.g(r, c) != 0.0) builder.add(r, c, mna.g(r, c));
+    try {
+      const linalg::EnvelopeCholesky chol{linalg::CsrMatrix(builder)};
+      (void)chol;
+    } catch (const std::runtime_error& e) {
+      report.errors.push_back(
+          std::string("node conductance block is not positive definite: ") +
+          e.what());
+    }
+  }
+  return report;
+}
+
+}  // namespace ntr::check

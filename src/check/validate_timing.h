@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "check/validation.h"
+#include "sta/timing_graph.h"
+
+namespace ntr::check {
+
+struct TimingValidateOptions {
+  /// Detect combinational cycles (Kahn's algorithm over the gate DAG).
+  /// sta::analyze() reports cycles through its own documented exception,
+  /// so its internal precondition check disables this to keep that
+  /// contract observable.
+  bool check_cycles = true;
+};
+
+/// Validates a gate-level TimingGraph: driver/output cross-references,
+/// sink/delay array agreement, sink gates actually reading the net,
+/// finite non-negative delays, and (optionally) acyclicity.
+inline ValidationReport validate_timing(const sta::TimingGraph& design,
+                                        const TimingValidateOptions& options = {}) {
+  ValidationReport report;
+
+  for (sta::GateId g = 0; g < design.gate_count(); ++g) {
+    const sta::TimingGraph::Gate& gate = design.gate(g);
+    const std::string tag = "gate " + gate.name;
+    if (!(gate.delay_s >= 0.0) || !std::isfinite(gate.delay_s))
+      report.errors.push_back(tag + ": bad delay " + std::to_string(gate.delay_s));
+    if (gate.output >= design.net_count()) {
+      report.errors.push_back(tag + ": output net out of range");
+    } else if (design.net(gate.output).driver != g) {
+      report.errors.push_back(tag + ": output net does not list it as driver");
+    }
+    for (const sta::NetId in : gate.inputs)
+      if (in >= design.net_count())
+        report.errors.push_back(tag + ": input net out of range");
+  }
+
+  for (sta::NetId n = 0; n < design.net_count(); ++n) {
+    const sta::TimingGraph::Net& net = design.net(n);
+    const std::string tag = "net " + net.name;
+    if (net.driver != sta::kNoId) {
+      if (net.driver >= design.gate_count()) {
+        report.errors.push_back(tag + ": driver gate out of range");
+      } else if (design.gate(net.driver).output != n) {
+        report.errors.push_back(tag + ": driver gate does not output it");
+      }
+    }
+    if (net.sinks.size() != net.sink_delay_s.size()) {
+      report.errors.push_back(tag + ": " + std::to_string(net.sinks.size()) +
+                              " sinks but " + std::to_string(net.sink_delay_s.size()) +
+                              " interconnect delays");
+    }
+    for (std::size_t i = 0; i < net.sinks.size(); ++i) {
+      const sta::GateId sink = net.sinks[i];
+      if (sink >= design.gate_count()) {
+        report.errors.push_back(tag + ": sink gate out of range");
+        continue;
+      }
+      bool reads = false;
+      for (const sta::NetId in : design.gate(sink).inputs) reads |= in == n;
+      if (!reads)
+        report.errors.push_back(tag + ": sink gate " + design.gate_name(sink) +
+                                " does not read it");
+      if (i < net.sink_delay_s.size() &&
+          (!(net.sink_delay_s[i] >= 0.0) || !std::isfinite(net.sink_delay_s[i])))
+        report.errors.push_back(tag + ": bad interconnect delay " +
+                                std::to_string(net.sink_delay_s[i]));
+    }
+  }
+
+  if (options.check_cycles && report.ok()) {
+    std::vector<std::size_t> pending(design.gate_count(), 0);
+    for (sta::GateId g = 0; g < design.gate_count(); ++g)
+      for (const sta::NetId in : design.gate(g).inputs)
+        if (!design.is_primary_input(in)) ++pending[g];
+    std::queue<sta::GateId> ready;
+    for (sta::GateId g = 0; g < design.gate_count(); ++g)
+      if (pending[g] == 0) ready.push(g);
+    std::size_t ordered = 0;
+    while (!ready.empty()) {
+      const sta::GateId g = ready.front();
+      ready.pop();
+      ++ordered;
+      for (const sta::GateId sink : design.net(design.gate(g).output).sinks)
+        if (--pending[sink] == 0) ready.push(sink);
+    }
+    if (ordered != design.gate_count())
+      report.errors.emplace_back("combinational cycle through " +
+                                 std::to_string(design.gate_count() - ordered) +
+                                 " gate(s)");
+  }
+  return report;
+}
+
+}  // namespace ntr::check

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <source_location>
+#include <string>
+#include <vector>
+
+#include "check/contracts.h"
+
+namespace ntr::check {
+
+/// Outcome of a structural validator: an empty error list means the object
+/// satisfies every checked invariant. Validators never throw on invalid
+/// input -- they describe what is wrong so callers can decide (report,
+/// contract-fail, or repair).
+struct ValidationReport {
+  std::vector<std::string> errors;
+
+  [[nodiscard]] bool ok() const { return errors.empty(); }
+
+  /// All errors joined with "; " -- the message body of a failed contract.
+  [[nodiscard]] std::string to_string() const {
+    std::string out;
+    for (const std::string& e : errors) {
+      if (!out.empty()) out += "; ";
+      out += e;
+    }
+    return out;
+  }
+};
+
+/// Routes a failed validation through the contract-failure policy. `what`
+/// names the object/postcondition being validated. Returns true so it can
+/// sit inside NTR_DCHECK(...) and be compiled out with it in release
+/// builds.
+inline bool require(const ValidationReport& report, const char* what,
+                    std::source_location loc = std::source_location::current()) {
+  if (!report.ok()) {
+    fail("NTR_VALIDATE", what, loc.file_name(), static_cast<int>(loc.line()),
+         report.to_string());
+  }
+  return true;
+}
+
+}  // namespace ntr::check

@@ -1,6 +1,10 @@
 #include "core/ldrg.h"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "check/contracts.h"
+#include "check/validate_graph.h"
 
 namespace ntr::core {
 
@@ -64,6 +68,15 @@ LdrgResult ldrg(const graph::RoutingGraph& initial,
     result.steps.push_back(
         LdrgStep{best_u, best_v, current, best_objective, result.final_cost});
   }
+
+  // Every accepted edge strictly improved the objective and stayed within
+  // the wirelength budget, and edge insertion cannot disconnect a graph.
+  NTR_CHECK(result.final_objective <= result.initial_objective);
+  NTR_CHECK(result.final_cost <=
+            std::max(result.initial_cost, cost_budget) * (1.0 + 1e-12));
+  NTR_DCHECK(check::require(
+      check::validate_graph(result.graph, {.require_connected = true}),
+      "ldrg postcondition"));
   return result;
 }
 

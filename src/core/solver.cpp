@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "check/contracts.h"
+#include "check/validate_graph.h"
 #include "core/heuristics.h"
 #include "route/constructions.h"
 #include "route/ert.h"
@@ -75,6 +77,14 @@ Solution solve(const graph::Net& net, Strategy strategy,
       solution.graph = h3(graph::mst_routing(net), config.tech).graph;
       break;
   }
+
+  // Every strategy must hand back a structurally sound routing of the
+  // whole net: sourced at node 0, connected, Manhattan edge lengths.
+  NTR_DCHECK(check::require(
+      check::validate_graph(solution.graph,
+                            {.require_source = true, .require_connected = true}),
+      "solve postcondition"));
+  NTR_DCHECK(solution.graph.node_count() >= net.size());
 
   solution.delay_s = evaluator.max_delay(solution.graph);
   solution.cost_um = solution.graph.total_wirelength();

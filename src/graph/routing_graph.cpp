@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "check/contracts.h"
+#include "check/validate_graph.h"
 #include "graph/mst.h"
 #include "graph/union_find.h"
 
@@ -21,6 +23,7 @@ NodeId RoutingGraph::add_node(const geom::Point& pos, NodeKind kind) {
     throw std::invalid_argument("RoutingGraph already has a source node");
   nodes_.push_back(GraphNode{pos, kind});
   adjacency_.emplace_back();
+  NTR_ASSERT(adjacency_.size() == nodes_.size());
   return nodes_.size() - 1;
 }
 
@@ -34,6 +37,8 @@ EdgeId RoutingGraph::add_edge(NodeId u, NodeId v) {
   const EdgeId id = edges_.size() - 1;
   adjacency_[u].push_back(id);
   adjacency_[v].push_back(id);
+  NTR_DCHECK(check::require(check::validate_graph(*this),
+                            "RoutingGraph::add_edge postcondition"));
   return id;
 }
 
@@ -41,6 +46,8 @@ void RoutingGraph::remove_edge(EdgeId e) {
   if (e >= edges_.size()) throw std::out_of_range("RoutingGraph::remove_edge");
   edges_.erase(edges_.begin() + static_cast<std::ptrdiff_t>(e));
   rebuild_adjacency();
+  NTR_DCHECK(check::require(check::validate_graph(*this),
+                            "RoutingGraph::remove_edge postcondition"));
 }
 
 NodeId RoutingGraph::split_edge(EdgeId e, const geom::Point& p) {
@@ -53,6 +60,11 @@ NodeId RoutingGraph::split_edge(EdgeId e, const geom::Point& p) {
   const EdgeId b = add_edge(mid, split.v);
   edges_[a].width = width;
   edges_[b].width = width;
+  // A split point off every shortest rectilinear (u,v) route lengthens
+  // the wire; the structural invariants still hold, but the caller has
+  // almost certainly computed the wrong point.
+  NTR_DCHECK_MSG(geom::within_bounding_box(nodes_[split.u].pos, nodes_[split.v].pos, p),
+                 "split point lies outside the edge's bounding box");
   return mid;
 }
 

@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "check/contracts.h"
+#include "check/validate_graph.h"
 #include "delay/elmore.h"
 
 namespace ntr::route {
@@ -141,6 +143,16 @@ ErtResult elmore_routing_tree(const graph::Net& net, const spice::Technology& te
     apply_candidate(result.graph, result.node_pin, net, best);
     std::erase(unattached, best.pin);
   }
+
+  // The greedy growth attaches one pin per round to the connected tree,
+  // so the result must be a tree spanning every pin, with the node->pin
+  // map covering exactly the nodes.
+  NTR_CHECK(result.node_pin.size() == result.graph.node_count());
+  NTR_CHECK(result.graph.is_tree());
+  NTR_DCHECK(check::require(
+      check::validate_graph(result.graph,
+                            {.require_source = true, .require_connected = true}),
+      "elmore_routing_tree postcondition"));
   return result;
 }
 

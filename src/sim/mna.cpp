@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "check/contracts.h"
+#include "check/validate_mna.h"
+
 namespace ntr::sim {
 
 MnaSystem assemble_mna(const spice::Circuit& circuit) {
@@ -76,6 +79,15 @@ MnaSystem assemble_mna(const spice::Circuit& circuit) {
       }
     }
   }
+
+  // Exactly one branch row per voltage source/inductor was consumed, and
+  // the symmetric stamping above must yield symmetric, finite G and C.
+  // (SPD of the node block is *not* a postcondition here: it depends on
+  // the circuit's topology, not on correct assembly.)
+  NTR_CHECK(next_branch == mna.size());
+  NTR_DCHECK(check::require(
+      check::validate_mna(mna, {.spd = check::MnaValidateOptions::Spd::kSkip}),
+      "assemble_mna postcondition"));
   return mna;
 }
 

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "check/contracts.h"
+#include "check/validate_mna.h"
+
 namespace ntr::sim {
 
 namespace {
@@ -43,6 +46,14 @@ TransientSimulator::TransientSimulator(const spice::Circuit& circuit,
   t_max_ = options_.max_time_s > 0.0 ? options_.max_time_s
                                      : tau_ * std::max(options_.max_tau_multiple, 1.0);
   if (t_max_ < h_) t_max_ = h_;
+
+  // The stepping loops divide by h_ and iterate to t_max_; a non-finite or
+  // non-positive value here means the auto-step heuristic went wrong.
+  NTR_CHECK(std::isfinite(h_) && h_ > 0.0);
+  NTR_CHECK(std::isfinite(t_max_) && t_max_ >= h_);
+  NTR_DCHECK(check::require(
+      check::validate_mna(mna_, {.spd = check::MnaValidateOptions::Spd::kSkip}),
+      "TransientSimulator precondition"));
 }
 
 void TransientSimulator::ensure_factorizations() {
@@ -58,6 +69,8 @@ void TransientSimulator::ensure_factorizations() {
 
 void TransientSimulator::advance(linalg::Vector& x, bool use_be) const {
   const std::size_t n = mna_.size();
+  NTR_DCHECK(x.size() == n);
+  NTR_DCHECK(use_be ? lu_be_ != nullptr : lu_trap_ != nullptr);
   linalg::Vector rhs(n);
   if (use_be) {
     // (G + C/h) x1 = (C/h) x0 + b

@@ -6,6 +6,9 @@
 #include <queue>
 #include <stdexcept>
 
+#include "check/contracts.h"
+#include "check/validate_timing.h"
+
 namespace ntr::sta {
 
 NetId TimingGraph::add_net(std::string name) {
@@ -78,6 +81,11 @@ std::vector<GateId> topological_gates(const TimingGraph& design) {
 TimingReport analyze(const TimingGraph& design, double clock_period_s) {
   if (clock_period_s <= 0.0)
     throw std::invalid_argument("analyze: clock period must be positive");
+  // Cycle detection stays with topological_gates below, which reports it
+  // through this function's documented std::invalid_argument contract.
+  NTR_DCHECK(check::require(
+      check::validate_timing(design, {.check_cycles = false}),
+      "analyze precondition"));
   const std::vector<GateId> order = topological_gates(design);
 
   TimingReport report;

@@ -4,6 +4,8 @@
 #include <limits>
 #include <unordered_set>
 
+#include "check/contracts.h"
+#include "check/validate_graph.h"
 #include "geom/hanan.h"
 #include "graph/mst.h"
 
@@ -93,6 +95,14 @@ SteinerResult iterated_one_steiner(const graph::Net& net, const SteinerOptions& 
   for (const geom::Point& s : chosen)
     result.graph.add_node(s, graph::NodeKind::kSteiner);
   for (const auto& [u, v] : graph::prim_mst(augmented)) result.graph.add_edge(u, v);
+
+  // An MST over the augmented point set spans pins + surviving Steiner
+  // points as a tree; pruning above removed every degree-<=2 Steiner point.
+  NTR_CHECK(result.graph.is_tree());
+  NTR_DCHECK(check::require(
+      check::validate_graph(result.graph,
+                            {.require_source = true, .require_connected = true}),
+      "iterated_one_steiner postcondition"));
   return result;
 }
 
@@ -160,6 +170,11 @@ ExactSteinerResult exact_steiner_tree(const graph::Net& net,
   for (const geom::Point& s : best.steiner_points)
     best.graph.add_node(s, graph::NodeKind::kSteiner);
   for (const auto& [u, v] : graph::prim_mst(augmented)) best.graph.add_edge(u, v);
+  NTR_CHECK(best.graph.is_tree());
+  NTR_DCHECK(check::require(
+      check::validate_graph(best.graph,
+                            {.require_source = true, .require_connected = true}),
+      "exact_steiner_tree postcondition"));
   return best;
 }
 

@@ -165,5 +165,21 @@ TEST(RoutingGraph, MstRoutingSpansNet) {
   EXPECT_DOUBLE_EQ(g.total_wirelength(), 300.0);
 }
 
+// Regression for the documented invariant "add_edge on an existing pair
+// returns the existing id": it must hold for BOTH orientations, or a
+// caller iterating unordered pairs could silently create a parallel edge.
+TEST(RoutingGraph, AddEdgeReturnsExistingIdInBothOrientations) {
+  RoutingGraph g(square_net());
+  const EdgeId e = g.add_edge(0, 1);
+  EXPECT_EQ(g.add_edge(0, 1), e);
+  EXPECT_EQ(g.add_edge(1, 0), e);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.find_edge(1, 0), std::optional<EdgeId>(e));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  // Re-adding in the reverse orientation must not disturb the adjacency.
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 1u);
+}
+
 }  // namespace
 }  // namespace ntr::graph

@@ -1,0 +1,7 @@
+// Lint fixture: raw assert() instead of the NTR_* contract macros.
+#include <cassert>
+
+int fixture_check(int x) {
+  assert(x > 0);
+  return x;
+}

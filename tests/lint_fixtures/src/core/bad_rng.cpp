@@ -1,0 +1,8 @@
+// Lint fixture: non-reproducible randomness in a (pretend) core module.
+#include <cstdlib>
+#include <random>
+
+int fixture_roll() {
+  std::mt19937 gen;
+  return rand() % 6 + static_cast<int>(gen());
+}

@@ -1,0 +1,4 @@
+// Lint fixture: library code printing to stdout.
+#include <iostream>
+
+void fixture_report(double delay_s) { std::cout << delay_s << "\n"; }

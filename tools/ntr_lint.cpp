@@ -1,0 +1,69 @@
+// ntr_lint: the repo's own static-analysis pass.
+//
+// Scans C++ sources for repo-specific rules that generic tools do not
+// know (contract-macro usage, header hygiene, reproducible RNG in the
+// routing cores, no stdout printing from library code) and exits nonzero
+// with file:line diagnostics. CI runs `ntr_lint src tests` as a required
+// step; see docs/correctness.md and src/check/lint.h for the rule set and
+// the suppression syntax.
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "check/lint.h"
+
+namespace {
+
+void usage(std::FILE* out) {
+  std::fputs(
+      "usage: ntr_lint [--root DIR] [path...]\n"
+      "\n"
+      "Scans .h/.hpp/.cc/.cpp files under the given files/directories\n"
+      "(default: src tests, resolved against --root, default '.').\n"
+      "Prints one 'file:line: [rule] message' per finding and exits 1 if\n"
+      "any were found.\n",
+      out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::filesystem::path root = ".";
+  std::vector<std::filesystem::path> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      usage(stdout);
+      return 0;
+    }
+    if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::fputs("ntr_lint: --root requires a directory\n", stderr);
+        return 2;
+      }
+      root = argv[++i];
+    } else {
+      paths.emplace_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    paths = {"src", "tests"};
+  }
+  for (std::filesystem::path& p : paths) {
+    if (p.is_relative()) p = root / p;
+    if (!std::filesystem::exists(p)) {
+      std::fprintf(stderr, "ntr_lint: no such path: %s\n", p.string().c_str());
+      return 2;
+    }
+  }
+
+  const std::vector<ntr::check::LintDiagnostic> findings =
+      ntr::check::lint_paths(root, paths);
+  for (const ntr::check::LintDiagnostic& d : findings) {
+    std::fprintf(stderr, "%s\n", ntr::check::format(d).c_str());
+  }
+  std::fprintf(stderr, "ntr_lint: %zu finding(s)\n", findings.size());
+  return findings.empty() ? 0 : 1;
+}
