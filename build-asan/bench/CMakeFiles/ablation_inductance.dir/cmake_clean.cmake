@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_inductance.dir/ablation_inductance.cpp.o"
+  "CMakeFiles/ablation_inductance.dir/ablation_inductance.cpp.o.d"
+  "ablation_inductance"
+  "ablation_inductance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_inductance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_optimality.dir/ablation_optimality.cpp.o"
+  "CMakeFiles/ablation_optimality.dir/ablation_optimality.cpp.o.d"
+  "ablation_optimality"
+  "ablation_optimality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_optimality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

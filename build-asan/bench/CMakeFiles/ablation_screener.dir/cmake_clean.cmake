@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_screener.dir/ablation_screener.cpp.o"
+  "CMakeFiles/ablation_screener.dir/ablation_screener.cpp.o.d"
+  "ablation_screener"
+  "ablation_screener.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_screener.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_segmentation.dir/ablation_segmentation.cpp.o"
+  "CMakeFiles/ablation_segmentation.dir/ablation_segmentation.cpp.o.d"
+  "ablation_segmentation"
+  "ablation_segmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_segmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

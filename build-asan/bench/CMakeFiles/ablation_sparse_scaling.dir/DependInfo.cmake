@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_sparse_scaling.cpp" "bench/CMakeFiles/ablation_sparse_scaling.dir/ablation_sparse_scaling.cpp.o" "gcc" "bench/CMakeFiles/ablation_sparse_scaling.dir/ablation_sparse_scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/bench/CMakeFiles/ntr_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/expt/CMakeFiles/ntr_expt.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/viz/CMakeFiles/ntr_viz.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/grid/CMakeFiles/ntr_grid.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/io/CMakeFiles/ntr_io.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/flow/CMakeFiles/ntr_flow.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/core/CMakeFiles/ntr_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/route/CMakeFiles/ntr_route.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/steiner/CMakeFiles/ntr_steiner.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/delay/CMakeFiles/ntr_delay.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/ntr_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/spice/CMakeFiles/ntr_spice.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/linalg/CMakeFiles/ntr_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/graph/CMakeFiles/ntr_graph.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/geom/CMakeFiles/ntr_geom.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sta/CMakeFiles/ntr_sta.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/check/CMakeFiles/ntr_check.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sparse_scaling.dir/ablation_sparse_scaling.cpp.o"
+  "CMakeFiles/ablation_sparse_scaling.dir/ablation_sparse_scaling.cpp.o.d"
+  "ablation_sparse_scaling"
+  "ablation_sparse_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sparse_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tree_vs_graph.dir/ablation_tree_vs_graph.cpp.o"
+  "CMakeFiles/ablation_tree_vs_graph.dir/ablation_tree_vs_graph.cpp.o.d"
+  "ablation_tree_vs_graph"
+  "ablation_tree_vs_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tree_vs_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

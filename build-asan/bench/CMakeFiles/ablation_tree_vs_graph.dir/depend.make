@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_tree_vs_graph.
+# This may be replaced when dependencies are built.

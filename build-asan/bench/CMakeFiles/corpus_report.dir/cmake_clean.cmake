@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corpus_report.dir/corpus_report.cpp.o"
+  "CMakeFiles/corpus_report.dir/corpus_report.cpp.o.d"
+  "corpus_report"
+  "corpus_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corpus_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

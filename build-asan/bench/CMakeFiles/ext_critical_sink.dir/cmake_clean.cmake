@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_critical_sink.dir/ext_critical_sink.cpp.o"
+  "CMakeFiles/ext_critical_sink.dir/ext_critical_sink.cpp.o.d"
+  "ext_critical_sink"
+  "ext_critical_sink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_critical_sink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_global_routing.dir/ext_global_routing.cpp.o"
+  "CMakeFiles/ext_global_routing.dir/ext_global_routing.cpp.o.d"
+  "ext_global_routing"
+  "ext_global_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_global_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

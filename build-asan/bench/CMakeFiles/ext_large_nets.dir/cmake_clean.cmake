@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_large_nets.dir/ext_large_nets.cpp.o"
+  "CMakeFiles/ext_large_nets.dir/ext_large_nets.cpp.o.d"
+  "ext_large_nets"
+  "ext_large_nets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_large_nets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

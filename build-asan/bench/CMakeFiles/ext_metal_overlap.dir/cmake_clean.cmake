@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_metal_overlap.dir/ext_metal_overlap.cpp.o"
+  "CMakeFiles/ext_metal_overlap.dir/ext_metal_overlap.cpp.o.d"
+  "ext_metal_overlap"
+  "ext_metal_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_metal_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_pareto.dir/ext_pareto.cpp.o"
+  "CMakeFiles/ext_pareto.dir/ext_pareto.cpp.o.d"
+  "ext_pareto"
+  "ext_pareto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_variation.dir/ext_variation.cpp.o"
+  "CMakeFiles/ext_variation.dir/ext_variation.cpp.o.d"
+  "ext_variation"
+  "ext_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

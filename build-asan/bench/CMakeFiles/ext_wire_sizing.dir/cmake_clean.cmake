@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_wire_sizing.dir/ext_wire_sizing.cpp.o"
+  "CMakeFiles/ext_wire_sizing.dir/ext_wire_sizing.cpp.o.d"
+  "ext_wire_sizing"
+  "ext_wire_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_wire_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

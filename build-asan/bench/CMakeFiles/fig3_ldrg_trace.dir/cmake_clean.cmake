@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_ldrg_trace.dir/fig3_ldrg_trace.cpp.o"
+  "CMakeFiles/fig3_ldrg_trace.dir/fig3_ldrg_trace.cpp.o.d"
+  "fig3_ldrg_trace"
+  "fig3_ldrg_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_ldrg_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

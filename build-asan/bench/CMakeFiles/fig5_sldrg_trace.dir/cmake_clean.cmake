@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_sldrg_trace.dir/fig5_sldrg_trace.cpp.o"
+  "CMakeFiles/fig5_sldrg_trace.dir/fig5_sldrg_trace.cpp.o.d"
+  "fig5_sldrg_trace"
+  "fig5_sldrg_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_sldrg_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

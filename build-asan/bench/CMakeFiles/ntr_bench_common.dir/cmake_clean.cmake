@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntr_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/ntr_bench_common.dir/bench_common.cpp.o.d"
+  "lib/libntr_bench_common.a"
+  "lib/libntr_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntr_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

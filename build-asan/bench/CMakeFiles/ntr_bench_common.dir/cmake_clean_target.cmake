@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "lib/libntr_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_ldrg.dir/table2_ldrg.cpp.o"
+  "CMakeFiles/table2_ldrg.dir/table2_ldrg.cpp.o.d"
+  "table2_ldrg"
+  "table2_ldrg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_ldrg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_sldrg.dir/table3_sldrg.cpp.o"
+  "CMakeFiles/table3_sldrg.dir/table3_sldrg.cpp.o.d"
+  "table3_sldrg"
+  "table3_sldrg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_sldrg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_h2h3.dir/table5_h2h3.cpp.o"
+  "CMakeFiles/table5_h2h3.dir/table5_h2h3.cpp.o.d"
+  "table5_h2h3"
+  "table5_h2h3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_h2h3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table5_h2h3.
+# This may be replaced when dependencies are built.

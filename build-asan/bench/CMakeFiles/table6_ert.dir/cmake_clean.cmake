@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_ert.dir/table6_ert.cpp.o"
+  "CMakeFiles/table6_ert.dir/table6_ert.cpp.o.d"
+  "table6_ert"
+  "table6_ert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_ert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_ert_ldrg.dir/table7_ert_ldrg.cpp.o"
+  "CMakeFiles/table7_ert_ldrg.dir/table7_ert_ldrg.cpp.o.d"
+  "table7_ert_ldrg"
+  "table7_ert_ldrg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_ert_ldrg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

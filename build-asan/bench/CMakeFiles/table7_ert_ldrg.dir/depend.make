@@ -1,0 +1,2 @@
+# Empty dependencies file for table7_ert_ldrg.
+# This may be replaced when dependencies are built.

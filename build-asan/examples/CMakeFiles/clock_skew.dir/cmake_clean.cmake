@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clock_skew.dir/clock_skew.cpp.o"
+  "CMakeFiles/clock_skew.dir/clock_skew.cpp.o.d"
+  "clock_skew"
+  "clock_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clock_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

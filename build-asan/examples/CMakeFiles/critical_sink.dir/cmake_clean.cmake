@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/critical_sink.dir/critical_sink.cpp.o"
+  "CMakeFiles/critical_sink.dir/critical_sink.cpp.o.d"
+  "critical_sink"
+  "critical_sink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/critical_sink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

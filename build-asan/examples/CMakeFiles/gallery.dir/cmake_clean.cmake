@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gallery.dir/gallery.cpp.o"
+  "CMakeFiles/gallery.dir/gallery.cpp.o.d"
+  "gallery"
+  "gallery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/global_routing.dir/global_routing.cpp.o"
+  "CMakeFiles/global_routing.dir/global_routing.cpp.o.d"
+  "global_routing"
+  "global_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/global_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

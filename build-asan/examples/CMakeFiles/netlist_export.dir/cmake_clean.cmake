@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netlist_export.dir/netlist_export.cpp.o"
+  "CMakeFiles/netlist_export.dir/netlist_export.cpp.o.d"
+  "netlist_export"
+  "netlist_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netlist_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

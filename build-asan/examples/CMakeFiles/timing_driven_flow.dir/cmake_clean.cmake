@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timing_driven_flow.dir/timing_driven_flow.cpp.o"
+  "CMakeFiles/timing_driven_flow.dir/timing_driven_flow.cpp.o.d"
+  "timing_driven_flow"
+  "timing_driven_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timing_driven_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

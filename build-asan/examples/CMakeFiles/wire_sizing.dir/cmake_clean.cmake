@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire_sizing.dir/wire_sizing.cpp.o"
+  "CMakeFiles/wire_sizing.dir/wire_sizing.cpp.o.d"
+  "wire_sizing"
+  "wire_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

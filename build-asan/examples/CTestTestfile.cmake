@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build-asan/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build-asan/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  WORKING_DIRECTORY "/root/repo/build-asan/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_critical_sink "/root/repo/build-asan/examples/critical_sink")
+set_tests_properties(example_critical_sink PROPERTIES  WORKING_DIRECTORY "/root/repo/build-asan/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_wire_sizing "/root/repo/build-asan/examples/wire_sizing")
+set_tests_properties(example_wire_sizing PROPERTIES  WORKING_DIRECTORY "/root/repo/build-asan/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_netlist_export "/root/repo/build-asan/examples/netlist_export")
+set_tests_properties(example_netlist_export PROPERTIES  WORKING_DIRECTORY "/root/repo/build-asan/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_timing_driven_flow "/root/repo/build-asan/examples/timing_driven_flow")
+set_tests_properties(example_timing_driven_flow PROPERTIES  WORKING_DIRECTORY "/root/repo/build-asan/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_global_routing "/root/repo/build-asan/examples/global_routing")
+set_tests_properties(example_global_routing PROPERTIES  WORKING_DIRECTORY "/root/repo/build-asan/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_gallery "/root/repo/build-asan/examples/gallery")
+set_tests_properties(example_gallery PROPERTIES  WORKING_DIRECTORY "/root/repo/build-asan/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_waveforms "/root/repo/build-asan/examples/waveforms")
+set_tests_properties(example_waveforms PROPERTIES  WORKING_DIRECTORY "/root/repo/build-asan/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_clock_skew "/root/repo/build-asan/examples/clock_skew")
+set_tests_properties(example_clock_skew PROPERTIES  WORKING_DIRECTORY "/root/repo/build-asan/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")

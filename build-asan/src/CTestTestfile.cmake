@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-asan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("check")
+subdirs("geom")
+subdirs("graph")
+subdirs("linalg")
+subdirs("spice")
+subdirs("sim")
+subdirs("delay")
+subdirs("steiner")
+subdirs("route")
+subdirs("core")
+subdirs("expt")
+subdirs("viz")
+subdirs("io")
+subdirs("grid")
+subdirs("sta")
+subdirs("flow")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntr_check.dir/contracts.cpp.o"
+  "CMakeFiles/ntr_check.dir/contracts.cpp.o.d"
+  "CMakeFiles/ntr_check.dir/lint.cpp.o"
+  "CMakeFiles/ntr_check.dir/lint.cpp.o.d"
+  "libntr_check.a"
+  "libntr_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntr_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

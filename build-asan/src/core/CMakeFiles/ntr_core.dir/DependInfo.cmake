@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/exhaustive.cpp" "src/core/CMakeFiles/ntr_core.dir/exhaustive.cpp.o" "gcc" "src/core/CMakeFiles/ntr_core.dir/exhaustive.cpp.o.d"
+  "/root/repo/src/core/heuristics.cpp" "src/core/CMakeFiles/ntr_core.dir/heuristics.cpp.o" "gcc" "src/core/CMakeFiles/ntr_core.dir/heuristics.cpp.o.d"
+  "/root/repo/src/core/horg.cpp" "src/core/CMakeFiles/ntr_core.dir/horg.cpp.o" "gcc" "src/core/CMakeFiles/ntr_core.dir/horg.cpp.o.d"
+  "/root/repo/src/core/ldrg.cpp" "src/core/CMakeFiles/ntr_core.dir/ldrg.cpp.o" "gcc" "src/core/CMakeFiles/ntr_core.dir/ldrg.cpp.o.d"
+  "/root/repo/src/core/ldrg_screened.cpp" "src/core/CMakeFiles/ntr_core.dir/ldrg_screened.cpp.o" "gcc" "src/core/CMakeFiles/ntr_core.dir/ldrg_screened.cpp.o.d"
+  "/root/repo/src/core/solver.cpp" "src/core/CMakeFiles/ntr_core.dir/solver.cpp.o" "gcc" "src/core/CMakeFiles/ntr_core.dir/solver.cpp.o.d"
+  "/root/repo/src/core/wire_sizing.cpp" "src/core/CMakeFiles/ntr_core.dir/wire_sizing.cpp.o" "gcc" "src/core/CMakeFiles/ntr_core.dir/wire_sizing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/graph/CMakeFiles/ntr_graph.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/delay/CMakeFiles/ntr_delay.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/route/CMakeFiles/ntr_route.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/steiner/CMakeFiles/ntr_steiner.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/check/CMakeFiles/ntr_check.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/ntr_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/spice/CMakeFiles/ntr_spice.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/linalg/CMakeFiles/ntr_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/geom/CMakeFiles/ntr_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntr_core.dir/exhaustive.cpp.o"
+  "CMakeFiles/ntr_core.dir/exhaustive.cpp.o.d"
+  "CMakeFiles/ntr_core.dir/heuristics.cpp.o"
+  "CMakeFiles/ntr_core.dir/heuristics.cpp.o.d"
+  "CMakeFiles/ntr_core.dir/horg.cpp.o"
+  "CMakeFiles/ntr_core.dir/horg.cpp.o.d"
+  "CMakeFiles/ntr_core.dir/ldrg.cpp.o"
+  "CMakeFiles/ntr_core.dir/ldrg.cpp.o.d"
+  "CMakeFiles/ntr_core.dir/ldrg_screened.cpp.o"
+  "CMakeFiles/ntr_core.dir/ldrg_screened.cpp.o.d"
+  "CMakeFiles/ntr_core.dir/solver.cpp.o"
+  "CMakeFiles/ntr_core.dir/solver.cpp.o.d"
+  "CMakeFiles/ntr_core.dir/wire_sizing.cpp.o"
+  "CMakeFiles/ntr_core.dir/wire_sizing.cpp.o.d"
+  "libntr_core.a"
+  "libntr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/delay/bounds.cpp" "src/delay/CMakeFiles/ntr_delay.dir/bounds.cpp.o" "gcc" "src/delay/CMakeFiles/ntr_delay.dir/bounds.cpp.o.d"
+  "/root/repo/src/delay/elmore.cpp" "src/delay/CMakeFiles/ntr_delay.dir/elmore.cpp.o" "gcc" "src/delay/CMakeFiles/ntr_delay.dir/elmore.cpp.o.d"
+  "/root/repo/src/delay/evaluator.cpp" "src/delay/CMakeFiles/ntr_delay.dir/evaluator.cpp.o" "gcc" "src/delay/CMakeFiles/ntr_delay.dir/evaluator.cpp.o.d"
+  "/root/repo/src/delay/moments.cpp" "src/delay/CMakeFiles/ntr_delay.dir/moments.cpp.o" "gcc" "src/delay/CMakeFiles/ntr_delay.dir/moments.cpp.o.d"
+  "/root/repo/src/delay/screener.cpp" "src/delay/CMakeFiles/ntr_delay.dir/screener.cpp.o" "gcc" "src/delay/CMakeFiles/ntr_delay.dir/screener.cpp.o.d"
+  "/root/repo/src/delay/two_pole.cpp" "src/delay/CMakeFiles/ntr_delay.dir/two_pole.cpp.o" "gcc" "src/delay/CMakeFiles/ntr_delay.dir/two_pole.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/graph/CMakeFiles/ntr_graph.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/spice/CMakeFiles/ntr_spice.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/ntr_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/linalg/CMakeFiles/ntr_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/geom/CMakeFiles/ntr_geom.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/check/CMakeFiles/ntr_check.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

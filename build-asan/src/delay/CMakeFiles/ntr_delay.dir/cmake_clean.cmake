@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntr_delay.dir/bounds.cpp.o"
+  "CMakeFiles/ntr_delay.dir/bounds.cpp.o.d"
+  "CMakeFiles/ntr_delay.dir/elmore.cpp.o"
+  "CMakeFiles/ntr_delay.dir/elmore.cpp.o.d"
+  "CMakeFiles/ntr_delay.dir/evaluator.cpp.o"
+  "CMakeFiles/ntr_delay.dir/evaluator.cpp.o.d"
+  "CMakeFiles/ntr_delay.dir/moments.cpp.o"
+  "CMakeFiles/ntr_delay.dir/moments.cpp.o.d"
+  "CMakeFiles/ntr_delay.dir/screener.cpp.o"
+  "CMakeFiles/ntr_delay.dir/screener.cpp.o.d"
+  "CMakeFiles/ntr_delay.dir/two_pole.cpp.o"
+  "CMakeFiles/ntr_delay.dir/two_pole.cpp.o.d"
+  "libntr_delay.a"
+  "libntr_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntr_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntr_expt.dir/comparison.cpp.o"
+  "CMakeFiles/ntr_expt.dir/comparison.cpp.o.d"
+  "CMakeFiles/ntr_expt.dir/net_generator.cpp.o"
+  "CMakeFiles/ntr_expt.dir/net_generator.cpp.o.d"
+  "CMakeFiles/ntr_expt.dir/protocol.cpp.o"
+  "CMakeFiles/ntr_expt.dir/protocol.cpp.o.d"
+  "libntr_expt.a"
+  "libntr_expt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntr_expt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntr_flow.dir/timing_flow.cpp.o"
+  "CMakeFiles/ntr_flow.dir/timing_flow.cpp.o.d"
+  "libntr_flow.a"
+  "libntr_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntr_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntr_geom.dir/geom.cpp.o"
+  "CMakeFiles/ntr_geom.dir/geom.cpp.o.d"
+  "CMakeFiles/ntr_geom.dir/segments.cpp.o"
+  "CMakeFiles/ntr_geom.dir/segments.cpp.o.d"
+  "libntr_geom.a"
+  "libntr_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntr_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

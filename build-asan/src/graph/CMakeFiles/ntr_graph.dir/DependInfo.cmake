@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/bridges.cpp" "src/graph/CMakeFiles/ntr_graph.dir/bridges.cpp.o" "gcc" "src/graph/CMakeFiles/ntr_graph.dir/bridges.cpp.o.d"
+  "/root/repo/src/graph/embedding.cpp" "src/graph/CMakeFiles/ntr_graph.dir/embedding.cpp.o" "gcc" "src/graph/CMakeFiles/ntr_graph.dir/embedding.cpp.o.d"
+  "/root/repo/src/graph/metrics.cpp" "src/graph/CMakeFiles/ntr_graph.dir/metrics.cpp.o" "gcc" "src/graph/CMakeFiles/ntr_graph.dir/metrics.cpp.o.d"
+  "/root/repo/src/graph/mst.cpp" "src/graph/CMakeFiles/ntr_graph.dir/mst.cpp.o" "gcc" "src/graph/CMakeFiles/ntr_graph.dir/mst.cpp.o.d"
+  "/root/repo/src/graph/paths.cpp" "src/graph/CMakeFiles/ntr_graph.dir/paths.cpp.o" "gcc" "src/graph/CMakeFiles/ntr_graph.dir/paths.cpp.o.d"
+  "/root/repo/src/graph/routing_graph.cpp" "src/graph/CMakeFiles/ntr_graph.dir/routing_graph.cpp.o" "gcc" "src/graph/CMakeFiles/ntr_graph.dir/routing_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/geom/CMakeFiles/ntr_geom.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/check/CMakeFiles/ntr_check.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntr_graph.dir/bridges.cpp.o"
+  "CMakeFiles/ntr_graph.dir/bridges.cpp.o.d"
+  "CMakeFiles/ntr_graph.dir/embedding.cpp.o"
+  "CMakeFiles/ntr_graph.dir/embedding.cpp.o.d"
+  "CMakeFiles/ntr_graph.dir/metrics.cpp.o"
+  "CMakeFiles/ntr_graph.dir/metrics.cpp.o.d"
+  "CMakeFiles/ntr_graph.dir/mst.cpp.o"
+  "CMakeFiles/ntr_graph.dir/mst.cpp.o.d"
+  "CMakeFiles/ntr_graph.dir/paths.cpp.o"
+  "CMakeFiles/ntr_graph.dir/paths.cpp.o.d"
+  "CMakeFiles/ntr_graph.dir/routing_graph.cpp.o"
+  "CMakeFiles/ntr_graph.dir/routing_graph.cpp.o.d"
+  "libntr_graph.a"
+  "libntr_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntr_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grid/global_router.cpp" "src/grid/CMakeFiles/ntr_grid.dir/global_router.cpp.o" "gcc" "src/grid/CMakeFiles/ntr_grid.dir/global_router.cpp.o.d"
+  "/root/repo/src/grid/grid.cpp" "src/grid/CMakeFiles/ntr_grid.dir/grid.cpp.o" "gcc" "src/grid/CMakeFiles/ntr_grid.dir/grid.cpp.o.d"
+  "/root/repo/src/grid/layered.cpp" "src/grid/CMakeFiles/ntr_grid.dir/layered.cpp.o" "gcc" "src/grid/CMakeFiles/ntr_grid.dir/layered.cpp.o.d"
+  "/root/repo/src/grid/net_router.cpp" "src/grid/CMakeFiles/ntr_grid.dir/net_router.cpp.o" "gcc" "src/grid/CMakeFiles/ntr_grid.dir/net_router.cpp.o.d"
+  "/root/repo/src/grid/search.cpp" "src/grid/CMakeFiles/ntr_grid.dir/search.cpp.o" "gcc" "src/grid/CMakeFiles/ntr_grid.dir/search.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/graph/CMakeFiles/ntr_graph.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/geom/CMakeFiles/ntr_geom.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/check/CMakeFiles/ntr_check.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntr_grid.dir/global_router.cpp.o"
+  "CMakeFiles/ntr_grid.dir/global_router.cpp.o.d"
+  "CMakeFiles/ntr_grid.dir/grid.cpp.o"
+  "CMakeFiles/ntr_grid.dir/grid.cpp.o.d"
+  "CMakeFiles/ntr_grid.dir/layered.cpp.o"
+  "CMakeFiles/ntr_grid.dir/layered.cpp.o.d"
+  "CMakeFiles/ntr_grid.dir/net_router.cpp.o"
+  "CMakeFiles/ntr_grid.dir/net_router.cpp.o.d"
+  "CMakeFiles/ntr_grid.dir/search.cpp.o"
+  "CMakeFiles/ntr_grid.dir/search.cpp.o.d"
+  "libntr_grid.a"
+  "libntr_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntr_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntr_io.dir/cli.cpp.o"
+  "CMakeFiles/ntr_io.dir/cli.cpp.o.d"
+  "CMakeFiles/ntr_io.dir/net_io.cpp.o"
+  "CMakeFiles/ntr_io.dir/net_io.cpp.o.d"
+  "libntr_io.a"
+  "libntr_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntr_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntr_linalg.dir/dense_matrix.cpp.o"
+  "CMakeFiles/ntr_linalg.dir/dense_matrix.cpp.o.d"
+  "CMakeFiles/ntr_linalg.dir/sparse.cpp.o"
+  "CMakeFiles/ntr_linalg.dir/sparse.cpp.o.d"
+  "CMakeFiles/ntr_linalg.dir/sparse_cholesky.cpp.o"
+  "CMakeFiles/ntr_linalg.dir/sparse_cholesky.cpp.o.d"
+  "libntr_linalg.a"
+  "libntr_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntr_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/route/brbc.cpp" "src/route/CMakeFiles/ntr_route.dir/brbc.cpp.o" "gcc" "src/route/CMakeFiles/ntr_route.dir/brbc.cpp.o.d"
+  "/root/repo/src/route/constructions.cpp" "src/route/CMakeFiles/ntr_route.dir/constructions.cpp.o" "gcc" "src/route/CMakeFiles/ntr_route.dir/constructions.cpp.o.d"
+  "/root/repo/src/route/ert.cpp" "src/route/CMakeFiles/ntr_route.dir/ert.cpp.o" "gcc" "src/route/CMakeFiles/ntr_route.dir/ert.cpp.o.d"
+  "/root/repo/src/route/local_search.cpp" "src/route/CMakeFiles/ntr_route.dir/local_search.cpp.o" "gcc" "src/route/CMakeFiles/ntr_route.dir/local_search.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/graph/CMakeFiles/ntr_graph.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/delay/CMakeFiles/ntr_delay.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/check/CMakeFiles/ntr_check.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/ntr_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/spice/CMakeFiles/ntr_spice.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/geom/CMakeFiles/ntr_geom.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/linalg/CMakeFiles/ntr_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntr_route.dir/brbc.cpp.o"
+  "CMakeFiles/ntr_route.dir/brbc.cpp.o.d"
+  "CMakeFiles/ntr_route.dir/constructions.cpp.o"
+  "CMakeFiles/ntr_route.dir/constructions.cpp.o.d"
+  "CMakeFiles/ntr_route.dir/ert.cpp.o"
+  "CMakeFiles/ntr_route.dir/ert.cpp.o.d"
+  "CMakeFiles/ntr_route.dir/local_search.cpp.o"
+  "CMakeFiles/ntr_route.dir/local_search.cpp.o.d"
+  "libntr_route.a"
+  "libntr_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntr_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

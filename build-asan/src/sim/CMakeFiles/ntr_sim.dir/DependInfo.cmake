@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/mna.cpp" "src/sim/CMakeFiles/ntr_sim.dir/mna.cpp.o" "gcc" "src/sim/CMakeFiles/ntr_sim.dir/mna.cpp.o.d"
+  "/root/repo/src/sim/transient.cpp" "src/sim/CMakeFiles/ntr_sim.dir/transient.cpp.o" "gcc" "src/sim/CMakeFiles/ntr_sim.dir/transient.cpp.o.d"
+  "/root/repo/src/sim/waveform_io.cpp" "src/sim/CMakeFiles/ntr_sim.dir/waveform_io.cpp.o" "gcc" "src/sim/CMakeFiles/ntr_sim.dir/waveform_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/spice/CMakeFiles/ntr_spice.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/linalg/CMakeFiles/ntr_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/check/CMakeFiles/ntr_check.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/graph/CMakeFiles/ntr_graph.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/geom/CMakeFiles/ntr_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntr_sim.dir/mna.cpp.o"
+  "CMakeFiles/ntr_sim.dir/mna.cpp.o.d"
+  "CMakeFiles/ntr_sim.dir/transient.cpp.o"
+  "CMakeFiles/ntr_sim.dir/transient.cpp.o.d"
+  "CMakeFiles/ntr_sim.dir/waveform_io.cpp.o"
+  "CMakeFiles/ntr_sim.dir/waveform_io.cpp.o.d"
+  "libntr_sim.a"
+  "libntr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

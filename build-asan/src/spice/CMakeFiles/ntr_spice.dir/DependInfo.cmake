@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spice/deck_io.cpp" "src/spice/CMakeFiles/ntr_spice.dir/deck_io.cpp.o" "gcc" "src/spice/CMakeFiles/ntr_spice.dir/deck_io.cpp.o.d"
+  "/root/repo/src/spice/graph_netlist.cpp" "src/spice/CMakeFiles/ntr_spice.dir/graph_netlist.cpp.o" "gcc" "src/spice/CMakeFiles/ntr_spice.dir/graph_netlist.cpp.o.d"
+  "/root/repo/src/spice/netlist.cpp" "src/spice/CMakeFiles/ntr_spice.dir/netlist.cpp.o" "gcc" "src/spice/CMakeFiles/ntr_spice.dir/netlist.cpp.o.d"
+  "/root/repo/src/spice/spef.cpp" "src/spice/CMakeFiles/ntr_spice.dir/spef.cpp.o" "gcc" "src/spice/CMakeFiles/ntr_spice.dir/spef.cpp.o.d"
+  "/root/repo/src/spice/units.cpp" "src/spice/CMakeFiles/ntr_spice.dir/units.cpp.o" "gcc" "src/spice/CMakeFiles/ntr_spice.dir/units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/graph/CMakeFiles/ntr_graph.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/geom/CMakeFiles/ntr_geom.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/check/CMakeFiles/ntr_check.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

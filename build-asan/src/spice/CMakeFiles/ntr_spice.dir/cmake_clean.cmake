@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntr_spice.dir/deck_io.cpp.o"
+  "CMakeFiles/ntr_spice.dir/deck_io.cpp.o.d"
+  "CMakeFiles/ntr_spice.dir/graph_netlist.cpp.o"
+  "CMakeFiles/ntr_spice.dir/graph_netlist.cpp.o.d"
+  "CMakeFiles/ntr_spice.dir/netlist.cpp.o"
+  "CMakeFiles/ntr_spice.dir/netlist.cpp.o.d"
+  "CMakeFiles/ntr_spice.dir/spef.cpp.o"
+  "CMakeFiles/ntr_spice.dir/spef.cpp.o.d"
+  "CMakeFiles/ntr_spice.dir/units.cpp.o"
+  "CMakeFiles/ntr_spice.dir/units.cpp.o.d"
+  "libntr_spice.a"
+  "libntr_spice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntr_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

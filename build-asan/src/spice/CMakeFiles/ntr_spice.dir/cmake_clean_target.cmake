@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libntr_spice.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntr_sta.dir/timing_graph.cpp.o"
+  "CMakeFiles/ntr_sta.dir/timing_graph.cpp.o.d"
+  "libntr_sta.a"
+  "libntr_sta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntr_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

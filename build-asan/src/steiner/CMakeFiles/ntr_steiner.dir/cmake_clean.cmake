@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntr_steiner.dir/iterated_one_steiner.cpp.o"
+  "CMakeFiles/ntr_steiner.dir/iterated_one_steiner.cpp.o.d"
+  "libntr_steiner.a"
+  "libntr_steiner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntr_steiner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

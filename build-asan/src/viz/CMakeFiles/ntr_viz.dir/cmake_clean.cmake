@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntr_viz.dir/svg.cpp.o"
+  "CMakeFiles/ntr_viz.dir/svg.cpp.o.d"
+  "libntr_viz.a"
+  "libntr_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntr_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

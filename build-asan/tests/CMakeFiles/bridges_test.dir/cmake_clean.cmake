@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bridges_test.dir/bridges_test.cpp.o"
+  "CMakeFiles/bridges_test.dir/bridges_test.cpp.o.d"
+  "bridges_test"
+  "bridges_test.pdb"
+  "bridges_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bridges_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bridges_test.
+# This may be replaced when dependencies are built.

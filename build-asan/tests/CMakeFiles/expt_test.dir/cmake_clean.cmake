@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expt_test.dir/expt_test.cpp.o"
+  "CMakeFiles/expt_test.dir/expt_test.cpp.o.d"
+  "expt_test"
+  "expt_test.pdb"
+  "expt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

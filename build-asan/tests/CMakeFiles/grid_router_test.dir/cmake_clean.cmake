@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_router_test.dir/grid_router_test.cpp.o"
+  "CMakeFiles/grid_router_test.dir/grid_router_test.cpp.o.d"
+  "grid_router_test"
+  "grid_router_test.pdb"
+  "grid_router_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_router_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

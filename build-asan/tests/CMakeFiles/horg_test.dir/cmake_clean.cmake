@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/horg_test.dir/horg_test.cpp.o"
+  "CMakeFiles/horg_test.dir/horg_test.cpp.o.d"
+  "horg_test"
+  "horg_test.pdb"
+  "horg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/horg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layered_global_test.dir/layered_global_test.cpp.o"
+  "CMakeFiles/layered_global_test.dir/layered_global_test.cpp.o.d"
+  "layered_global_test"
+  "layered_global_test.pdb"
+  "layered_global_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layered_global_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldrg_test.dir/ldrg_test.cpp.o"
+  "CMakeFiles/ldrg_test.dir/ldrg_test.cpp.o.d"
+  "ldrg_test"
+  "ldrg_test.pdb"
+  "ldrg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldrg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_spef_test.dir/metrics_spef_test.cpp.o"
+  "CMakeFiles/metrics_spef_test.dir/metrics_spef_test.cpp.o.d"
+  "metrics_spef_test"
+  "metrics_spef_test.pdb"
+  "metrics_spef_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_spef_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

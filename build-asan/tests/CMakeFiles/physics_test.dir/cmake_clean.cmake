@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/physics_test.dir/physics_test.cpp.o"
+  "CMakeFiles/physics_test.dir/physics_test.cpp.o.d"
+  "physics_test"
+  "physics_test.pdb"
+  "physics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/physics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

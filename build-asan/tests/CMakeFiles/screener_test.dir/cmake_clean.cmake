@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/screener_test.dir/screener_test.cpp.o"
+  "CMakeFiles/screener_test.dir/screener_test.cpp.o.d"
+  "screener_test"
+  "screener_test.pdb"
+  "screener_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/screener_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

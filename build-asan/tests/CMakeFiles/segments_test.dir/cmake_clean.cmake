@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segments_test.dir/segments_test.cpp.o"
+  "CMakeFiles/segments_test.dir/segments_test.cpp.o.d"
+  "segments_test"
+  "segments_test.pdb"
+  "segments_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segments_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

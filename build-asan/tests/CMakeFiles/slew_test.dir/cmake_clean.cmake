@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slew_test.dir/slew_test.cpp.o"
+  "CMakeFiles/slew_test.dir/slew_test.cpp.o.d"
+  "slew_test"
+  "slew_test.pdb"
+  "slew_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slew_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

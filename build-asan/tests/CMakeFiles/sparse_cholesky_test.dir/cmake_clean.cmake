@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_cholesky_test.dir/sparse_cholesky_test.cpp.o"
+  "CMakeFiles/sparse_cholesky_test.dir/sparse_cholesky_test.cpp.o.d"
+  "sparse_cholesky_test"
+  "sparse_cholesky_test.pdb"
+  "sparse_cholesky_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_cholesky_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

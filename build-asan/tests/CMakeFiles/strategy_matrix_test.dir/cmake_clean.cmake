@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strategy_matrix_test.dir/strategy_matrix_test.cpp.o"
+  "CMakeFiles/strategy_matrix_test.dir/strategy_matrix_test.cpp.o.d"
+  "strategy_matrix_test"
+  "strategy_matrix_test.pdb"
+  "strategy_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strategy_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_pole_test.dir/two_pole_test.cpp.o"
+  "CMakeFiles/two_pole_test.dir/two_pole_test.cpp.o.d"
+  "two_pole_test"
+  "two_pole_test.pdb"
+  "two_pole_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_pole_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

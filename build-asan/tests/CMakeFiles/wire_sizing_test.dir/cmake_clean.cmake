@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire_sizing_test.dir/wire_sizing_test.cpp.o"
+  "CMakeFiles/wire_sizing_test.dir/wire_sizing_test.cpp.o.d"
+  "wire_sizing_test"
+  "wire_sizing_test.pdb"
+  "wire_sizing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire_sizing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntr_experiment.dir/ntr_experiment.cpp.o"
+  "CMakeFiles/ntr_experiment.dir/ntr_experiment.cpp.o.d"
+  "ntr_experiment"
+  "ntr_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntr_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

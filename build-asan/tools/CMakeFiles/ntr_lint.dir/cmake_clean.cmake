@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntr_lint.dir/ntr_lint.cpp.o"
+  "CMakeFiles/ntr_lint.dir/ntr_lint.cpp.o.d"
+  "ntr_lint"
+  "ntr_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntr_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntr_route_cli.dir/ntr_route.cpp.o"
+  "CMakeFiles/ntr_route_cli.dir/ntr_route.cpp.o.d"
+  "ntr_route"
+  "ntr_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntr_route_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build-asan/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_ntr_route "/root/repo/build-asan/tools/ntr_route" "--random" "8" "--seed" "3" "--strategy" "ldrg" "--metrics" "--report")
+set_tests_properties(tool_ntr_route PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_ntr_route_help "/root/repo/build-asan/tools/ntr_route" "--help")
+set_tests_properties(tool_ntr_route_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_ntr_experiment "/root/repo/build-asan/tools/ntr_experiment" "--candidate" "h3" "--sizes" "6" "--trials" "2")
+set_tests_properties(tool_ntr_experiment PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;22;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_ntr_lint_clean "/root/repo/build-asan/tools/ntr_lint" "--root" "/root/repo" "src" "tests")
+set_tests_properties(tool_ntr_lint_clean PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;27;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_ntr_lint_detects_fixtures "/root/repo/build-asan/tools/ntr_lint" "--root" "/root/repo" "tests/lint_fixtures")
+set_tests_properties(tool_ntr_lint_detects_fixtures PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;29;add_test;/root/repo/tools/CMakeLists.txt;0;")
