@@ -6,10 +6,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "core/heuristics.h"
 #include "core/ldrg.h"
 #include "delay/elmore.h"
 #include "delay/evaluator.h"
+#include "delay/incremental_elmore.h"
 #include "delay/moments.h"
 #include "expt/net_generator.h"
 #include "graph/mst.h"
@@ -93,6 +97,58 @@ void BM_H3NoSimulation(benchmark::State& state) {
 }
 BENCHMARK(BM_H3NoSimulation)->Arg(5)->Arg(10)->Arg(20)->Arg(30);
 
+// One incremental candidate evaluation: the O(n) Sherman-Morrison delta
+// the parallel LDRG lanes score with, vs the O(n^3) full solve above
+// (BM_GraphMoments) it replaces per candidate.
+void BM_IncrementalCandidate(benchmark::State& state) {
+  const graph::RoutingGraph g =
+      graph::mst_routing(make_net(static_cast<std::size_t>(state.range(0))));
+  const delay::IncrementalElmore engine(g, kTech);
+  const graph::NodeId u = 0, v = g.node_count() - 1;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(engine.candidate_delays(u, v));
+}
+BENCHMARK(BM_IncrementalCandidate)->Arg(5)->Arg(10)->Arg(20)->Arg(30)->Arg(100);
+
+// Full single-edge LDRG scan on N lanes (graph-Elmore evaluator so the
+// incremental scorer carries the scan); determinism means the N-lane
+// result equals the serial one, so this times pure coordination overhead
+// plus the parallel speedup.
+void BM_LdrgParallelScan(benchmark::State& state) {
+  const graph::RoutingGraph mst = graph::mst_routing(make_net(30));
+  const delay::GraphElmoreEvaluator eval(kTech);
+  core::LdrgOptions opts;
+  opts.max_added_edges = 1;
+  opts.parallel.num_threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::ldrg(mst, eval, opts));
+}
+BENCHMARK(BM_LdrgParallelScan)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// benchmark's own main, plus the repo-wide `--json <path>` spelling all
+// bench binaries share (translated to google-benchmark's output flags so
+// CI's bench-perf job can treat every binary uniformly).
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv, argv + argc);
+  std::vector<std::string> translated;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--json" && i + 1 < args.size()) {
+      translated.push_back("--benchmark_format=console");
+      translated.push_back("--benchmark_out_format=json");
+      translated.push_back("--benchmark_out=" + args[++i]);
+    } else {
+      translated.push_back(args[i]);
+    }
+  }
+  std::vector<char*> raw;
+  raw.reserve(translated.size());
+  for (std::string& s : translated) raw.push_back(s.data());
+  int raw_argc = static_cast<int>(raw.size());
+  benchmark::Initialize(&raw_argc, raw.data());
+  if (benchmark::ReportUnrecognizedArguments(raw_argc, raw.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

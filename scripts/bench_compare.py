@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Advisory bench-regression gate.
+
+Compares a bench run's phase report (the `--json` output of the bench/
+binaries, e.g. BENCH_ldrg.json) against a committed baseline and exits
+non-zero when any shared phase's wall-clock regressed beyond the
+tolerance, or when the run failed its own bit-identity check. CI runs
+this with continue-on-error: shared runners are noisy, so the gate
+surfaces regressions without blocking merges.
+
+Only phases present in both files are compared; summary metrics (e.g.
+speedup_vs_serial_seed) are reported for context, not gated, because
+they depend on the runner's core count.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed relative wall-clock growth per phase")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+
+    failures = []
+    if current.get("outputs_identical") is False:
+        failures.append("current run reports outputs_identical=false: the "
+                        "optimized pipeline no longer matches the serial seed")
+
+    base_cfg = baseline.get("config", {})
+    cur_cfg = current.get("config", {})
+    comparable = all(base_cfg.get(k) == cur_cfg.get(k)
+                     for k in ("trials", "seed", "net_sizes"))
+    if not comparable:
+        print(f"config mismatch (baseline {base_cfg} vs current {cur_cfg}): "
+              "wall-clock not gated")
+
+    base_phases = {p["name"]: p for p in baseline.get("phases", [])}
+    cur_phases = {p["name"]: p for p in current.get("phases", [])}
+
+    base_hw = baseline.get("hardware_concurrency", "?")
+    cur_hw = current.get("hardware_concurrency", "?")
+    print(f"baseline host: {base_hw} hardware threads; "
+          f"current host: {cur_hw} hardware threads")
+
+    for name in sorted(base_phases):
+        if name not in cur_phases:
+            print(f"  {name}: missing from current run (skipped)")
+            continue
+        base_s = base_phases[name]["wall_s"]
+        cur_s = cur_phases[name]["wall_s"]
+        if base_s <= 0:
+            continue
+        change = cur_s / base_s - 1.0
+        verdict = "ok" if comparable else "not gated"
+        if comparable and change > args.tolerance:
+            verdict = "REGRESSION"
+            failures.append(f"{name}: {base_s:.3f}s -> {cur_s:.3f}s "
+                            f"({change:+.0%}, tolerance {args.tolerance:.0%})")
+        elif comparable and change < -args.tolerance:
+            verdict = "improvement"
+        print(f"  {name}: {base_s:.3f}s -> {cur_s:.3f}s ({change:+.0%}) {verdict}")
+
+    for key, value in current.get("summary", {}).items():
+        base_value = baseline.get("summary", {}).get(key)
+        context = f" (baseline {base_value:.2f})" if base_value else ""
+        print(f"  summary {key}: {value:.2f}{context}")
+
+    if failures:
+        print("\nbench_compare: FAILED")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("\nbench_compare: within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

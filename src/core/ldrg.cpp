@@ -1,6 +1,8 @@
 #include "core/ldrg.h"
 
 #include <algorithm>
+#include <limits>
+#include <memory>
 #include <stdexcept>
 
 #include "check/contracts.h"
@@ -15,6 +17,35 @@ double objective(const graph::RoutingGraph& g, const delay::DelayEvaluator& eval
   return criticality.empty() ? evaluator.max_delay(g)
                              : evaluator.weighted_delay(g, criticality);
 }
+
+double sink_objective(const std::vector<double>& sink_delays,
+                      const std::vector<double>& criticality) {
+  if (criticality.empty()) {
+    double worst = 0.0;
+    for (const double d : sink_delays) worst = std::max(worst, d);
+    return worst;
+  }
+  if (criticality.size() != sink_delays.size())
+    throw std::invalid_argument("ldrg: criticality size must match sink count");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < sink_delays.size(); ++i)
+    sum += criticality[i] * sink_delays[i];
+  return sum;
+}
+
+struct Candidate {
+  graph::NodeId u = graph::kInvalidNode;
+  graph::NodeId v = graph::kInvalidNode;
+};
+
+/// The winning candidate of one lane: its score and its index in the
+/// shared enumeration order. Reduced across lanes by (score, index), which
+/// reproduces the serial loop's "strict improvement, first tie wins"
+/// semantics for any lane count.
+struct LaneBest {
+  double score = std::numeric_limits<double>::infinity();
+  std::size_t index = std::numeric_limits<std::size_t>::max();
+};
 
 }  // namespace
 
@@ -31,42 +62,108 @@ LdrgResult ldrg(const graph::RoutingGraph& initial,
   result.final_cost = result.initial_cost;
 
   const double cost_budget = options.max_cost_ratio * result.initial_cost;
+  const bool weighted = !options.criticality.empty();
+
+  const std::size_t lanes = options.parallel.resolved_threads();
+  std::unique_ptr<ThreadPool> pool;
+  if (lanes > 1) pool = std::make_unique<ThreadPool>(lanes);
 
   while (result.steps.size() < options.max_added_edges) {
     const double current = result.final_objective;
     const double accept_below =
         current * (1.0 - options.min_relative_improvement);
 
-    double best_objective = accept_below;
-    graph::NodeId best_u = graph::kInvalidNode;
-    graph::NodeId best_v = graph::kInvalidNode;
-
-    // The paper's step 2: exists e_ij in N x N improving t(G)? Try every
-    // absent pair (pins and Steiner points alike) and keep the best.
+    // The paper's step 2: exists e_ij in N x N improving t(G)? Enumerate
+    // every absent pair (pins and Steiner points alike) within the cost
+    // budget; the enumeration order defines the tie-break index.
+    std::vector<Candidate> candidates;
     for (graph::NodeId u = 0; u < result.graph.node_count(); ++u) {
       for (graph::NodeId v = u + 1; v < result.graph.node_count(); ++v) {
         if (result.graph.has_edge(u, v)) continue;
         const double edge_len = geom::manhattan_distance(
             result.graph.node(u).pos, result.graph.node(v).pos);
         if (result.final_cost + edge_len > cost_budget) continue;
-        graph::RoutingGraph trial = result.graph;
-        trial.add_edge(u, v);
-        const double t = objective(trial, evaluator, options.criticality);
-        if (t < best_objective) {
-          best_objective = t;
-          best_u = u;
-          best_v = v;
-        }
+        candidates.push_back({u, v});
+      }
+    }
+    if (candidates.empty()) break;
+
+    // Incremental path: evaluators with a delta engine (Sherman-Morrison
+    // Elmore) score a candidate in O(n) off the cached factorization of
+    // the *current* graph. The cache is rebuilt here each round -- the
+    // accepted edge of the previous round invalidated it.
+    const std::unique_ptr<delay::CandidateScorer> scorer =
+        evaluator.make_candidate_scorer(result.graph);
+
+    // Lane-local scans with deterministic static chunking. Each lane
+    // tracks its own branch-and-bound cutoff, seeded at the acceptance
+    // threshold: a candidate whose delay provably exceeds the lane's best
+    // can never become the winner, so its evaluation may stop early.
+    std::vector<LaneBest> lane_best(lanes);
+    parallel_chunks(pool.get(), candidates.size(),
+                    [&](std::size_t lane, std::size_t begin, std::size_t end) {
+                      LaneBest best;
+                      double bound = accept_below;
+                      for (std::size_t i = begin; i < end; ++i) {
+                        const Candidate& c = candidates[i];
+                        double t;
+                        if (scorer) {
+                          t = sink_objective(
+                              scorer->candidate_sink_delays(c.u, c.v),
+                              options.criticality);
+                        } else {
+                          graph::RoutingGraph trial = result.graph;
+                          trial.add_edge(c.u, c.v);
+                          t = (!weighted && options.bounded_scoring)
+                                  ? evaluator.bounded_max_delay(trial, bound)
+                                  : objective(trial, evaluator,
+                                              options.criticality);
+                        }
+                        if (t < bound) {
+                          bound = t;
+                          best = LaneBest{t, i};
+                        }
+                      }
+                      lane_best[lane] = best;
+                    });
+
+    // Deterministic reduction: lowest score wins, ties go to the lowest
+    // candidate index -- independent of lane count and scheduling.
+    LaneBest best;
+    for (const LaneBest& lb : lane_best) {
+      if (lb.index == std::numeric_limits<std::size_t>::max()) continue;
+      if (lb.score < best.score ||
+          (lb.score == best.score && lb.index < best.index))
+        best = lb;
+    }
+    if (best.index == std::numeric_limits<std::size_t>::max() ||
+        !(best.score < accept_below))
+      break;  // no candidate improves t(G)
+
+    const Candidate winner = candidates[best.index];
+    result.graph.add_edge(winner.u, winner.v);
+
+    // Delta scores carry O(1e-12) relative error; re-measure the accepted
+    // routing with the exact oracle so every reported objective is the
+    // evaluator's own number. (Without a scorer the scan value *is* the
+    // exact evaluator output for this graph, bit for bit.)
+    double accepted = best.score;
+    if (scorer) {
+      accepted = objective(result.graph, evaluator, options.criticality);
+      if (!(accepted < accept_below)) {
+        // The delta promised an improvement the exact solve cannot
+        // confirm (a sub-1e-12 margin): undo and stop.
+        const auto e = result.graph.find_edge(winner.u, winner.v);
+        NTR_CHECK(e.has_value());
+        result.graph.remove_edge(*e);
+        break;
       }
     }
 
-    if (best_u == graph::kInvalidNode) break;  // no candidate improves t(G)
-
-    result.graph.add_edge(best_u, best_v);
-    result.final_objective = best_objective;
+    result.final_objective = accepted;
     result.final_cost = result.graph.total_wirelength();
     result.steps.push_back(
-        LdrgStep{best_u, best_v, current, best_objective, result.final_cost});
+        LdrgStep{winner.u, winner.v, current, accepted, result.final_cost});
   }
 
   // Every accepted edge strictly improved the objective and stayed within

@@ -4,6 +4,7 @@
 #include <limits>
 #include <vector>
 
+#include "core/parallel.h"
 #include "delay/evaluator.h"
 #include "graph/routing_graph.h"
 
@@ -38,6 +39,20 @@ struct LdrgOptions {
   /// CSORG objective weights (Section 5.1), indexed like graph.sinks();
   /// empty selects the ORG objective max_i t(n_i).
   std::vector<double> criticality;
+
+  /// Candidate-scan thread count. Results are bit-identical for every
+  /// value: candidates are scored independently over statically chunked
+  /// index ranges and the winner is reduced by (delay, candidate index),
+  /// so the lane count can never change the chosen edge.
+  ParallelConfig parallel;
+
+  /// Lets the evaluator stop scoring a candidate as soon as its delay
+  /// provably exceeds the best score seen so far (bounded_max_delay). A
+  /// pure branch-and-bound cutoff: pruned candidates were never winners,
+  /// so the selected edges and reported objectives are unchanged. Only
+  /// applies to the ORG (max-delay) objective without an incremental
+  /// scorer; disable to force full scoring of every candidate.
+  bool bounded_scoring = true;
 };
 
 struct LdrgResult {

@@ -1,8 +1,11 @@
 #include "core/ldrg_screened.h"
 
 #include <algorithm>
+#include <limits>
+#include <memory>
 #include <stdexcept>
 
+#include "core/parallel.h"
 #include "delay/screener.h"
 
 namespace ntr::core {
@@ -54,12 +57,19 @@ LdrgResult ldrg_screened(const graph::RoutingGraph& initial,
   result.final_objective = result.initial_objective;
   result.final_cost = result.initial_cost;
 
+  const bool weighted = !options.base.criticality.empty();
+  const std::size_t lanes = options.base.parallel.resolved_threads();
+  std::unique_ptr<ThreadPool> pool;
+  if (lanes > 1) pool = std::make_unique<ThreadPool>(lanes);
+
   while (result.steps.size() < options.base.max_added_edges) {
     const double current = result.final_objective;
     const double accept_below =
         current * (1.0 - options.base.min_relative_improvement);
 
-    // Stage 1: rank every absent pair by the moment screen.
+    // Stage 1: rank every absent pair by the moment screen. Scores land in
+    // a pre-sized array at their enumeration index, so the ranking input
+    // is bit-identical for every lane count.
     const delay::EdgeCandidateScreener screener(result.graph, tech);
     struct Ranked {
       double score;
@@ -69,38 +79,63 @@ LdrgResult ldrg_screened(const graph::RoutingGraph& initial,
     for (graph::NodeId u = 0; u < result.graph.node_count(); ++u) {
       for (graph::NodeId v = u + 1; v < result.graph.node_count(); ++v) {
         if (result.graph.has_edge(u, v)) continue;
-        ranked.push_back({screened_objective(screener, result.graph, u, v,
-                                             options.base.criticality),
-                          u, v});
+        ranked.push_back({0.0, u, v});
       }
     }
     if (ranked.empty()) break;
+    parallel_chunks(pool.get(), ranked.size(),
+                    [&](std::size_t, std::size_t begin, std::size_t end) {
+                      for (std::size_t i = begin; i < end; ++i)
+                        ranked[i].score =
+                            screened_objective(screener, result.graph, ranked[i].u,
+                                               ranked[i].v, options.base.criticality);
+                    });
     const std::size_t top_k = std::min(options.verify_top_k, ranked.size());
     std::partial_sort(ranked.begin(), ranked.begin() + static_cast<std::ptrdiff_t>(top_k),
                       ranked.end(),
                       [](const Ranked& a, const Ranked& b) { return a.score < b.score; });
 
-    // Stage 2: verify the top candidates with the accurate oracle.
-    double best_objective = accept_below;
-    graph::NodeId best_u = graph::kInvalidNode;
-    graph::NodeId best_v = graph::kInvalidNode;
-    for (std::size_t k = 0; k < top_k; ++k) {
-      graph::RoutingGraph trial = result.graph;
-      trial.add_edge(ranked[k].u, ranked[k].v);
-      const double t = objective(trial, evaluator, options.base.criticality);
-      if (t < best_objective) {
-        best_objective = t;
-        best_u = ranked[k].u;
-        best_v = ranked[k].v;
-      }
+    // Stage 2: verify the top candidates with the accurate oracle, again
+    // over static chunks with lane-local branch-and-bound cutoffs; the
+    // winner is reduced by (score, rank index).
+    struct LaneBest {
+      double score = std::numeric_limits<double>::infinity();
+      std::size_t index = std::numeric_limits<std::size_t>::max();
+    };
+    std::vector<LaneBest> lane_best(lanes);
+    parallel_chunks(pool.get(), top_k,
+                    [&](std::size_t lane, std::size_t begin, std::size_t end) {
+                      LaneBest best;
+                      double bound = accept_below;
+                      for (std::size_t k = begin; k < end; ++k) {
+                        graph::RoutingGraph trial = result.graph;
+                        trial.add_edge(ranked[k].u, ranked[k].v);
+                        const double t =
+                            (!weighted && options.base.bounded_scoring)
+                                ? evaluator.bounded_max_delay(trial, bound)
+                                : objective(trial, evaluator,
+                                            options.base.criticality);
+                        if (t < bound) {
+                          bound = t;
+                          best = LaneBest{t, k};
+                        }
+                      }
+                      lane_best[lane] = best;
+                    });
+    LaneBest best;
+    for (const LaneBest& lb : lane_best) {
+      if (lb.index == std::numeric_limits<std::size_t>::max()) continue;
+      if (lb.score < best.score ||
+          (lb.score == best.score && lb.index < best.index))
+        best = lb;
     }
-    if (best_u == graph::kInvalidNode) break;
+    if (best.index == std::numeric_limits<std::size_t>::max()) break;
 
-    result.graph.add_edge(best_u, best_v);
-    result.final_objective = best_objective;
+    result.graph.add_edge(ranked[best.index].u, ranked[best.index].v);
+    result.final_objective = best.score;
     result.final_cost = result.graph.total_wirelength();
-    result.steps.push_back(
-        LdrgStep{best_u, best_v, current, best_objective, result.final_cost});
+    result.steps.push_back(LdrgStep{ranked[best.index].u, ranked[best.index].v,
+                                    current, best.score, result.final_cost});
   }
   return result;
 }

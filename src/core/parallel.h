@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace ntr::core {
+
+/// How many threads a candidate-evaluation loop may use. The default of 1
+/// keeps every library entry point serial unless a caller opts in; 0 asks
+/// for one lane per hardware thread. Plumbed from the CLI (--threads) and
+/// the bench harness (NTR_THREADS) down into the LDRG family.
+struct ParallelConfig {
+  std::size_t num_threads = 1;  ///< 0 = hardware concurrency
+
+  /// The effective lane count: num_threads, or the hardware concurrency
+  /// when num_threads is 0 (at least 1 when even that is unknown).
+  [[nodiscard]] std::size_t resolved_threads() const;
+
+  [[nodiscard]] bool serial() const { return resolved_threads() <= 1; }
+};
+
+/// A fixed-size pool of worker threads executing one "lane job" at a time.
+///
+/// The pool exists to make candidate scans parallel *without* making them
+/// nondeterministic: work is always split by static chunking (below), so
+/// which lane computes which candidate depends only on the lane count,
+/// never on scheduling. The calling thread participates as lane 0, so a
+/// pool built for n lanes owns n-1 threads.
+class ThreadPool {
+ public:
+  /// Creates a pool with `lanes` total lanes (clamped to >= 1). Lane 0 is
+  /// the calling thread; lanes-1 worker threads are started immediately
+  /// and live until destruction.
+  explicit ThreadPool(std::size_t lanes);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t lane_count() const;
+
+  /// Runs fn(lane) once per lane in [0, lane_count()) and blocks until
+  /// every lane finished. fn runs on the calling thread for lane 0 and on
+  /// the pool's workers for the rest. If any lane throws, the first
+  /// exception (in lane order) is rethrown here after all lanes complete.
+  void run(const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Deterministic parallel-for with static chunking: splits [0, n) into
+/// lane_count contiguous chunks whose sizes differ by at most one, and
+/// runs fn(lane, begin, end) for each non-empty chunk. Chunk boundaries
+/// are a pure function of (n, lane count), so a reduction that combines
+/// per-chunk results in index order is bit-identical for every lane count.
+/// A null pool (or a 1-lane pool) degenerates to fn(0, 0, n) inline.
+void parallel_chunks(ThreadPool* pool, std::size_t n,
+                     const std::function<void(std::size_t lane, std::size_t begin,
+                                              std::size_t end)>& fn);
+
+/// The half-open chunk assigned to `lane` out of `lanes` over [0, n):
+/// the first n % lanes chunks take one extra element. Exposed so tests
+/// and reductions can reason about the exact split.
+struct ChunkRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  [[nodiscard]] std::size_t size() const { return end - begin; }
+  [[nodiscard]] bool empty() const { return begin == end; }
+};
+[[nodiscard]] ChunkRange chunk_range(std::size_t n, std::size_t lane,
+                                     std::size_t lanes);
+
+}  // namespace ntr::core
+
+namespace ntr {
+using core::ParallelConfig;  ///< the name the rest of the library uses
+}  // namespace ntr

@@ -31,6 +31,10 @@ Solution solve(const graph::Net& net, Strategy strategy,
                const delay::DelayEvaluator& evaluator, const SolverConfig& config) {
   net.validate();
 
+  // The top-level thread knob wins over the per-strategy one when set.
+  LdrgOptions ldrg_options = config.ldrg;
+  if (config.parallel.num_threads != 1) ldrg_options.parallel = config.parallel;
+
   Solution solution;
   solution.strategy = strategy;
 
@@ -54,16 +58,16 @@ Solution solve(const graph::Net& net, Strategy strategy,
       break;
     }
     case Strategy::kLdrg:
-      solution.graph = ldrg(graph::mst_routing(net), evaluator, config.ldrg).graph;
+      solution.graph = ldrg(graph::mst_routing(net), evaluator, ldrg_options).graph;
       break;
     case Strategy::kSldrg: {
       const auto steiner_tree = steiner::iterated_one_steiner(net, config.steiner);
-      solution.graph = ldrg(steiner_tree.graph, evaluator, config.ldrg).graph;
+      solution.graph = ldrg(steiner_tree.graph, evaluator, ldrg_options).graph;
       break;
     }
     case Strategy::kErtLdrg: {
       const auto ert = route::elmore_routing_tree(net, config.tech);
-      solution.graph = ldrg(ert.graph, evaluator, config.ldrg).graph;
+      solution.graph = ldrg(ert.graph, evaluator, ldrg_options).graph;
       break;
     }
     case Strategy::kH1:

@@ -32,6 +32,12 @@ enum class Strategy {
 
 struct SolverConfig {
   spice::Technology tech{};
+  /// Candidate-evaluation thread count for the LDRG-family strategies.
+  /// A non-default value overrides ldrg.parallel, so callers (the CLI's
+  /// --threads, the bench harness's NTR_THREADS) can set one knob without
+  /// reaching into the per-strategy options. Routing output is
+  /// bit-identical for every thread count.
+  ParallelConfig parallel{};
   /// Options forwarded to ldrg() for the LDRG-family strategies.
   LdrgOptions ldrg{};
   /// Options forwarded to iterated_one_steiner() for Steiner strategies.

@@ -12,6 +12,23 @@
 
 namespace ntr::delay {
 
+/// Fast what-if oracle for one routing revision: per-sink delays of the
+/// attached graph plus one candidate edge (u,v), without materializing the
+/// trial graph. Obtained from DelayEvaluator::make_candidate_scorer; valid
+/// until the attached graph mutates. Implementations must be safe for
+/// concurrent const calls -- LDRG's parallel scan queries one scorer from
+/// every worker lane.
+class CandidateScorer {
+ public:
+  virtual ~CandidateScorer() = default;
+
+  /// Delays (seconds) per sink, ordered like g.sinks(), of the attached
+  /// graph with edge (u,v) added. Must agree with sink_delays() on the
+  /// materialized trial graph to ~1e-12.
+  [[nodiscard]] virtual std::vector<double> candidate_sink_delays(
+      graph::NodeId u, graph::NodeId v) const = 0;
+};
+
 /// Pluggable source-to-sink delay oracle over routing graphs. Every router
 /// in this library (LDRG, heuristics, ERT, wire sizing) consumes this
 /// interface, so the cost/accuracy point is a caller decision: the
@@ -36,6 +53,28 @@ class DelayEvaluator {
   /// `criticality` is indexed like g.sinks() and must match its size.
   [[nodiscard]] double weighted_delay(const graph::RoutingGraph& g,
                                       std::span<const double> criticality) const;
+
+  /// Optional incremental engine for add-edge what-if queries against `g`.
+  /// Evaluators without a delta path return nullptr and callers fall back
+  /// to sink_delays() on a trial copy. The default has no delta path.
+  [[nodiscard]] virtual std::unique_ptr<CandidateScorer> make_candidate_scorer(
+      const graph::RoutingGraph& g) const {
+    (void)g;
+    return nullptr;
+  }
+
+  /// max_delay with permission to give up: an implementation may return
+  /// +infinity as soon as it can prove max_delay(g) > give_up_s, and must
+  /// return exactly max_delay(g) whenever that value is <= give_up_s.
+  /// LDRG's candidate scan uses this as a branch-and-bound cutoff -- a
+  /// candidate whose delay provably exceeds the best score seen so far
+  /// can never be selected, so its evaluation may stop early. The default
+  /// ignores the bound.
+  [[nodiscard]] virtual double bounded_max_delay(const graph::RoutingGraph& g,
+                                                 double give_up_s) const {
+    (void)give_up_s;
+    return max_delay(g);
+  }
 };
 
 /// O(k) tree Elmore formula; throws std::invalid_argument on non-trees.
@@ -58,6 +97,10 @@ class GraphElmoreEvaluator final : public DelayEvaluator {
   [[nodiscard]] std::vector<double> sink_delays(
       const graph::RoutingGraph& g) const override;
   [[nodiscard]] std::string name() const override { return "elmore-graph"; }
+  /// Sherman-Morrison delta engine (delay/incremental_elmore.h): one
+  /// O(n^3) setup, then O(n) per candidate instead of a fresh SPD solve.
+  [[nodiscard]] std::unique_ptr<CandidateScorer> make_candidate_scorer(
+      const graph::RoutingGraph& g) const override;
 
  private:
   spice::Technology tech_;
@@ -73,6 +116,9 @@ class ScaledElmoreEvaluator final : public DelayEvaluator {
   [[nodiscard]] std::vector<double> sink_delays(
       const graph::RoutingGraph& g) const override;
   [[nodiscard]] std::string name() const override { return "elmore-ln2"; }
+  /// Same delta engine as GraphElmoreEvaluator, with the ln(2) rescale.
+  [[nodiscard]] std::unique_ptr<CandidateScorer> make_candidate_scorer(
+      const graph::RoutingGraph& g) const override;
 
  private:
   spice::Technology tech_;
@@ -120,6 +166,12 @@ class TransientEvaluator final : public DelayEvaluator {
   [[nodiscard]] std::vector<double> sink_delays(
       const graph::RoutingGraph& g) const override;
   [[nodiscard]] std::string name() const override { return "transient"; }
+  /// Stops time-stepping once the simulated time passes give_up_s with a
+  /// sink still below threshold (its crossing then provably exceeds the
+  /// bound) and reports +infinity. Exact whenever the true max delay is
+  /// within the bound.
+  [[nodiscard]] double bounded_max_delay(const graph::RoutingGraph& g,
+                                         double give_up_s) const override;
 
  private:
   spice::Technology tech_;

@@ -1,0 +1,130 @@
+#include "delay/incremental_elmore.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "delay/moments.h"
+#include "geom/point.h"
+
+namespace ntr::delay {
+
+IncrementalElmore::IncrementalElmore(const graph::RoutingGraph& g,
+                                     const spice::Technology& tech)
+    : tech_(tech) {
+  build(g);
+}
+
+void IncrementalElmore::build(const graph::RoutingGraph& g) {
+  const GroundedSystem sys = assemble_grounded_system(g, tech_);
+  const std::size_t n = g.node_count();
+  const linalg::CholeskyFactorization chol(sys.conductance);
+
+  // Explicit transfer-resistance matrix: n back-substitutions. This single
+  // O(n^3) setup is amortized over the O(n^2) candidate queries of one
+  // LDRG round.
+  inverse_ = linalg::DenseMatrix(n, n);
+  std::vector<double> unit(n, 0.0);
+  for (std::size_t col = 0; col < n; ++col) {
+    unit[col] = 1.0;
+    const linalg::Vector x = chol.solve(unit);
+    unit[col] = 0.0;
+    for (std::size_t row = 0; row < n; ++row) inverse_(row, col) = x[row];
+  }
+  cap_ = sys.capacitance;
+  m1_ = inverse_.multiply(cap_);
+  sinks_ = g.sinks();
+
+  g_ = &g;
+  node_count_ = g.node_count();
+  edge_count_ = g.edge_count();
+  wirelength_ = g.total_wirelength();
+  ++rebuilds_;
+}
+
+bool IncrementalElmore::matches(const graph::RoutingGraph& g) const {
+  return g_ == &g && node_count_ == g.node_count() &&
+         edge_count_ == g.edge_count() && wirelength_ == g.total_wirelength();
+}
+
+void IncrementalElmore::refresh(const graph::RoutingGraph& g) { build(g); }
+
+std::vector<double> IncrementalElmore::candidate_delays(graph::NodeId u,
+                                                        graph::NodeId v) const {
+  const std::size_t n = node_count_;
+  if (u >= n || v >= n || u == v)
+    throw std::invalid_argument("candidate_delays: invalid node pair");
+
+  const double length = geom::manhattan_distance(g_->node(u).pos, g_->node(v).pos);
+  const double g_e = wire_conductance(length, 1.0, tech_);
+  const double c_half = tech_.wire_capacitance(length, 1.0) / 2.0;
+
+  // y = G^{-1} (e_u - e_v), read off the symmetric cached inverse. The
+  // Sherman-Morrison denominator 1 + g_e * w^T G^{-1} w is >= 1 for an SPD
+  // system, but a degenerate short (g_e ~ 1e6 S) can still push the update
+  // into cancellation; those queries take the exact path.
+  const double y_u = inverse_(u, u) - inverse_(u, v);
+  const double y_v = inverse_(v, u) - inverse_(v, v);
+  const double spread = g_e * (y_u - y_v);
+  if (!std::isfinite(spread) || spread > kDeltaConditionLimit) {
+    exact_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    return candidate_delays_exact(u, v);
+  }
+
+  //   m1' = X c' - g_e * y * (y . c') / (1 + g_e * (y_u - y_v))
+  // with X = G^{-1} and X c' = m1 + c_half * (X e_u + X e_v).
+  std::vector<double> result(n);
+  double y_dot_cprime = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double y_i = inverse_(i, u) - inverse_(i, v);
+    result[i] = m1_[i] + c_half * (inverse_(i, u) + inverse_(i, v));
+    const double cprime_i = cap_[i] + (i == u || i == v ? c_half : 0.0);
+    y_dot_cprime += y_i * cprime_i;
+  }
+  const double scale = g_e * y_dot_cprime / (1.0 + spread);
+  for (std::size_t i = 0; i < n; ++i)
+    result[i] -= scale * (inverse_(i, u) - inverse_(i, v));
+
+  delta_evaluations_.fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+std::vector<double> IncrementalElmore::candidate_delays_exact(
+    graph::NodeId u, graph::NodeId v) const {
+  graph::RoutingGraph trial = *g_;
+  if (!trial.has_edge(u, v)) {
+    trial.add_edge(u, v);
+    return graph_elmore_delays(trial, tech_);
+  }
+  // A doubled wire is not representable in RoutingGraph (add_edge dedups);
+  // assemble the doubled system directly.
+  GroundedSystem sys = assemble_grounded_system(trial, tech_);
+  const double length =
+      geom::manhattan_distance(trial.node(u).pos, trial.node(v).pos);
+  const double g_e = wire_conductance(length, 1.0, tech_);
+  const double c_half = tech_.wire_capacitance(length, 1.0) / 2.0;
+  sys.conductance(u, u) += g_e;
+  sys.conductance(v, v) += g_e;
+  sys.conductance(u, v) -= g_e;
+  sys.conductance(v, u) -= g_e;
+  sys.capacitance[u] += c_half;
+  sys.capacitance[v] += c_half;
+  const linalg::CholeskyFactorization chol(sys.conductance);
+  return chol.solve(sys.capacitance);
+}
+
+double IncrementalElmore::base_max_delay() const {
+  double worst = 0.0;
+  for (const graph::NodeId s : sinks_) worst = std::max(worst, m1_[s]);
+  return worst;
+}
+
+IncrementalElmoreStats IncrementalElmore::stats() const {
+  IncrementalElmoreStats s;
+  s.delta_evaluations = delta_evaluations_.load(std::memory_order_relaxed);
+  s.exact_fallbacks = exact_fallbacks_.load(std::memory_order_relaxed);
+  s.rebuilds = rebuilds_;
+  return s;
+}
+
+}  // namespace ntr::delay

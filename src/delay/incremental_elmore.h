@@ -1,0 +1,116 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "graph/routing_graph.h"
+#include "linalg/dense_matrix.h"
+#include "spice/technology.h"
+
+namespace ntr::delay {
+
+/// Counters describing how an IncrementalElmore cache served its queries.
+/// `delta_evaluations` are O(n) Sherman-Morrison answers off the cached
+/// factorization; `exact_fallbacks` are full dense re-solves forced by an
+/// ill-conditioned update; `rebuilds` counts cache (re)constructions, one
+/// per attached graph revision.
+struct IncrementalElmoreStats {
+  std::size_t delta_evaluations = 0;
+  std::size_t exact_fallbacks = 0;
+  std::size_t rebuilds = 0;
+
+  /// Fraction of candidate queries answered by the O(n) delta path.
+  [[nodiscard]] double hit_rate() const {
+    const std::size_t total = delta_evaluations + exact_fallbacks;
+    return total == 0 ? 1.0 : static_cast<double>(delta_evaluations) /
+                                  static_cast<double>(total);
+  }
+};
+
+/// Incremental graph-Elmore engine for LDRG's inner question: "what are
+/// the per-node Elmore delays of G + e_uv?" asked for every absent pair
+/// (u,v) of the current routing.
+///
+/// What is cached, in circuit terms: the transfer-resistance matrix
+/// R = G^{-1} of the grounded conductance system and the base moment
+/// vector m1 = R C. On a tree, R(i,k) is exactly the resistance of the
+/// shared source path of nodes i and k (plus the driver), and
+/// m1_i = sum_k R(i,k) c_k is the classical "path resistance times
+/// downstream capacitance" Elmore sum -- so this cache is the general-
+/// graph form of the per-node subtree-capacitance / source-path-resistance
+/// tables a tree-Elmore engine would keep.
+///
+/// A candidate wire (u,v) is a rank-1 conductance update
+/// G' = G + g_e w w^T (w = e_u - e_v) plus two capacitance entries, so by
+/// Sherman-Morrison the updated moments cost O(n) per candidate instead of
+/// an O(n^3) re-factorization. When the update is too ill-conditioned for
+/// the delta to be trustworthy (degenerate zero-length shorts driving
+/// g_e * w^T R w beyond kDeltaConditionLimit), the engine transparently
+/// falls back to an exact dense solve of the trial graph.
+///
+/// Cache invalidation: the cache is valid for exactly one graph revision.
+/// Inserting an edge (or node) into the routing invalidates it; call
+/// refresh() with the mutated graph before scoring further candidates.
+/// matches() tests the structural signature (node count, edge count, total
+/// wirelength) that every LDRG mutation changes.
+///
+/// Thread safety: candidate_delays() is const and safe to call from many
+/// threads concurrently (the stats counters are atomic); build/refresh
+/// must be externally serialized, as with any mutation.
+class IncrementalElmore {
+ public:
+  /// Builds the cache; O(n^3). Throws std::invalid_argument if g is not
+  /// connected.
+  IncrementalElmore(const graph::RoutingGraph& g, const spice::Technology& tech);
+
+  /// True when the cache was built against a graph with this structural
+  /// signature (node count, edge count, total wirelength).
+  [[nodiscard]] bool matches(const graph::RoutingGraph& g) const;
+
+  /// Rebuilds the cache against `g` after a mutation; counts a rebuild.
+  void refresh(const graph::RoutingGraph& g);
+
+  /// Per-node Elmore delays of the attached graph + edge (u,v); O(n) on
+  /// the delta path. (u,v) must be distinct in-range nodes; querying an
+  /// already-present edge is legal (the result reflects a doubled wire).
+  [[nodiscard]] std::vector<double> candidate_delays(graph::NodeId u,
+                                                     graph::NodeId v) const;
+
+  /// The same computation via a full assemble-and-solve of the trial
+  /// graph, bypassing the cache. Exposed so tests (and the fallback path)
+  /// can compare delta against ground truth.
+  [[nodiscard]] std::vector<double> candidate_delays_exact(graph::NodeId u,
+                                                           graph::NodeId v) const;
+
+  /// Base (no added edge) per-node Elmore delays of the attached graph.
+  [[nodiscard]] const std::vector<double>& base_delays() const { return m1_; }
+  [[nodiscard]] double base_max_delay() const;
+
+  /// Snapshot of the query counters (monotone across refresh()).
+  [[nodiscard]] IncrementalElmoreStats stats() const;
+
+  /// Delta updates whose g_e * w^T G^{-1} w exceed this are answered by
+  /// the exact path: past ~1e12 the Sherman-Morrison subtraction cancels
+  /// most mantissa bits and the 1e-12 agreement contract would be at risk.
+  static constexpr double kDeltaConditionLimit = 1e12;
+
+ private:
+  void build(const graph::RoutingGraph& g);
+
+  const graph::RoutingGraph* g_ = nullptr;
+  spice::Technology tech_;
+  std::vector<graph::NodeId> sinks_;
+  linalg::DenseMatrix inverse_;  ///< transfer resistances R = G^{-1}
+  std::vector<double> cap_;      ///< diagonal C (wire halves + sink loads)
+  std::vector<double> m1_;       ///< base moments R C
+  std::size_t node_count_ = 0;
+  std::size_t edge_count_ = 0;
+  double wirelength_ = 0.0;
+
+  mutable std::atomic<std::size_t> delta_evaluations_{0};
+  mutable std::atomic<std::size_t> exact_fallbacks_{0};
+  std::size_t rebuilds_ = 0;
+};
+
+}  // namespace ntr::delay

@@ -1,80 +1,23 @@
 #include "delay/screener.h"
 
 #include <algorithm>
-#include <stdexcept>
-
-#include "delay/moments.h"
 
 namespace ntr::delay {
 
 EdgeCandidateScreener::EdgeCandidateScreener(const graph::RoutingGraph& g,
                                              const spice::Technology& tech)
-    : g_(g), tech_(tech), sinks_(g.sinks()) {
-  const GroundedSystem sys = assemble_grounded_system(g, tech);
-  cap_ = sys.capacitance;
-
-  const std::size_t n = g.node_count();
-  const linalg::CholeskyFactorization chol(sys.conductance);
-
-  // Explicit inverse: n back-substitutions. The screener amortizes this
-  // single O(n^3) setup over the O(n^2) candidate queries of one LDRG
-  // round.
-  inverse_ = linalg::DenseMatrix(n, n);
-  std::vector<double> unit(n, 0.0);
-  for (std::size_t col = 0; col < n; ++col) {
-    unit[col] = 1.0;
-    const linalg::Vector x = chol.solve(unit);
-    unit[col] = 0.0;
-    for (std::size_t row = 0; row < n; ++row) inverse_(row, col) = x[row];
-  }
-  m1_ = inverse_.multiply(cap_);
-}
+    : g_(g), engine_(g, tech) {}
 
 std::vector<double> EdgeCandidateScreener::screened_delays(graph::NodeId u,
                                                            graph::NodeId v) const {
-  const std::size_t n = g_.node_count();
-  if (u >= n || v >= n || u == v)
-    throw std::invalid_argument("screened_delays: invalid node pair");
-
-  const double length = geom::manhattan_distance(g_.node(u).pos, g_.node(v).pos);
-  const double g_e = wire_conductance(length, 1.0, tech_);
-  const double c_half = tech_.wire_capacitance(length, 1.0) / 2.0;
-
-  // y = G^{-1} (e_u - e_v); columns of the symmetric inverse.
-  // New moments via Sherman-Morrison:
-  //   m1' = X c' - g_e * y * (y . c') / (1 + g_e * (y_u - y_v))
-  // with X c' = m1 + c_half * (X e_u + X e_v).
-  std::vector<double> result(n);
-  double y_dot_cprime = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    const double y_i = inverse_(i, u) - inverse_(i, v);
-    const double xcprime_i = m1_[i] + c_half * (inverse_(i, u) + inverse_(i, v));
-    result[i] = xcprime_i;  // temporarily X c'
-    const double cprime_i = cap_[i] + (i == u || i == v ? c_half : 0.0);
-    y_dot_cprime += y_i * cprime_i;
-  }
-  const double y_u = inverse_(u, u) - inverse_(u, v);
-  const double y_v = inverse_(v, u) - inverse_(v, v);
-  const double denom = 1.0 + g_e * (y_u - y_v);
-  const double scale = g_e * y_dot_cprime / denom;
-  for (std::size_t i = 0; i < n; ++i) {
-    const double y_i = inverse_(i, u) - inverse_(i, v);
-    result[i] -= scale * y_i;
-  }
-  return result;
+  return engine_.candidate_delays(u, v);
 }
 
 double EdgeCandidateScreener::screened_max_delay(graph::NodeId u,
                                                  graph::NodeId v) const {
   const std::vector<double> delays = screened_delays(u, v);
   double worst = 0.0;
-  for (const graph::NodeId s : sinks_) worst = std::max(worst, delays[s]);
-  return worst;
-}
-
-double EdgeCandidateScreener::base_max_delay() const {
-  double worst = 0.0;
-  for (const graph::NodeId s : sinks_) worst = std::max(worst, m1_[s]);
+  for (const graph::NodeId s : g_.sinks()) worst = std::max(worst, delays[s]);
   return worst;
 }
 

@@ -2,8 +2,8 @@
 
 #include <vector>
 
+#include "delay/incremental_elmore.h"
 #include "graph/routing_graph.h"
-#include "linalg/dense_matrix.h"
 #include "spice/technology.h"
 
 namespace ntr::delay {
@@ -11,13 +11,12 @@ namespace ntr::delay {
 /// Fast what-if analysis for LDRG's inner question: "what is the Elmore
 /// delay of G + e_uv, for every absent pair (u,v)?"
 ///
-/// Adding one wire is a rank-1 conductance update G' = G + g w w^T
-/// (w = e_u - e_v) plus two capacitance entries, so by Sherman-Morrison
-/// the new first-moment vector is available in O(n) per candidate once
-/// G^{-1} is precomputed -- versus O(n^3) for a fresh factorization.
-/// Screening ALL O(n^2) candidates then costs the same as ONE dense
-/// solve, which is what makes screened LDRG (core/ldrg_screened.h)
-/// practical on large nets.
+/// A thin facade over delay::IncrementalElmore, which owns the
+/// Sherman-Morrison delta math: screening ALL O(n^2) candidates costs the
+/// same as ONE dense solve, which is what makes screened LDRG
+/// (core/ldrg_screened.h) practical on large nets. Kept as a separate
+/// type so screening call sites read as "screener", and so the screener
+/// can grow screening-specific policy without touching the cache.
 class EdgeCandidateScreener {
  public:
   /// Precomputes G^{-1} and the base moments; O(n^3). Throws
@@ -34,16 +33,17 @@ class EdgeCandidateScreener {
   [[nodiscard]] double screened_max_delay(graph::NodeId u, graph::NodeId v) const;
 
   /// Base (no added edge) per-node Elmore delays.
-  [[nodiscard]] const std::vector<double>& base_delays() const { return m1_; }
-  [[nodiscard]] double base_max_delay() const;
+  [[nodiscard]] const std::vector<double>& base_delays() const {
+    return engine_.base_delays();
+  }
+  [[nodiscard]] double base_max_delay() const { return engine_.base_max_delay(); }
+
+  /// The underlying delta engine (for stats and shared reuse).
+  [[nodiscard]] const IncrementalElmore& engine() const { return engine_; }
 
  private:
   const graph::RoutingGraph& g_;
-  spice::Technology tech_;
-  std::vector<graph::NodeId> sinks_;
-  linalg::DenseMatrix inverse_;   // G^{-1}
-  std::vector<double> cap_;       // diagonal C
-  std::vector<double> m1_;        // G^{-1} C 1
+  IncrementalElmore engine_;
 };
 
 }  // namespace ntr::delay

@@ -1,7 +1,10 @@
 #include "flow/timing_flow.h"
 
 #include <algorithm>
+#include <memory>
 #include <stdexcept>
+
+#include "core/parallel.h"
 
 namespace ntr::flow {
 
@@ -81,13 +84,30 @@ FlowResult run_timing_flow(sta::TimingGraph& design, std::vector<BoundNet>& nets
     if (targets.empty()) break;
 
     result.iterations = iter + 1;
+    // Each critical net is an independent CSORG problem: reroute them on
+    // parallel lanes (static chunking keeps the assignment deterministic),
+    // then annotate the shared timing graph serially in input order.
+    std::vector<graph::RoutingGraph> rerouted(targets.size());
+    {
+      const std::size_t lanes = options.parallel.resolved_threads();
+      std::unique_ptr<core::ThreadPool> pool;
+      if (lanes > 1 && targets.size() > 1)
+        pool = std::make_unique<core::ThreadPool>(lanes);
+      core::parallel_chunks(
+          pool.get(), targets.size(),
+          [&](std::size_t, std::size_t begin, std::size_t end) {
+            for (std::size_t k = begin; k < end; ++k) {
+              core::LdrgOptions ldrg_opts = options.ldrg;
+              ldrg_opts.criticality = alphas[k];
+              rerouted[k] = core::ldrg(graph::mst_routing(nets[targets[k]].net),
+                                       measure, ldrg_opts)
+                                .graph;
+            }
+          });
+    }
     for (std::size_t k = 0; k < targets.size(); ++k) {
       const std::size_t i = targets[k];
-      core::LdrgOptions ldrg_opts = options.ldrg;
-      ldrg_opts.criticality = alphas[k];
-      const core::LdrgResult rerouted =
-          core::ldrg(graph::mst_routing(nets[i].net), measure, ldrg_opts);
-      result.routings[i] = rerouted.graph;
+      result.routings[i] = std::move(rerouted[k]);
       annotate(design, nets[i], result.routings[i], measure);
       ++result.nets_rerouted;
     }

@@ -31,6 +31,12 @@ struct FlowOptions {
   /// Timing-convergence iterations (route -> STA -> reroute ...).
   unsigned max_iterations = 3;
   core::LdrgOptions ldrg{};
+  /// Reroute-stage thread count: the critical nets of one iteration are
+  /// independent CSORG problems, so they are rerouted on parallel lanes
+  /// and re-annotated serially in input order -- the flow result is
+  /// bit-identical for every lane count. The inner LDRG scans stay on
+  /// ldrg.parallel (serial by default) to avoid nested pools.
+  core::ParallelConfig parallel{};
 };
 
 struct FlowResult {

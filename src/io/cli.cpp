@@ -35,6 +35,8 @@ algorithm:
   --pd C              Prim-Dijkstra trade-off with parameter C in [0,1]
   --brbc EPS          BRBC with radius slack EPS >= 0
   --max-edges K       cap on extra LDRG edges
+  --threads N         LDRG candidate-evaluation threads (0 = all cores,
+                      default 1); the routing is bit-identical for any N
   --evaluator NAME    transient|elmore|graph-elmore|d2m (default transient)
 
 outputs:
@@ -97,6 +99,8 @@ CliOptions parse_cli(std::span<const std::string> args) {
         throw std::invalid_argument("unknown --evaluator '" + opts.evaluator + "'");
     } else if (arg == "--max-edges") {
       opts.max_edges = parse_uint(arg, next(i, arg));
+    } else if (arg == "--threads") {
+      opts.threads = parse_uint(arg, next(i, arg));
     } else if (arg == "--pd") {
       opts.pd_c = parse_double(arg, next(i, arg));
       if (opts.pd_c < 0.0 || opts.pd_c > 1.0)

@@ -22,6 +22,9 @@ struct CliOptions {
 
   // Strategy-specific knobs.
   std::size_t max_edges = static_cast<std::size_t>(-1);  // LDRG family
+  /// Candidate-evaluation threads for the LDRG family (0 = all hardware
+  /// threads). Output is bit-identical for every value.
+  std::size_t threads = 1;
   double pd_c = -1.0;        ///< >=0 switches strategy to Prim-Dijkstra(c)
   double brbc_epsilon = -1;  ///< >=0 switches strategy to BRBC(epsilon)
 

@@ -206,9 +206,12 @@ TransientSimulator::Waveform TransientSimulator::run_adaptive(
 }
 
 TransientSimulator::ThresholdReport TransientSimulator::measure_crossings(
-    std::span<const spice::CircuitNode> watch, double threshold_fraction) {
+    std::span<const spice::CircuitNode> watch, double threshold_fraction,
+    double give_up_after_s) {
   if (threshold_fraction <= 0.0 || threshold_fraction >= 1.0)
     throw std::invalid_argument("measure_crossings: threshold must be in (0,1)");
+  if (!(give_up_after_s >= 0.0))
+    throw std::invalid_argument("measure_crossings: cutoff must be non-negative");
   ensure_factorizations();
 
   constexpr double kInf = std::numeric_limits<double>::infinity();
@@ -236,6 +239,10 @@ TransientSimulator::ThresholdReport TransientSimulator::measure_crossings(
   const auto total_steps = static_cast<std::size_t>(std::ceil(t_max_ / h_));
 
   for (std::size_t step = 1; step <= total_steps && pending > 0; ++step) {
+    // A crossing found in this step interpolates into [t, t + h], so once
+    // the previous step time t is strictly past the cutoff, every pending
+    // node's crossing provably exceeds it -- stop and leave them at +inf.
+    if (t > give_up_after_s) break;
     const bool use_be = options_.method == Integration::kBackwardEuler ||
                         step <= options_.startup_be_steps;
     advance(x, use_be);

@@ -84,8 +84,16 @@ class TransientSimulator {
   /// Marches the step response until every watched node has crossed its
   /// threshold (or max_time is hit). This implements the "50% of Vdd"
   /// SPICE delay measurement used throughout the paper.
-  ThresholdReport measure_crossings(std::span<const spice::CircuitNode> watch,
-                                    double threshold_fraction = 0.5);
+  ///
+  /// `give_up_after_s` is a branch-and-bound cutoff: once the simulated
+  /// time strictly exceeds it with a watched node still below threshold,
+  /// that node's crossing provably exceeds the cutoff, so stepping stops
+  /// and the node reports +inf. Crossings at or below the cutoff are
+  /// bit-identical to an unbounded run (the same fixed-step march is
+  /// interrupted, never altered). The default (+inf) never gives up.
+  ThresholdReport measure_crossings(
+      std::span<const spice::CircuitNode> watch, double threshold_fraction = 0.5,
+      double give_up_after_s = std::numeric_limits<double>::infinity());
 
   struct MultiThresholdReport {
     /// crossing_s[f][k]: first time watched node k reaches fraction f of

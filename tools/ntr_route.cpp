@@ -82,6 +82,7 @@ int main(int argc, char** argv) {
       ntr::core::SolverConfig config;
       config.tech = tech;
       config.ldrg.max_added_edges = opts.max_edges;
+      config.parallel.num_threads = opts.threads;
       routing =
           ntr::core::solve(net, opts.strategy, *evaluator, config).graph;
       label = ntr::core::strategy_name(opts.strategy);
