@@ -158,6 +158,11 @@ std::vector<LintDiagnostic> lint_source(std::string_view path,
   const bool rng_scope = path.find("src/core/") != std::string_view::npos ||
                          path.find("src/route/") != std::string_view::npos;
   const bool library_scope = path.find("src/") != std::string_view::npos;
+  const bool typed_throw_scope =
+      path.find("src/core/") != std::string_view::npos ||
+      path.find("src/sim/") != std::string_view::npos ||
+      path.find("src/flow/") != std::string_view::npos ||
+      path.find("src/linalg/") != std::string_view::npos;
 
   const auto report = [&](std::string_view raw_line, std::size_t line,
                           std::string_view rule, std::string message) {
@@ -210,6 +215,14 @@ std::vector<LintDiagnostic> lint_source(std::string_view path,
       report(raw, line_no, "cout-in-library",
              "library code must not print to stdout; return data or take an "
              "std::ostream&");
+    }
+
+    if (typed_throw_scope && has_token(code, "throw", /*require_call=*/false) &&
+        code.find("std::runtime_error") != std::string::npos) {
+      report(raw, line_no, "untyped-throw",
+             "solver/sim/flow hot paths must throw typed "
+             "ntr::runtime::NtrError (with a StatusCode), not bare "
+             "std::runtime_error");
     }
   }
 

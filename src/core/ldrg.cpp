@@ -1,16 +1,24 @@
 #include "core/ldrg.h"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 #include <memory>
 #include <stdexcept>
 
 #include "check/contracts.h"
+#include "check/faultinject.h"
 #include "check/validate_graph.h"
 
 namespace ntr::core {
 
 namespace {
+
+/// In-lane stop-poll stride: every 16 candidates each lane re-checks the
+/// shared stop flag and the token. Candidate scoring dominates the cost
+/// (an LU solve or an O(n) delta), so 16 bounds cancellation latency to a
+/// few scores without measurable overhead.
+constexpr std::size_t kLaneStopStride = 16;
 
 double objective(const graph::RoutingGraph& g, const delay::DelayEvaluator& evaluator,
                  const std::vector<double>& criticality) {
@@ -68,7 +76,14 @@ LdrgResult ldrg(const graph::RoutingGraph& initial,
   std::unique_ptr<ThreadPool> pool;
   if (lanes > 1) pool = std::make_unique<ThreadPool>(lanes);
 
+  const bool stop_engaged = options.stop.engaged();
   while (result.steps.size() < options.max_added_edges) {
+    // Round boundary: the natural resumption point -- result.graph holds a
+    // complete, valid routing after every accepted edge, so unwinding here
+    // loses at most one round of scan work.
+    NTR_FAULT_POINT(kLdrgDeadline);
+    if (stop_engaged) options.stop.throw_if_stopped("ldrg round");
+
     const double current = result.final_objective;
     const double accept_below =
         current * (1.0 - options.min_relative_improvement);
@@ -76,6 +91,7 @@ LdrgResult ldrg(const graph::RoutingGraph& initial,
     // The paper's step 2: exists e_ij in N x N improving t(G)? Enumerate
     // every absent pair (pins and Steiner points alike) within the cost
     // budget; the enumeration order defines the tie-break index.
+    NTR_FAULT_POINT(kLdrgAllocation);
     std::vector<Candidate> candidates;
     for (graph::NodeId u = 0; u < result.graph.node_count(); ++u) {
       for (graph::NodeId v = u + 1; v < result.graph.node_count(); ++v) {
@@ -100,11 +116,22 @@ LdrgResult ldrg(const graph::RoutingGraph& initial,
     // threshold: a candidate whose delay provably exceeds the lane's best
     // can never become the winner, so its evaluation may stop early.
     std::vector<LaneBest> lane_best(lanes);
+    // One lane observing a tripped token raises the shared flag; the other
+    // lanes see it at their next stride check and break too, so the pool
+    // joins promptly and ldrg can rethrow the trip as a typed error.
+    std::atomic<bool> stop_hit{false};
     parallel_chunks(pool.get(), candidates.size(),
                     [&](std::size_t lane, std::size_t begin, std::size_t end) {
                       LaneBest best;
                       double bound = accept_below;
                       for (std::size_t i = begin; i < end; ++i) {
+                        if (stop_engaged && (i - begin) % kLaneStopStride == 0) {
+                          if (stop_hit.load(std::memory_order_relaxed) ||
+                              options.stop.poll() != runtime::StatusCode::kOk) {
+                            stop_hit.store(true, std::memory_order_relaxed);
+                            break;
+                          }
+                        }
                         const Candidate& c = candidates[i];
                         double t;
                         if (scorer) {
@@ -126,6 +153,8 @@ LdrgResult ldrg(const graph::RoutingGraph& initial,
                       }
                       lane_best[lane] = best;
                     });
+    if (stop_hit.load(std::memory_order_relaxed))
+      options.stop.throw_if_stopped("ldrg candidate scan");
 
     // Deterministic reduction: lowest score wins, ties go to the lowest
     // candidate index -- independent of lane count and scheduling.

@@ -7,6 +7,7 @@
 #include "core/parallel.h"
 #include "delay/evaluator.h"
 #include "graph/routing_graph.h"
+#include "runtime/stop.h"
 
 namespace ntr::core {
 
@@ -53,6 +54,14 @@ struct LdrgOptions {
   /// applies to the ORG (max-delay) objective without an incremental
   /// scorer; disable to force full scoring of every candidate.
   bool bounded_scoring = true;
+
+  /// Cooperative deadline/cancellation. Polled at every round boundary
+  /// and every 16 candidates inside each scan lane; when it trips, the
+  /// lanes drain cooperatively (the pool joins cleanly) and ldrg unwinds
+  /// with NtrError (kTimeout / kCancelled). An un-engaged token (the
+  /// default) is one hoisted bool test -- the scan and its result stay
+  /// bit-identical.
+  runtime::StopToken stop{};
 };
 
 struct LdrgResult {

@@ -1,10 +1,12 @@
 #include "core/ldrg_screened.h"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 #include <memory>
 #include <stdexcept>
 
+#include "check/faultinject.h"
 #include "core/parallel.h"
 #include "delay/screener.h"
 
@@ -62,7 +64,11 @@ LdrgResult ldrg_screened(const graph::RoutingGraph& initial,
   std::unique_ptr<ThreadPool> pool;
   if (lanes > 1) pool = std::make_unique<ThreadPool>(lanes);
 
+  const bool stop_engaged = options.base.stop.engaged();
   while (result.steps.size() < options.base.max_added_edges) {
+    NTR_FAULT_POINT(kLdrgDeadline);
+    if (stop_engaged) options.base.stop.throw_if_stopped("ldrg_screened round");
+
     const double current = result.final_objective;
     const double accept_below =
         current * (1.0 - options.base.min_relative_improvement);
@@ -75,6 +81,7 @@ LdrgResult ldrg_screened(const graph::RoutingGraph& initial,
       double score;
       graph::NodeId u, v;
     };
+    NTR_FAULT_POINT(kLdrgAllocation);
     std::vector<Ranked> ranked;
     for (graph::NodeId u = 0; u < result.graph.node_count(); ++u) {
       for (graph::NodeId v = u + 1; v < result.graph.node_count(); ++v) {
@@ -103,11 +110,22 @@ LdrgResult ldrg_screened(const graph::RoutingGraph& initial,
       std::size_t index = std::numeric_limits<std::size_t>::max();
     };
     std::vector<LaneBest> lane_best(lanes);
+    // Shared flag: a lane that sees a tripped token flags the others, the
+    // pool joins cleanly, and the trip surfaces as a typed error below.
+    std::atomic<bool> stop_hit{false};
     parallel_chunks(pool.get(), top_k,
                     [&](std::size_t lane, std::size_t begin, std::size_t end) {
                       LaneBest best;
                       double bound = accept_below;
                       for (std::size_t k = begin; k < end; ++k) {
+                        if (stop_engaged && (k - begin) % 16 == 0) {
+                          if (stop_hit.load(std::memory_order_relaxed) ||
+                              options.base.stop.poll() !=
+                                  runtime::StatusCode::kOk) {
+                            stop_hit.store(true, std::memory_order_relaxed);
+                            break;
+                          }
+                        }
                         graph::RoutingGraph trial = result.graph;
                         trial.add_edge(ranked[k].u, ranked[k].v);
                         const double t =
@@ -122,6 +140,8 @@ LdrgResult ldrg_screened(const graph::RoutingGraph& initial,
                       }
                       lane_best[lane] = best;
                     });
+    if (stop_hit.load(std::memory_order_relaxed))
+      options.base.stop.throw_if_stopped("ldrg_screened verify scan");
     LaneBest best;
     for (const LaneBest& lb : lane_best) {
       if (lb.index == std::numeric_limits<std::size_t>::max()) continue;

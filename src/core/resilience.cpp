@@ -1,0 +1,160 @@
+#include "core/resilience.h"
+
+#include <exception>
+#include <sstream>
+#include <utility>
+
+namespace ntr::core {
+
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes) --
+/// enough for status messages and net names.
+void append_json_string(std::ostringstream& out, std::string_view s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out << "\\u00" << kHex[(c >> 4) & 0xf] << kHex[c & 0xf];
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+const char* net_disposition_name(NetDisposition d) {
+  switch (d) {
+    case NetDisposition::kOk: return "ok";
+    case NetDisposition::kDegraded: return "degraded";
+    case NetDisposition::kQuarantined: return "quarantined";
+  }
+  return "unknown";
+}
+
+const char* on_error_name(OnError policy) {
+  switch (policy) {
+    case OnError::kFail: return "fail";
+    case OnError::kDegrade: return "degrade";
+    case OnError::kSkip: return "skip";
+  }
+  return "unknown";
+}
+
+std::optional<OnError> on_error_from_name(std::string_view name) {
+  if (name == "fail") return OnError::kFail;
+  if (name == "degrade") return OnError::kDegrade;
+  if (name == "skip") return OnError::kSkip;
+  return std::nullopt;
+}
+
+Strategy seed_strategy(Strategy s) {
+  switch (s) {
+    case Strategy::kSldrg: return Strategy::kSteinerTree;
+    case Strategy::kErtLdrg: return Strategy::kErt;
+    default: return Strategy::kMst;
+  }
+}
+
+runtime::StatusOr<Solution> try_solve(const graph::Net& net, Strategy strategy,
+                                      const delay::DelayEvaluator& evaluator,
+                                      const SolverConfig& config) {
+  try {
+    return solve(net, strategy, evaluator, config);
+  } catch (const std::exception& e) {
+    return runtime::exception_to_status(e);
+  } catch (...) {
+    return runtime::Status(runtime::StatusCode::kInternal,
+                           "try_solve: non-standard exception");
+  }
+}
+
+GuardedSolution solve_resilient(const graph::Net& net, Strategy strategy,
+                                const delay::DelayEvaluator& evaluator,
+                                const SolverConfig& config,
+                                const ResilienceOptions& resilience) {
+  SolverConfig bounded = config;
+  if (resilience.stop.engaged()) bounded.stop = resilience.stop;
+
+  GuardedSolution out;
+
+  // Rung 0: the requested configuration.
+  runtime::StatusOr<Solution> primary = try_solve(net, strategy, evaluator, bounded);
+  if (primary.ok()) {
+    out.solution = std::move(primary).value();
+    return out;  // disposition kOk, rung 0, ok status
+  }
+  const runtime::Status first = primary.status();
+  out.outcome.status = first;
+
+  // Malformed input cannot be rescued by a cheaper evaluator, and the
+  // fail/skip policies forgo the ladder by definition.
+  if (first.code() == runtime::StatusCode::kBadInput ||
+      resilience.on_error != OnError::kDegrade) {
+    out.outcome.disposition = NetDisposition::kQuarantined;
+    return out;
+  }
+
+  // Rung 1: same strategy, graph-Elmore evaluator. Still deadline-bounded:
+  // when the budget is already spent this fails in one entry poll and the
+  // ladder moves on rather than burning more wall clock.
+  const delay::GraphElmoreEvaluator elmore(bounded.tech);
+  runtime::StatusOr<Solution> fallback =
+      try_solve(net, strategy, elmore, bounded);
+  if (fallback.ok()) {
+    out.solution = std::move(fallback).value();
+    out.outcome.disposition = NetDisposition::kDegraded;
+    out.outcome.rung = 1;
+    return out;
+  }
+
+  // Rung 2: the seed tree, unbounded. MST/Steiner construction is pure
+  // geometry, so this terminates quickly and (almost) always succeeds.
+  SolverConfig unbounded = bounded;
+  unbounded.stop = runtime::StopToken{};
+  unbounded.ldrg.stop = runtime::StopToken{};
+  runtime::StatusOr<Solution> seed =
+      try_solve(net, seed_strategy(strategy), elmore, unbounded);
+  if (seed.ok()) {
+    out.solution = std::move(seed).value();
+    out.outcome.disposition = NetDisposition::kDegraded;
+    out.outcome.rung = 2;
+    return out;
+  }
+
+  out.outcome.disposition = NetDisposition::kQuarantined;
+  out.outcome.status = runtime::Status(
+      first.code(), first.message() + "; seed-tree passthrough also failed: " +
+                        seed.status().to_string());
+  return out;
+}
+
+std::string outcomes_to_json(std::span<const NetOutcome> outcomes) {
+  std::ostringstream out;
+  out << "[";
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const NetOutcome& o = outcomes[i];
+    if (i > 0) out << ",";
+    out << "\n  {\"index\": " << o.net_index << ", \"name\": ";
+    append_json_string(out, o.net_name);
+    out << ", \"disposition\": \"" << net_disposition_name(o.disposition)
+        << "\", \"rung\": " << o.rung << ", \"status\": \""
+        << runtime::status_code_name(o.status.code()) << "\", \"message\": ";
+    append_json_string(out, o.status.message());
+    out << "}";
+  }
+  out << (outcomes.empty() ? "]" : "\n]");
+  return out.str();
+}
+
+}  // namespace ntr::core

@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "core/solver.h"
+#include "runtime/status.h"
+#include "runtime/stop.h"
+
+/// Fault-tolerant solving: the per-net degradation ladder.
+///
+/// A batch driver (the timing flow, the experiment harness) must not die
+/// because one net's matrix went singular or one transient march ran past
+/// its deadline. solve_resilient() runs the requested construction and,
+/// on a recoverable failure, walks down a fixed ladder:
+///
+///   rung 0  the requested strategy with the caller's evaluator
+///   rung 1  the same strategy re-driven by the graph-Elmore evaluator
+///           (orders of magnitude cheaper than the transient oracle, and
+///           immune to its time-march failures)
+///   rung 2  the strategy's seed tree (MST / 1-Steiner / ERT) measured
+///           with graph Elmore, run without a deadline -- the
+///           always-terminates passthrough
+///
+/// Every net therefore ships *some* routing unless even the passthrough
+/// fails (or its input is malformed), in which case it is quarantined.
+/// The outcome of each net -- which rung shipped, and the first failure
+/// that forced a fallback -- is recorded in a NetOutcome for the batch
+/// report.
+namespace ntr::core {
+
+/// What happened to one net in a resilient batch.
+enum class NetDisposition : std::uint8_t {
+  kOk,           ///< rung 0 succeeded; the requested routing shipped
+  kDegraded,     ///< a lower rung shipped a valid (but weaker) routing
+  kQuarantined,  ///< no rung produced a routing; the net was dropped
+};
+
+/// Stable lowercase name ("ok", "degraded", "quarantined").
+[[nodiscard]] const char* net_disposition_name(NetDisposition d);
+
+/// Batch-driver policy when a net's rung-0 solve fails.
+enum class OnError : std::uint8_t {
+  kFail,     ///< quarantine without retry; the driver aborts the batch
+  kDegrade,  ///< walk the ladder (the default)
+  kSkip,     ///< quarantine without retry; the driver drops the net
+};
+
+[[nodiscard]] const char* on_error_name(OnError policy);
+/// Parses "fail" / "degrade" / "skip"; nullopt for anything else.
+[[nodiscard]] std::optional<OnError> on_error_from_name(std::string_view name);
+
+struct ResilienceOptions {
+  OnError on_error = OnError::kDegrade;
+  /// Deadline/cancellation for rungs 0 and 1. Rung 2 deliberately runs
+  /// unbounded: the passthrough is cheap and must always complete so the
+  /// batch can account for every net.
+  runtime::StopToken stop{};
+};
+
+/// Per-net record of a resilient solve.
+struct NetOutcome {
+  std::size_t net_index = 0;  ///< position in the batch (caller-assigned)
+  std::string net_name;       ///< caller-assigned label ("" when unnamed)
+  NetDisposition disposition = NetDisposition::kOk;
+  /// Ladder rung that shipped the routing (0/1/2); meaningless when
+  /// quarantined.
+  int rung = 0;
+  /// ok for kOk; otherwise the first failure that forced the fallback,
+  /// with any later passthrough failure appended.
+  runtime::Status status;
+};
+
+/// A routing that may be absent (quarantined net) plus its outcome.
+struct GuardedSolution {
+  std::optional<Solution> solution;
+  NetOutcome outcome;
+};
+
+/// The seed tree the ladder falls back to: the construction each strategy
+/// starts from (kSldrg -> k1Steiner, kErtLdrg -> kErt, everything else ->
+/// kMst, which is pure geometry and cannot fail numerically).
+[[nodiscard]] Strategy seed_strategy(Strategy s);
+
+/// solve() with the typed-error boundary: any escaping exception becomes
+/// a non-ok Status (singular matrix -> kSingular, tripped deadline ->
+/// kTimeout, contract violation -> kInternal, ...). Never throws.
+[[nodiscard]] runtime::StatusOr<Solution> try_solve(
+    const graph::Net& net, Strategy strategy,
+    const delay::DelayEvaluator& evaluator, const SolverConfig& config = {});
+
+/// Runs the degradation ladder described above. Never throws; a batch
+/// driver inspects outcome.disposition (and its own OnError policy) to
+/// decide whether to continue. `resilience.stop` overrides config.stop
+/// when engaged.
+[[nodiscard]] GuardedSolution solve_resilient(
+    const graph::Net& net, Strategy strategy,
+    const delay::DelayEvaluator& evaluator, const SolverConfig& config = {},
+    const ResilienceOptions& resilience = {});
+
+/// Serializes a batch's outcomes as a JSON array (stable key order, one
+/// object per net) for the --report-json failure report.
+[[nodiscard]] std::string outcomes_to_json(std::span<const NetOutcome> outcomes);
+
+}  // namespace ntr::core

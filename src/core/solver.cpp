@@ -31,9 +31,15 @@ Solution solve(const graph::Net& net, Strategy strategy,
                const delay::DelayEvaluator& evaluator, const SolverConfig& config) {
   net.validate();
 
+  // An already-tripped token fails the solve before any construction work,
+  // so an expired deadline costs a batch driver one poll per net, not one
+  // tree construction per net.
+  if (config.stop.engaged()) config.stop.throw_if_stopped("solve");
+
   // The top-level thread knob wins over the per-strategy one when set.
   LdrgOptions ldrg_options = config.ldrg;
   if (config.parallel.num_threads != 1) ldrg_options.parallel = config.parallel;
+  if (config.stop.engaged()) ldrg_options.stop = config.stop;
 
   Solution solution;
   solution.strategy = strategy;

@@ -44,6 +44,12 @@ struct SolverConfig {
   steiner::SteinerOptions steiner{};
   /// H1 iteration cap.
   std::size_t h1_max_iterations = static_cast<std::size_t>(-1);
+  /// Cooperative deadline/cancellation for the whole solve. An engaged
+  /// token overrides ldrg.stop (same pattern as `parallel`), is checked
+  /// once on entry, and is polled by the LDRG rounds/lanes. Evaluator-side
+  /// polling (the transient march) rides in the evaluator's own options.
+  /// Trips unwind with NtrError (kTimeout / kCancelled).
+  runtime::StopToken stop{};
 };
 
 struct Solution {

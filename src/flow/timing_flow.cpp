@@ -1,10 +1,13 @@
 #include "flow/timing_flow.h"
 
 #include <algorithm>
+#include <exception>
 #include <memory>
 #include <stdexcept>
+#include <utility>
 
 #include "core/parallel.h"
+#include "runtime/status.h"
 
 namespace ntr::flow {
 
@@ -36,6 +39,48 @@ void annotate(sta::TimingGraph& design, const BoundNet& bound,
     design.set_interconnect_delay(bound.sta_net, bound.sink_gates[i], delays[i]);
 }
 
+/// Folds one failure into a net's record: the first failure owns the
+/// status, and the disposition/rung only ever worsen.
+void record_failure(core::NetOutcome& outcome, core::NetDisposition disposition,
+                    int rung, const runtime::Status& status) {
+  if (outcome.status.ok()) outcome.status = status;
+  if (static_cast<int>(disposition) > static_cast<int>(outcome.disposition)) {
+    outcome.disposition = disposition;
+    outcome.rung = rung;
+  }
+}
+
+/// annotate() with the per-net ladder: primary measure, then graph
+/// Elmore, then leave the previous annotation standing (quarantine).
+/// Under OnError::kFail the primary failure is rethrown. Returns false
+/// only when even the Elmore fallback failed.
+bool annotate_resilient(sta::TimingGraph& design, const BoundNet& bound,
+                        const graph::RoutingGraph& routing,
+                        const delay::DelayEvaluator& measure,
+                        const delay::GraphElmoreEvaluator& elmore,
+                        core::OnError policy, core::NetOutcome& outcome) {
+  try {
+    annotate(design, bound, routing, measure);
+    return true;
+  } catch (const std::exception& e) {
+    if (policy == core::OnError::kFail) throw;
+    const runtime::Status status = runtime::exception_to_status(e);
+    if (policy == core::OnError::kSkip) {
+      record_failure(outcome, core::NetDisposition::kQuarantined, 0, status);
+      return false;
+    }
+    record_failure(outcome, core::NetDisposition::kDegraded, 1, status);
+  }
+  try {
+    annotate(design, bound, routing, elmore);
+    return true;
+  } catch (const std::exception& e) {
+    record_failure(outcome, core::NetDisposition::kQuarantined, 1,
+                   runtime::exception_to_status(e));
+    return false;
+  }
+}
+
 }  // namespace
 
 FlowResult run_timing_flow(sta::TimingGraph& design, std::vector<BoundNet>& nets,
@@ -43,16 +88,56 @@ FlowResult run_timing_flow(sta::TimingGraph& design, std::vector<BoundNet>& nets
                            const FlowOptions& options) {
   validate(design, nets);
 
+  const core::OnError policy = options.resilience.on_error;
+  const runtime::StopToken& stop = options.resilience.stop;
+  const bool stop_engaged = stop.engaged();
+  const delay::GraphElmoreEvaluator elmore(options.tech);
+
   FlowResult result;
+  result.outcomes.resize(nets.size());
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    result.outcomes[i].net_index = i;
+    result.outcomes[i].net_name = nets[i].name;
+  }
+
   result.routings.reserve(nets.size());
-  for (const BoundNet& b : nets) {
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    const BoundNet& b = nets[i];
+    // MST construction is pure geometry and cannot fail; measurement can.
     result.routings.push_back(graph::mst_routing(b.net));
-    annotate(design, b, result.routings.back(), measure);
+    if (stop_engaged && stop.poll() != runtime::StatusCode::kOk) {
+      if (policy == core::OnError::kFail)
+        stop.throw_if_stopped("timing flow initial pass");
+      // Budget spent: annotate the remaining nets with the cheap Elmore
+      // model so the batch still completes with every net accounted for.
+      record_failure(result.outcomes[i], core::NetDisposition::kDegraded, 1,
+                     runtime::Status(stop.poll(),
+                                     "timing flow initial pass: budget spent "
+                                     "before net " +
+                                         b.name));
+      try {
+        annotate(design, b, result.routings.back(), elmore);
+      } catch (const std::exception& e) {
+        record_failure(result.outcomes[i], core::NetDisposition::kQuarantined, 1,
+                       runtime::exception_to_status(e));
+      }
+      continue;
+    }
+    annotate_resilient(design, b, result.routings.back(), measure, elmore,
+                       policy, result.outcomes[i]);
   }
   result.initial_report = sta::analyze(design, options.clock_period_s);
   result.final_report = result.initial_report;
 
   for (unsigned iter = 0; iter < options.max_iterations; ++iter) {
+    if (stop_engaged && stop.poll() != runtime::StatusCode::kOk) {
+      // Out of budget at an iteration boundary: every routing is valid and
+      // annotated, so stopping the optimization here degrades nothing.
+      if (policy == core::OnError::kFail)
+        stop.throw_if_stopped("timing flow iteration");
+      break;
+    }
+
     // Which nets hold critical pins under the current timing?
     std::vector<std::size_t> targets;
     std::vector<std::vector<double>> alphas;
@@ -86,8 +171,12 @@ FlowResult run_timing_flow(sta::TimingGraph& design, std::vector<BoundNet>& nets
     result.iterations = iter + 1;
     // Each critical net is an independent CSORG problem: reroute them on
     // parallel lanes (static chunking keeps the assignment deterministic),
-    // then annotate the shared timing graph serially in input order.
+    // then annotate the shared timing graph serially in input order. A
+    // lane catches its own nets' failures -- one bad matrix must not take
+    // down the other lanes' work -- and leaves the fallback decision to
+    // the serial pass below.
     std::vector<graph::RoutingGraph> rerouted(targets.size());
+    std::vector<runtime::Status> lane_status(targets.size());
     {
       const std::size_t lanes = options.parallel.resolved_threads();
       std::unique_ptr<core::ThreadPool> pool;
@@ -97,18 +186,50 @@ FlowResult run_timing_flow(sta::TimingGraph& design, std::vector<BoundNet>& nets
           pool.get(), targets.size(),
           [&](std::size_t, std::size_t begin, std::size_t end) {
             for (std::size_t k = begin; k < end; ++k) {
-              core::LdrgOptions ldrg_opts = options.ldrg;
-              ldrg_opts.criticality = alphas[k];
-              rerouted[k] = core::ldrg(graph::mst_routing(nets[targets[k]].net),
-                                       measure, ldrg_opts)
-                                .graph;
+              try {
+                core::LdrgOptions ldrg_opts = options.ldrg;
+                ldrg_opts.criticality = alphas[k];
+                ldrg_opts.stop = stop;
+                rerouted[k] = core::ldrg(graph::mst_routing(nets[targets[k]].net),
+                                         measure, ldrg_opts)
+                                  .graph;
+              } catch (const std::exception& e) {
+                lane_status[k] = runtime::exception_to_status(e);
+              }
             }
           });
     }
     for (std::size_t k = 0; k < targets.size(); ++k) {
       const std::size_t i = targets[k];
+      if (!lane_status[k].ok()) {
+        if (policy == core::OnError::kFail)
+          throw runtime::NtrError(lane_status[k].code(), lane_status[k].message());
+        if (policy == core::OnError::kSkip) {
+          // Keep the net's current (valid, annotated) routing untouched.
+          record_failure(result.outcomes[i], core::NetDisposition::kQuarantined,
+                         0, lane_status[k]);
+          continue;
+        }
+        record_failure(result.outcomes[i], core::NetDisposition::kDegraded, 1,
+                       lane_status[k]);
+        // Rung 1: Elmore-driven reroute, still deadline-bounded (it fails
+        // in one poll when the budget is already spent).
+        try {
+          core::LdrgOptions ldrg_opts = options.ldrg;
+          ldrg_opts.criticality = alphas[k];
+          ldrg_opts.stop = stop;
+          rerouted[k] =
+              core::ldrg(graph::mst_routing(nets[i].net), elmore, ldrg_opts).graph;
+        } catch (const std::exception&) {
+          // Rung 2: keep the seed tree -- always valid, never times out.
+          record_failure(result.outcomes[i], core::NetDisposition::kDegraded, 2,
+                         lane_status[k]);
+          rerouted[k] = graph::mst_routing(nets[i].net);
+        }
+      }
       result.routings[i] = std::move(rerouted[k]);
-      annotate(design, nets[i], result.routings[i], measure);
+      annotate_resilient(design, nets[i], result.routings[i], measure, elmore,
+                         policy, result.outcomes[i]);
       ++result.nets_rerouted;
     }
 

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/ldrg.h"
+#include "core/resilience.h"
 #include "delay/evaluator.h"
 #include "graph/net.h"
 #include "graph/routing_graph.h"
@@ -37,6 +38,12 @@ struct FlowOptions {
   /// bit-identical for every lane count. The inner LDRG scans stay on
   /// ldrg.parallel (serial by default) to avoid nested pools.
   core::ParallelConfig parallel{};
+  /// Per-net fault tolerance. resilience.stop bounds the whole flow (it
+  /// is threaded into every reroute's LDRG loop and polled at net and
+  /// iteration boundaries); failures walk the measure -> graph-Elmore ->
+  /// keep-seed-tree ladder per net instead of aborting the batch, except
+  /// under OnError::kFail, which rethrows the first failure.
+  core::ResilienceOptions resilience{};
 };
 
 struct FlowResult {
@@ -46,6 +53,10 @@ struct FlowResult {
   sta::TimingReport final_report;
   unsigned iterations = 0;       ///< reroute iterations actually run
   std::size_t nets_rerouted = 0; ///< total reroute operations
+  /// One record per bound net, in input order: which evaluator/routing
+  /// rung stands behind routings[i] and the first failure (if any) that
+  /// forced a fallback. All-kOk in a fault-free, deadline-free run.
+  std::vector<core::NetOutcome> outcomes;
 };
 
 /// The timing-driven routing loop the paper's Section 5.1 sketches,
@@ -61,7 +72,10 @@ struct FlowResult {
 ///
 /// The design's interconnect delays are left annotated with the final
 /// routing (so callers can keep analyzing it). Throws
-/// std::invalid_argument on inconsistent bindings.
+/// std::invalid_argument on inconsistent bindings (a caller bug, not a
+/// per-net condition); per-net numerical/timeout failures are absorbed by
+/// the degradation ladder (see FlowOptions::resilience) unless the policy
+/// is OnError::kFail.
 FlowResult run_timing_flow(sta::TimingGraph& design, std::vector<BoundNet>& nets,
                            const delay::DelayEvaluator& measure,
                            const FlowOptions& options = {});

@@ -39,6 +39,15 @@ algorithm:
                       default 1); the routing is bit-identical for any N
   --evaluator NAME    transient|elmore|graph-elmore|d2m (default transient)
 
+fault tolerance:
+  --deadline-ms MS    wall-clock budget for the solve (0 = unbounded); the
+                      LDRG rounds and the transient march poll it
+  --on-error POLICY   fail|degrade|skip (default degrade): what to do when
+                      the solve fails or times out -- degrade retries with
+                      the graph-Elmore evaluator, then ships the seed tree
+  --report-json FILE  write the per-net outcome report (disposition, rung,
+                      failure status) as JSON
+
 outputs:
   --deck FILE.sp      export the routing as a SPICE deck
   --spef FILE.spef    export the routing's parasitics as SPEF
@@ -47,7 +56,34 @@ outputs:
   --report            print per-sink delays
   --metrics           print the routing quality card (radius, detour, ...)
   --help              this text
+
+exit codes:
+  0  success
+  1  internal error (contract violation or unclassified failure)
+  2  usage error (bad command line)
+  3  input error (unreadable or malformed net/routing file)
+  4  numerical failure or deadline/cancellation (singular matrix,
+     non-finite waveform, timeout) that the --on-error policy let escape
 )";
+}
+
+int exit_code_for(const runtime::Status& status) {
+  switch (status.code()) {
+    case runtime::StatusCode::kOk:
+      return kExitOk;
+    case runtime::StatusCode::kBadInput:
+    case runtime::StatusCode::kIoError:
+      return kExitInput;
+    case runtime::StatusCode::kSingular:
+    case runtime::StatusCode::kNonFinite:
+    case runtime::StatusCode::kTimeout:
+    case runtime::StatusCode::kCancelled:
+      return kExitNumerical;
+    case runtime::StatusCode::kResourceExhausted:
+    case runtime::StatusCode::kInternal:
+      return kExitInternal;
+  }
+  return kExitInternal;
 }
 
 namespace {
@@ -109,6 +145,19 @@ CliOptions parse_cli(std::span<const std::string> args) {
       opts.brbc_epsilon = parse_double(arg, next(i, arg));
       if (opts.brbc_epsilon < 0.0)
         throw std::invalid_argument("--brbc expects a non-negative value");
+    } else if (arg == "--deadline-ms") {
+      opts.deadline_ms = parse_double(arg, next(i, arg));
+      if (opts.deadline_ms < 0.0)
+        throw std::invalid_argument("--deadline-ms expects a non-negative value");
+    } else if (arg == "--on-error") {
+      const std::string& name = next(i, arg);
+      const std::optional<core::OnError> policy = core::on_error_from_name(name);
+      if (!policy)
+        throw std::invalid_argument("unknown --on-error '" + name +
+                                    "' (try fail|degrade|skip)");
+      opts.on_error = *policy;
+    } else if (arg == "--report-json") {
+      opts.report_json_path = next(i, arg);
     } else if (arg == "--deck") {
       opts.deck_path = next(i, arg);
     } else if (arg == "--svg") {

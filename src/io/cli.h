@@ -4,7 +4,9 @@
 #include <span>
 #include <string>
 
+#include "core/resilience.h"
 #include "core/solver.h"
+#include "runtime/status.h"
 
 namespace ntr::io {
 
@@ -28,6 +30,15 @@ struct CliOptions {
   double pd_c = -1.0;        ///< >=0 switches strategy to Prim-Dijkstra(c)
   double brbc_epsilon = -1;  ///< >=0 switches strategy to BRBC(epsilon)
 
+  // Fault tolerance.
+  /// Wall-clock budget for the solve in milliseconds; 0 = unbounded.
+  double deadline_ms = 0.0;
+  /// What to do when the solve fails or times out: fail (exit non-zero),
+  /// degrade (walk the evaluator/seed-tree ladder), skip (drop the net).
+  core::OnError on_error = core::OnError::kDegrade;
+  /// Write the per-net outcome report (JSON) here; empty = no report.
+  std::string report_json_path;
+
   // Outputs.
   std::string deck_path;
   std::string svg_path;
@@ -47,5 +58,17 @@ std::string cli_usage();
 
 /// Maps a --strategy name to the solver enum; throws on unknown names.
 core::Strategy strategy_from_name(const std::string& name);
+
+/// Process exit codes shared by the tools (documented in --help). Distinct
+/// codes let scripts tell a usage mistake from a bad input file from a
+/// numerical/timeout failure without parsing stderr.
+inline constexpr int kExitOk = 0;        ///< success
+inline constexpr int kExitInternal = 1;  ///< contract violation / unclassified
+inline constexpr int kExitUsage = 2;     ///< bad command line
+inline constexpr int kExitInput = 3;     ///< unreadable or malformed input
+inline constexpr int kExitNumerical = 4; ///< singular/non-finite/timeout/cancel
+
+/// Maps a boundary Status to the exit-code convention above.
+[[nodiscard]] int exit_code_for(const runtime::Status& status);
 
 }  // namespace ntr::io

@@ -1,9 +1,13 @@
 #include "io/net_io.h"
 
+#include <cmath>
+#include <exception>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
+
+#include "runtime/status.h"
 
 namespace ntr::io {
 
@@ -30,12 +34,20 @@ double parse_coord(const std::string& token, const std::string& context) {
   }
   if (used != token.size())
     throw std::invalid_argument("net_io: bad number '" + token + "' in " + context);
+  // std::stod happily parses "nan" and "inf"; a non-finite coordinate or
+  // width would poison every downstream distance and matrix entry, so
+  // reject it at the door.
+  if (!std::isfinite(value))
+    throw std::invalid_argument("net_io: non-finite number '" + token + "' in " +
+                                context);
   return value;
 }
 
 std::string read_file(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("net_io: cannot open " + path);
+  if (!in)
+    throw runtime::NtrError(runtime::StatusCode::kIoError,
+                            "net_io: cannot open " + path);
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return buffer.str();
@@ -43,9 +55,13 @@ std::string read_file(const std::string& path) {
 
 void write_file(const std::string& path, const std::string& content) {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("net_io: cannot open " + path);
+  if (!out)
+    throw runtime::NtrError(runtime::StatusCode::kIoError,
+                            "net_io: cannot open " + path);
   out << content;
-  if (!out) throw std::runtime_error("net_io: write failed for " + path);
+  if (!out)
+    throw runtime::NtrError(runtime::StatusCode::kIoError,
+                            "net_io: write failed for " + path);
 }
 
 }  // namespace
@@ -106,6 +122,10 @@ graph::RoutingGraph read_routing(std::string_view text) {
       const auto v = static_cast<graph::NodeId>(parse_coord(tokens[2], line));
       if (u >= g.node_count() || v >= g.node_count())
         throw std::invalid_argument("net_io: edge references unknown node: " + line);
+      // RoutingGraph::add_edge silently dedupes, which would mask a
+      // malformed file; a repeated edge line is always an input error.
+      if (g.has_edge(u, v))
+        throw std::invalid_argument("net_io: duplicate edge: " + line);
       const graph::EdgeId e = g.add_edge(u, v);
       if (tokens.size() == 4) g.set_edge_width(e, parse_coord(tokens[3], line));
     } else {
@@ -150,6 +170,39 @@ void write_net_file(const std::string& path, const graph::Net& net) {
 
 void write_routing_file(const std::string& path, const graph::RoutingGraph& g) {
   write_file(path, write_routing(g));
+}
+
+runtime::StatusOr<graph::Net> try_read_net(std::string_view text) {
+  try {
+    return read_net(text);
+  } catch (const std::exception& e) {
+    return runtime::exception_to_status(e);
+  }
+}
+
+runtime::StatusOr<graph::RoutingGraph> try_read_routing(std::string_view text) {
+  try {
+    return read_routing(text);
+  } catch (const std::exception& e) {
+    return runtime::exception_to_status(e);
+  }
+}
+
+runtime::StatusOr<graph::Net> try_read_net_file(const std::string& path) {
+  try {
+    return read_net_file(path);
+  } catch (const std::exception& e) {
+    return runtime::exception_to_status(e);
+  }
+}
+
+runtime::StatusOr<graph::RoutingGraph> try_read_routing_file(
+    const std::string& path) {
+  try {
+    return read_routing_file(path);
+  } catch (const std::exception& e) {
+    return runtime::exception_to_status(e);
+  }
 }
 
 }  // namespace ntr::io

@@ -5,6 +5,7 @@
 
 #include "graph/net.h"
 #include "graph/routing_graph.h"
+#include "runtime/status.h"
 
 namespace ntr::io {
 
@@ -30,10 +31,23 @@ std::string write_net(const graph::Net& net);
 graph::RoutingGraph read_routing(std::string_view text);
 std::string write_routing(const graph::RoutingGraph& g);
 
-/// File helpers; throw std::runtime_error on I/O failure.
+/// File helpers; throw ntr::runtime::NtrError (StatusCode::kIoError) on
+/// I/O failure.
 graph::Net read_net_file(const std::string& path);
 graph::RoutingGraph read_routing_file(const std::string& path);
 void write_net_file(const std::string& path, const graph::Net& net);
 void write_routing_file(const std::string& path, const graph::RoutingGraph& g);
+
+/// Non-throwing boundary variants for batch drivers: every parse/IO
+/// failure above comes back as a Status instead (malformed text --
+/// including NaN/inf coordinates, duplicate edges, edges before nodes,
+/// unknown node kinds -- maps to kBadInput; file failures to kIoError).
+[[nodiscard]] runtime::StatusOr<graph::Net> try_read_net(std::string_view text);
+[[nodiscard]] runtime::StatusOr<graph::RoutingGraph> try_read_routing(
+    std::string_view text);
+[[nodiscard]] runtime::StatusOr<graph::Net> try_read_net_file(
+    const std::string& path);
+[[nodiscard]] runtime::StatusOr<graph::RoutingGraph> try_read_routing_file(
+    const std::string& path);
 
 }  // namespace ntr::io

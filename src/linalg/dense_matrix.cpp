@@ -3,6 +3,10 @@
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
+#include <string>
+
+#include "check/faultinject.h"
+#include "runtime/status.h"
 
 namespace ntr::linalg {
 
@@ -68,8 +72,12 @@ LuFactorization::LuFactorization(DenseMatrix a) : lu_(std::move(a)) {
         pivot_mag = mag;
       }
     }
+    NTR_FAULT_POINT(kLuSingular);
     if (pivot_mag == 0.0)
-      throw std::runtime_error("LuFactorization: singular matrix");
+      throw runtime::NtrError(
+          runtime::StatusCode::kSingular,
+          "LuFactorization: singular matrix (n=" + std::to_string(n) +
+              ", pivot column " + std::to_string(k) + " has no nonzero entry)");
     if (pivot != k) {
       for (std::size_t c = 0; c < n; ++c) std::swap(lu_(k, c), lu_(pivot, c));
       std::swap(perm_[k], perm_[pivot]);
@@ -117,8 +125,13 @@ CholeskyFactorization::CholeskyFactorization(DenseMatrix a) : l_(std::move(a)) {
   for (std::size_t j = 0; j < n; ++j) {
     double diag = l_(j, j);
     for (std::size_t k = 0; k < j; ++k) diag -= l_(j, k) * l_(j, k);
+    NTR_FAULT_POINT(kCholeskyNotSpd);
     if (diag <= 0.0)
-      throw std::runtime_error("CholeskyFactorization: matrix not positive definite");
+      throw runtime::NtrError(
+          runtime::StatusCode::kSingular,
+          "CholeskyFactorization: matrix not positive definite (n=" +
+              std::to_string(n) + ", pivot " + std::to_string(j) +
+              " reduced to " + std::to_string(diag) + ")");
     const double ljj = std::sqrt(diag);
     l_(j, j) = ljj;
     for (std::size_t i = j + 1; i < n; ++i) {

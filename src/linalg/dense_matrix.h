@@ -53,8 +53,9 @@ class DenseMatrix {
 /// simulation, where (G + 2C/h) is factored once per topology.
 class LuFactorization {
  public:
-  /// Throws std::runtime_error if the matrix is singular to working
-  /// precision.
+  /// Throws ntr::runtime::NtrError (StatusCode::kSingular, with the
+  /// matrix dimension and failing pivot column in the message) if the
+  /// matrix is singular to working precision.
   explicit LuFactorization(DenseMatrix a);
 
   [[nodiscard]] std::size_t size() const { return lu_.rows(); }
@@ -73,8 +74,8 @@ class LuFactorization {
 
 /// Cholesky factorization A = L L^T for symmetric positive definite
 /// matrices (conductance matrices of connected RC networks are SPD once
-/// grounded). Roughly half the work of LU; throws std::runtime_error if
-/// the matrix is not positive definite.
+/// grounded). Roughly half the work of LU; throws ntr::runtime::NtrError
+/// (StatusCode::kSingular) if the matrix is not positive definite.
 class CholeskyFactorization {
  public:
   explicit CholeskyFactorization(DenseMatrix a);

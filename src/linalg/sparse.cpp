@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
+
+#include "runtime/status.h"
 
 namespace ntr::linalg {
 
@@ -80,7 +83,9 @@ CgResult conjugate_gradient(const CsrMatrix& a, std::span<const double> b,
   Vector inv_diag = a.diagonal();
   for (double& d : inv_diag) {
     if (d <= 0.0)
-      throw std::runtime_error("conjugate_gradient: non-positive diagonal (not SPD?)");
+      throw runtime::NtrError(
+          runtime::StatusCode::kSingular,
+          "conjugate_gradient: non-positive diagonal (not SPD?)");
     d = 1.0 / d;
   }
 
@@ -109,7 +114,11 @@ CgResult conjugate_gradient(const CsrMatrix& a, std::span<const double> b,
     rz = rz_next;
     for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
   }
-  throw std::runtime_error("conjugate_gradient: did not converge");
+  throw runtime::NtrError(
+      runtime::StatusCode::kNonFinite,
+      "conjugate_gradient: did not converge in " + std::to_string(max_iters) +
+          " iterations (n=" + std::to_string(n) + ", residual " +
+          std::to_string(result.residual_norm) + ")");
 }
 
 }  // namespace ntr::linalg

@@ -59,8 +59,9 @@ class CsrMatrix {
 
 /// Preconditioned conjugate gradient for SPD systems. Jacobi (diagonal)
 /// preconditioner -- effective for diagonally dominant conductance
-/// matrices. Returns the iteration count used; throws std::runtime_error
-/// if the tolerance is not reached within max_iters.
+/// matrices. Returns the iteration count used; throws
+/// ntr::runtime::NtrError if the tolerance is not reached within
+/// max_iters.
 struct CgResult {
   Vector x;
   std::size_t iterations = 0;

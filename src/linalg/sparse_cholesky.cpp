@@ -5,6 +5,10 @@
 #include <numeric>
 #include <queue>
 #include <stdexcept>
+#include <string>
+
+#include "check/faultinject.h"
+#include "runtime/status.h"
 
 namespace ntr::linalg {
 
@@ -105,8 +109,13 @@ EnvelopeCholesky::EnvelopeCholesky(const CsrMatrix& a, bool reorder) {
     }
     double d = values_[row_start_[i] + (i - first_col_[i])];
     for (std::size_t k = first_col_[i]; k < i; ++k) d -= entry(i, k) * entry(i, k);
+    NTR_FAULT_POINT(kCholeskyNotSpd);
     if (d <= 0.0)
-      throw std::runtime_error("EnvelopeCholesky: matrix not positive definite");
+      throw runtime::NtrError(
+          runtime::StatusCode::kSingular,
+          "EnvelopeCholesky: matrix not positive definite (n=" +
+              std::to_string(n) + ", pivot " + std::to_string(i) +
+              " reduced to " + std::to_string(d) + ")");
     values_[row_start_[i] + (i - first_col_[i])] = std::sqrt(d);
   }
 }

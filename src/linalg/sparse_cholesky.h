@@ -27,7 +27,8 @@ class EnvelopeCholesky {
  public:
   /// Factors P A P^T where P is reverse_cuthill_mckee(A)'s permutation
   /// (pass reorder = false to keep the natural order). Throws
-  /// std::runtime_error if A is not positive definite.
+  /// ntr::runtime::NtrError (StatusCode::kSingular) if A is not
+  /// positive definite.
   explicit EnvelopeCholesky(const CsrMatrix& a, bool reorder = true);
 
   [[nodiscard]] std::size_t size() const { return row_start_.size() - 1; }

@@ -1,0 +1,47 @@
+#include "runtime/status.h"
+
+#include <new>
+
+namespace ntr::runtime {
+
+const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kBadInput: return "bad-input";
+    case StatusCode::kIoError: return "io-error";
+    case StatusCode::kSingular: return "singular";
+    case StatusCode::kNonFinite: return "non-finite";
+    case StatusCode::kTimeout: return "timeout";
+    case StatusCode::kCancelled: return "cancelled";
+    case StatusCode::kResourceExhausted: return "resource-exhausted";
+    case StatusCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  if (ok()) return "ok";
+  std::string out = status_code_name(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Status exception_to_status(const std::exception& e) {
+  if (const auto* typed = dynamic_cast<const NtrError*>(&e))
+    return typed->to_status();
+  if (dynamic_cast<const std::bad_alloc*>(&e) != nullptr ||
+      dynamic_cast<const std::length_error*>(&e) != nullptr)
+    return Status{StatusCode::kResourceExhausted, e.what()};
+  if (dynamic_cast<const std::invalid_argument*>(&e) != nullptr ||
+      dynamic_cast<const std::out_of_range*>(&e) != nullptr ||
+      dynamic_cast<const std::domain_error*>(&e) != nullptr)
+    return Status{StatusCode::kBadInput, e.what()};
+  if (dynamic_cast<const std::logic_error*>(&e) != nullptr)
+    return Status{StatusCode::kInternal, e.what()};
+  return Status{StatusCode::kInternal, e.what()};
+}
+
+}  // namespace ntr::runtime

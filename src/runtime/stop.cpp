@@ -1,0 +1,31 @@
+#include "runtime/stop.h"
+
+#include <algorithm>
+#include <string>
+
+namespace ntr::runtime {
+
+Deadline Deadline::after_s(double seconds) {
+  Deadline d;
+  d.bounded_ = true;
+  const double clamped = std::max(seconds, 0.0);
+  d.when_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(clamped));
+  return d;
+}
+
+double Deadline::remaining_s() const {
+  if (!bounded_) return std::numeric_limits<double>::infinity();
+  const auto left = std::chrono::duration<double>(when_ - Clock::now()).count();
+  return std::max(left, 0.0);
+}
+
+void StopToken::throw_if_stopped(const char* where) const {
+  const StatusCode code = poll();
+  if (code == StatusCode::kOk) return;
+  const char* what =
+      code == StatusCode::kCancelled ? "cancelled at " : "deadline expired at ";
+  throw NtrError(code, std::string(what) + where);
+}
+
+}  // namespace ntr::runtime

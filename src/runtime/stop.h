@@ -1,0 +1,117 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <memory>
+
+#include "runtime/status.h"
+
+/// Cooperative cancellation and wall-clock deadlines.
+///
+/// A StopToken (a Deadline plus a CancelToken) is threaded through the
+/// option structs of the long-running loops -- LDRG rounds, parallel
+/// candidate chunks, the transient time-march -- which poll it at safe
+/// boundaries and unwind with a typed NtrError (kTimeout / kCancelled)
+/// when it trips. Polling an un-engaged token is a single inlined bool
+/// test, so the default configuration stays bit-identical to, and as
+/// fast as, a build without the runtime layer.
+namespace ntr::runtime {
+
+/// Read side of a cancellation flag. Copyable, thread-safe; a
+/// default-constructed token can never be cancelled.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  /// True when this token is connected to a CancelSource.
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+  [[nodiscard]] bool cancelled() const {
+    return state_ != nullptr && state_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class CancelSource;
+  explicit CancelToken(std::shared_ptr<const std::atomic<bool>> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<const std::atomic<bool>> state_;
+};
+
+/// Owner side of a cancellation flag. request_cancel() is sticky and may
+/// be called from any thread (e.g. a signal-handling or watchdog thread).
+class CancelSource {
+ public:
+  CancelSource() : state_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void request_cancel() { state_->store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool cancel_requested() const {
+    return state_->load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] CancelToken token() const { return CancelToken{state_}; }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> state_;
+};
+
+/// A wall-clock budget against std::chrono::steady_clock. Value type; a
+/// default-constructed Deadline is unbounded and never expires.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Deadline() = default;  ///< unbounded
+
+  /// Expires `seconds` (clamped to >= 0) from now.
+  [[nodiscard]] static Deadline after_s(double seconds);
+  [[nodiscard]] static Deadline after_ms(double milliseconds) {
+    return after_s(milliseconds / 1e3);
+  }
+  [[nodiscard]] static Deadline at(Clock::time_point when) {
+    Deadline d;
+    d.bounded_ = true;
+    d.when_ = when;
+    return d;
+  }
+
+  [[nodiscard]] bool unbounded() const { return !bounded_; }
+  [[nodiscard]] bool expired() const {
+    return bounded_ && Clock::now() >= when_;
+  }
+  /// Seconds left; +inf when unbounded, never below 0.
+  [[nodiscard]] double remaining_s() const;
+
+ private:
+  bool bounded_ = false;
+  Clock::time_point when_{};
+};
+
+/// The bundle the long-running loops poll: deadline and cancellation in
+/// one copyable value. Default-constructed tokens are not engaged and
+/// make every poll a trivially-predictable branch.
+struct StopToken {
+  Deadline deadline{};
+  CancelToken cancel{};
+
+  /// True when there is anything to poll (a bounded deadline or a live
+  /// cancel token). Loops hoist this test so the un-engaged path costs
+  /// one bool check per round, not a clock read.
+  [[nodiscard]] bool engaged() const {
+    return !deadline.unbounded() || cancel.valid();
+  }
+
+  /// kOk, kCancelled (checked first: an explicit cancel beats a
+  /// concurrently-expiring deadline), or kTimeout. Monotone: once
+  /// non-ok, every later poll is non-ok.
+  [[nodiscard]] StatusCode poll() const {
+    if (cancel.cancelled()) return StatusCode::kCancelled;
+    if (deadline.expired()) return StatusCode::kTimeout;
+    return StatusCode::kOk;
+  }
+
+  /// Throws NtrError(kTimeout/kCancelled) when tripped. `where` names the
+  /// loop for the error message ("ldrg round", "transient march", ...).
+  void throw_if_stopped(const char* where) const;
+};
+
+}  // namespace ntr::runtime

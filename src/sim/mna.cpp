@@ -1,9 +1,12 @@
 #include "sim/mna.h"
 
 #include <stdexcept>
+#include <string>
 
 #include "check/contracts.h"
+#include "check/faultinject.h"
 #include "check/validate_mna.h"
+#include "runtime/status.h"
 
 namespace ntr::sim {
 
@@ -92,8 +95,19 @@ MnaSystem assemble_mna(const spice::Circuit& circuit) {
 }
 
 linalg::Vector dc_operating_point(const MnaSystem& mna) {
-  const linalg::LuFactorization lu(mna.g);
-  return lu.solve(mna.b_final);
+  NTR_FAULT_POINT(kDcSingular);
+  try {
+    const linalg::LuFactorization lu(mna.g);
+    return lu.solve(mna.b_final);
+  } catch (const runtime::NtrError& e) {
+    // Re-annotate the bare factorization failure with the circuit-level
+    // cause: a singular G almost always means a node with no DC path to
+    // ground.
+    throw runtime::NtrError(
+        e.code(), std::string("dc_operating_point: G is singular (node with "
+                              "no DC path to ground?): ") +
+                      e.what());
+  }
 }
 
 linalg::Vector first_moment(const MnaSystem& mna, const linalg::Vector& x_inf) {

@@ -41,8 +41,9 @@ struct MnaSystem {
 MnaSystem assemble_mna(const spice::Circuit& circuit);
 
 /// DC steady state of the step response (all sources at their final value):
-/// solves G x = b_final. Throws std::runtime_error when G is singular
-/// (e.g. a node with no DC path to ground).
+/// solves G x = b_final. Throws ntr::runtime::NtrError
+/// (StatusCode::kSingular) when G is singular (e.g. a node with no DC path
+/// to ground), with the circuit-level cause in the message.
 linalg::Vector dc_operating_point(const MnaSystem& mna);
 
 /// Per-unknown first time moment of the step response,

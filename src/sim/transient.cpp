@@ -3,13 +3,36 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "check/contracts.h"
+#include "check/faultinject.h"
 #include "check/validate_mna.h"
+#include "runtime/status.h"
 
 namespace ntr::sim {
 
 namespace {
+
+/// How often the time-march loops poll the stop token (and the
+/// fault-injection deadline site). A power of two so the test reduces to
+/// a mask; 64 keeps the un-engaged overhead unmeasurable while bounding
+/// deadline overshoot to a handful of LU solves.
+constexpr std::size_t kStopPollStride = 64;
+
+/// Polls on step 1 (so even the shortest march honors an already-expired
+/// deadline) and every kStopPollStride steps after.
+[[nodiscard]] bool is_poll_step(std::size_t step) {
+  return (step & (kStopPollStride - 1)) == 1;
+}
+
+[[noreturn]] void throw_non_finite(const char* where, spice::CircuitNode node,
+                                   double t) {
+  throw runtime::NtrError(
+      runtime::StatusCode::kNonFinite,
+      std::string(where) + ": non-finite voltage at watched node " +
+          std::to_string(node) + " (t=" + std::to_string(t) + "s)");
+}
 
 linalg::DenseMatrix companion_matrix(const MnaSystem& mna, double cap_scale) {
   linalg::DenseMatrix m = mna.g;
@@ -25,6 +48,13 @@ TransientSimulator::TransientSimulator(const spice::Circuit& circuit,
                                        const TransientOptions& options)
     : mna_(assemble_mna(circuit)), options_(options) {
   x_inf_ = dc_operating_point(mna_);
+  for (std::size_t i = 0; i < x_inf_.size(); ++i) {
+    if (!std::isfinite(x_inf_[i]))
+      throw runtime::NtrError(
+          runtime::StatusCode::kNonFinite,
+          "TransientSimulator: non-finite DC operating point (unknown " +
+              std::to_string(i) + " of " + std::to_string(x_inf_.size()) + ")");
+  }
   const linalg::Vector m1 = first_moment(mna_, x_inf_);
 
   // tau = largest Elmore time constant among *node* voltages that settle to
@@ -104,7 +134,12 @@ TransientSimulator::Waveform TransientSimulator::run(
   };
 
   record(0.0);
+  const bool stop_engaged = options_.stop.engaged();
   for (std::size_t step = 1; step <= total_steps; ++step) {
+    if (is_poll_step(step)) {
+      NTR_FAULT_POINT(kTransientDeadline);
+      if (stop_engaged) options_.stop.throw_if_stopped("transient run");
+    }
     const bool use_be = options_.method == Integration::kBackwardEuler ||
                         step <= options_.startup_be_steps;
     advance(x, use_be);
@@ -180,8 +215,13 @@ TransientSimulator::Waveform TransientSimulator::run_adaptive(
 
   // The very first step is BE-only (inconsistent initial condition).
   bool startup = true;
+  const bool stop_engaged = options_.stop.engaged();
   std::size_t guard = 0;
   while (t < t_end && ++guard < 10'000'000) {
+    if (is_poll_step(guard)) {
+      NTR_FAULT_POINT(kTransientDeadline);
+      if (stop_engaged) options_.stop.throw_if_stopped("transient adaptive run");
+    }
     h = std::min(h, std::max(t_end - t, h_min));
     const Pair& f = factors(h);
     const linalg::Vector x_trap = step_with(x, h, f, /*use_be=*/startup);
@@ -238,11 +278,17 @@ TransientSimulator::ThresholdReport TransientSimulator::measure_crossings(
   double t = 0.0;
   const auto total_steps = static_cast<std::size_t>(std::ceil(t_max_ / h_));
 
+  const bool stop_engaged = options_.stop.engaged();
   for (std::size_t step = 1; step <= total_steps && pending > 0; ++step) {
     // A crossing found in this step interpolates into [t, t + h], so once
     // the previous step time t is strictly past the cutoff, every pending
     // node's crossing provably exceeds it -- stop and leave them at +inf.
     if (t > give_up_after_s) break;
+    if (is_poll_step(step)) {
+      NTR_FAULT_POINT(kTransientDeadline);
+      NTR_FAULT_POINT(kTransientNonFinite);
+      if (stop_engaged) options_.stop.throw_if_stopped("transient march");
+    }
     const bool use_be = options_.method == Integration::kBackwardEuler ||
                         step <= options_.startup_be_steps;
     advance(x, use_be);
@@ -250,6 +296,7 @@ TransientSimulator::ThresholdReport TransientSimulator::measure_crossings(
     for (std::size_t k = 0; k < watch.size(); ++k) {
       if (report.crossing_s[k] != kInf || threshold[k] == kInf) continue;
       const double v = mna_.node_voltage(x, watch[k]);
+      if (!std::isfinite(v)) throw_non_finite("measure_crossings", watch[k], t_next);
       if (v >= threshold[k]) {
         const double dv = v - prev[k];
         const double frac = dv > 0.0 ? (threshold[k] - prev[k]) / dv : 1.0;
@@ -307,13 +354,21 @@ TransientSimulator::MultiThresholdReport TransientSimulator::measure_multi_cross
   double t = 0.0;
   const auto total_steps = static_cast<std::size_t>(std::ceil(t_max_ / h_));
 
+  const bool stop_engaged = options_.stop.engaged();
   for (std::size_t step = 1; step <= total_steps && pending > 0; ++step) {
+    if (is_poll_step(step)) {
+      NTR_FAULT_POINT(kTransientDeadline);
+      if (stop_engaged) options_.stop.throw_if_stopped("transient multi march");
+    }
     const bool use_be = options_.method == Integration::kBackwardEuler ||
                         step <= options_.startup_be_steps;
     advance(x, use_be);
     for (std::size_t k = 0; k < watch.size(); ++k) {
       if (!reachable[k]) continue;
       const double v = mna_.node_voltage(x, watch[k]);
+      if (!std::isfinite(v))
+        throw_non_finite("measure_multi_crossings", watch[k],
+                         static_cast<double>(step) * h_);
       while (next_fraction[k] < fractions.size()) {
         const double threshold = fractions[next_fraction[k]] * report.final_v[k];
         if (v < threshold) break;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "linalg/dense_matrix.h"
+#include "runtime/stop.h"
 #include "sim/mna.h"
 #include "spice/netlist.h"
 
@@ -28,6 +29,11 @@ struct TransientOptions {
   unsigned startup_be_steps = 2;
   double steps_per_tau = 200.0;
   double max_tau_multiple = 40.0;
+  /// Cooperative deadline/cancellation, polled every 64 steps of the
+  /// time-march loops. An un-engaged token (the default) costs one bool
+  /// test per poll and leaves every waveform bit-identical. A tripped
+  /// token unwinds with NtrError (kTimeout / kCancelled).
+  runtime::StopToken stop{};
 };
 
 /// Step-response transient engine over an assembled MNA system. This is

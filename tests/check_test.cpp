@@ -321,6 +321,30 @@ TEST_F(CheckTest, LintFlagsStdoutInLibraryCodeOnly) {
                   .empty());
 }
 
+TEST_F(CheckTest, LintFlagsUntypedThrowOnHotPathsOnly) {
+  const std::string bad = "throw std::runtime_error(\"singular\");\n";
+  EXPECT_TRUE(flags_rule(ntr::check::lint_source("src/core/foo.cpp", bad),
+                         "untyped-throw"));
+  EXPECT_TRUE(flags_rule(ntr::check::lint_source("src/sim/foo.cpp", bad),
+                         "untyped-throw"));
+  EXPECT_TRUE(flags_rule(ntr::check::lint_source("src/linalg/foo.cpp", bad),
+                         "untyped-throw"));
+  EXPECT_TRUE(flags_rule(ntr::check::lint_source("src/flow/foo.cpp", bad),
+                         "untyped-throw"));
+  // Cold paths (viz, tools) and typed throws are out of scope.
+  EXPECT_TRUE(ntr::check::lint_source("src/viz/foo.cpp", bad).empty());
+  EXPECT_TRUE(ntr::check::lint_source(
+                  "src/sim/foo.cpp",
+                  "throw runtime::NtrError(code, \"singular\");\n")
+                  .empty());
+  // Mentioning the type in a doc comment is fine.
+  EXPECT_TRUE(ntr::check::lint_source(
+                  "src/sim/foo.h",
+                  "#pragma once\n"
+                  "/// Throws std::runtime_error on failure.\n")
+                  .empty());
+}
+
 TEST_F(CheckTest, LintSuppressionComments) {
   EXPECT_TRUE(ntr::check::lint_source(
                   "src/core/foo.cpp",
@@ -347,7 +371,7 @@ TEST_F(CheckTest, LintDetectsEverySeededFixtureViolation) {
   const std::filesystem::path fixtures[] = {tests_dir / "lint_fixtures"};
   const auto ds = ntr::check::lint_paths(root, fixtures);
   for (const char* rule : {"raw-assert", "pragma-once", "using-namespace-header",
-                           "unseeded-rng", "cout-in-library"}) {
+                           "unseeded-rng", "cout-in-library", "untyped-throw"}) {
     EXPECT_TRUE(flags_rule(ds, rule)) << "fixture corpus missing rule " << rule;
   }
   for (const LintDiagnostic& d : ds) EXPECT_NE(d.rule, "io") << d.file;

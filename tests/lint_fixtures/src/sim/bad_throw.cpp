@@ -1,0 +1,6 @@
+// Lint fixture: untyped throw on a (pretend) simulator hot path.
+#include <stdexcept>
+
+void fixture_fail(int n) {
+  if (n < 0) throw std::runtime_error("fixture: negative step count");
+}

@@ -1,0 +1,220 @@
+// Tests for the runtime layer: the typed error channel (Status /
+// StatusOr / NtrError) and cooperative stopping (Deadline, CancelToken,
+// StopToken).
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <new>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "runtime/status.h"
+#include "runtime/stop.h"
+
+namespace {
+
+using ntr::runtime::CancelSource;
+using ntr::runtime::CancelToken;
+using ntr::runtime::Deadline;
+using ntr::runtime::exception_to_status;
+using ntr::runtime::NtrError;
+using ntr::runtime::Status;
+using ntr::runtime::StatusCode;
+using ntr::runtime::StatusOr;
+using ntr::runtime::StopToken;
+
+// ------------------------------------------------------------------ Status
+
+TEST(Status, DefaultConstructedIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  const Status s(StatusCode::kSingular, "pivot collapsed");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kSingular);
+  EXPECT_EQ(s.message(), "pivot collapsed");
+  EXPECT_EQ(s.to_string(), "singular: pivot collapsed");
+}
+
+TEST(Status, EveryCodeHasAStableName) {
+  EXPECT_STREQ(ntr::runtime::status_code_name(StatusCode::kOk), "ok");
+  EXPECT_STREQ(ntr::runtime::status_code_name(StatusCode::kBadInput),
+               "bad-input");
+  EXPECT_STREQ(ntr::runtime::status_code_name(StatusCode::kIoError), "io-error");
+  EXPECT_STREQ(ntr::runtime::status_code_name(StatusCode::kSingular),
+               "singular");
+  EXPECT_STREQ(ntr::runtime::status_code_name(StatusCode::kNonFinite),
+               "non-finite");
+  EXPECT_STREQ(ntr::runtime::status_code_name(StatusCode::kTimeout), "timeout");
+  EXPECT_STREQ(ntr::runtime::status_code_name(StatusCode::kCancelled),
+               "cancelled");
+  EXPECT_STREQ(ntr::runtime::status_code_name(StatusCode::kResourceExhausted),
+               "resource-exhausted");
+  EXPECT_STREQ(ntr::runtime::status_code_name(StatusCode::kInternal),
+               "internal");
+}
+
+// ---------------------------------------------------------------- NtrError
+
+TEST(NtrError, IsARuntimeErrorWithACode) {
+  const NtrError e(StatusCode::kNonFinite, "NaN at node 3");
+  EXPECT_EQ(e.code(), StatusCode::kNonFinite);
+  EXPECT_STREQ(e.what(), "NaN at node 3");
+  // Pre-existing catch sites keyed on std::runtime_error must still work.
+  const std::runtime_error& base = e;
+  EXPECT_STREQ(base.what(), "NaN at node 3");
+  const Status s = e.to_status();
+  EXPECT_EQ(s.code(), StatusCode::kNonFinite);
+  EXPECT_EQ(s.message(), "NaN at node 3");
+}
+
+TEST(ExceptionToStatus, MapsTheStandardHierarchy) {
+  EXPECT_EQ(exception_to_status(NtrError(StatusCode::kTimeout, "t")).code(),
+            StatusCode::kTimeout);
+  EXPECT_EQ(exception_to_status(std::invalid_argument("bad")).code(),
+            StatusCode::kBadInput);
+  EXPECT_EQ(exception_to_status(std::out_of_range("oob")).code(),
+            StatusCode::kBadInput);
+  EXPECT_EQ(exception_to_status(std::bad_alloc()).code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(exception_to_status(std::logic_error("contract")).code(),
+            StatusCode::kInternal);
+  EXPECT_EQ(exception_to_status(std::runtime_error("misc")).code(),
+            StatusCode::kInternal);
+}
+
+// ---------------------------------------------------------------- StatusOr
+
+TEST(StatusOr, HoldsAValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOr, HoldsAStatus) {
+  const StatusOr<int> v(Status(StatusCode::kSingular, "no pivot"));
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kSingular);
+}
+
+TEST(StatusOr, ValueAccessOnErrorThrowsTyped) {
+  const StatusOr<int> v(Status(StatusCode::kTimeout, "late"));
+  try {
+    (void)v.value();
+    FAIL() << "value() on an error did not throw";
+  } catch (const NtrError& e) {
+    EXPECT_EQ(e.code(), StatusCode::kTimeout);
+  }
+}
+
+TEST(StatusOr, RejectsOkStatus) {
+  EXPECT_THROW(StatusOr<int>(Status::ok_status()), std::logic_error);
+}
+
+// ---------------------------------------------------------------- Deadline
+
+TEST(Deadline, DefaultIsUnbounded) {
+  const Deadline d;
+  EXPECT_TRUE(d.unbounded());
+  EXPECT_FALSE(d.expired());
+  EXPECT_EQ(d.remaining_s(), std::numeric_limits<double>::infinity());
+}
+
+TEST(Deadline, ZeroBudgetExpiresImmediately) {
+  const Deadline d = Deadline::after_ms(0.0);
+  EXPECT_FALSE(d.unbounded());
+  EXPECT_TRUE(d.expired());
+  EXPECT_EQ(d.remaining_s(), 0.0);
+}
+
+TEST(Deadline, FarFutureIsNotExpired) {
+  const Deadline d = Deadline::after_s(3600.0);
+  EXPECT_FALSE(d.unbounded());
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remaining_s(), 3000.0);
+}
+
+TEST(Deadline, NegativeBudgetClampsToNow) {
+  EXPECT_TRUE(Deadline::after_ms(-5.0).expired());
+}
+
+// ------------------------------------------------------------ cancellation
+
+TEST(Cancel, DefaultTokenNeverCancels) {
+  const CancelToken t;
+  EXPECT_FALSE(t.valid());
+  EXPECT_FALSE(t.cancelled());
+}
+
+TEST(Cancel, SourceTripsItsTokens) {
+  CancelSource source;
+  const CancelToken t = source.token();
+  EXPECT_TRUE(t.valid());
+  EXPECT_FALSE(t.cancelled());
+  source.request_cancel();
+  EXPECT_TRUE(t.cancelled());
+  EXPECT_TRUE(source.cancel_requested());
+  // Sticky: a second request is a no-op, tokens stay tripped.
+  source.request_cancel();
+  EXPECT_TRUE(t.cancelled());
+}
+
+TEST(Cancel, CancelFromAnotherThreadIsObserved) {
+  CancelSource source;
+  const CancelToken t = source.token();
+  std::thread watchdog([&source] { source.request_cancel(); });
+  watchdog.join();
+  EXPECT_TRUE(t.cancelled());
+}
+
+// ---------------------------------------------------------------- StopToken
+
+TEST(StopToken, DefaultIsNotEngagedAndPollsOk) {
+  const StopToken stop;
+  EXPECT_FALSE(stop.engaged());
+  EXPECT_EQ(stop.poll(), StatusCode::kOk);
+  EXPECT_NO_THROW(stop.throw_if_stopped("test loop"));
+}
+
+TEST(StopToken, ExpiredDeadlinePollsTimeout) {
+  StopToken stop;
+  stop.deadline = Deadline::after_ms(0.0);
+  EXPECT_TRUE(stop.engaged());
+  EXPECT_EQ(stop.poll(), StatusCode::kTimeout);
+  try {
+    stop.throw_if_stopped("ldrg round");
+    FAIL() << "expired deadline did not throw";
+  } catch (const NtrError& e) {
+    EXPECT_EQ(e.code(), StatusCode::kTimeout);
+    EXPECT_NE(std::string(e.what()).find("ldrg round"), std::string::npos);
+  }
+}
+
+TEST(StopToken, CancellationBeatsAnExpiredDeadline) {
+  CancelSource source;
+  source.request_cancel();
+  StopToken stop;
+  stop.deadline = Deadline::after_ms(0.0);
+  stop.cancel = source.token();
+  EXPECT_EQ(stop.poll(), StatusCode::kCancelled);
+}
+
+TEST(StopToken, LiveTokenIsEngagedButOk) {
+  CancelSource source;
+  StopToken stop;
+  stop.cancel = source.token();
+  EXPECT_TRUE(stop.engaged());
+  EXPECT_EQ(stop.poll(), StatusCode::kOk);
+  source.request_cancel();
+  EXPECT_EQ(stop.poll(), StatusCode::kCancelled);
+}
+
+}  // namespace

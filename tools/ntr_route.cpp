@@ -12,8 +12,10 @@
 #include <sstream>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "core/resilience.h"
 #include "core/solver.h"
 #include "delay/evaluator.h"
 #include "expt/net_generator.h"
@@ -22,6 +24,8 @@
 #include "graph/metrics.h"
 #include "route/brbc.h"
 #include "route/constructions.h"
+#include "runtime/status.h"
+#include "runtime/stop.h"
 #include "spice/deck_io.h"
 #include "spice/graph_netlist.h"
 #include "spice/spef.h"
@@ -31,13 +35,23 @@
 namespace {
 
 std::unique_ptr<ntr::delay::DelayEvaluator> make_evaluator(
-    const std::string& name, const ntr::spice::Technology& tech) {
+    const std::string& name, const ntr::spice::Technology& tech,
+    const ntr::runtime::StopToken& stop) {
   if (name == "elmore")
     return std::make_unique<ntr::delay::ElmoreTreeEvaluator>(tech);
   if (name == "graph-elmore")
     return std::make_unique<ntr::delay::GraphElmoreEvaluator>(tech);
   if (name == "d2m") return std::make_unique<ntr::delay::TwoPoleEvaluator>(tech);
-  return std::make_unique<ntr::delay::TransientEvaluator>(tech);
+  ntr::sim::TransientOptions transient;
+  transient.stop = stop;
+  return std::make_unique<ntr::delay::TransientEvaluator>(
+      tech, ntr::spice::NetlistOptions{}, transient);
+}
+
+void write_report_json(const std::string& path,
+                       const ntr::core::NetOutcome& outcome) {
+  std::ofstream out(path);
+  out << ntr::core::outcomes_to_json({&outcome, 1}) << "\n";
 }
 
 }  // namespace
@@ -49,15 +63,19 @@ int main(int argc, char** argv) {
     opts = ntr::io::parse_cli(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "ntr_route: %s\n", e.what());
-    return 2;
+    return ntr::io::kExitUsage;
   }
   if (opts.help || args.empty()) {
     std::fputs(ntr::io::cli_usage().c_str(), stdout);
-    return 0;
+    return ntr::io::kExitOk;
   }
 
   try {
     const ntr::spice::Technology tech = ntr::spice::kTable1Technology;
+
+    ntr::runtime::StopToken stop;
+    if (opts.deadline_ms > 0.0)
+      stop.deadline = ntr::runtime::Deadline::after_ms(opts.deadline_ms);
 
     ntr::graph::Net net;
     if (!opts.net_file.empty()) {
@@ -68,7 +86,10 @@ int main(int argc, char** argv) {
     }
 
     const std::unique_ptr<ntr::delay::DelayEvaluator> evaluator =
-        make_evaluator(opts.evaluator, tech);
+        make_evaluator(opts.evaluator, tech, stop);
+
+    ntr::core::NetOutcome outcome;
+    outcome.net_name = opts.net_file.empty() ? "random" : opts.net_file;
 
     ntr::graph::RoutingGraph routing;
     std::string label;
@@ -83,12 +104,44 @@ int main(int argc, char** argv) {
       config.tech = tech;
       config.ldrg.max_added_edges = opts.max_edges;
       config.parallel.num_threads = opts.threads;
-      routing =
-          ntr::core::solve(net, opts.strategy, *evaluator, config).graph;
+      ntr::core::ResilienceOptions resilience;
+      resilience.on_error = opts.on_error;
+      resilience.stop = stop;
+      ntr::core::GuardedSolution guarded = ntr::core::solve_resilient(
+          net, opts.strategy, *evaluator, config, resilience);
+      outcome = std::move(guarded.outcome);
+      outcome.net_name = opts.net_file.empty() ? "random" : opts.net_file;
+      if (!guarded.solution) {
+        std::fprintf(stderr, "ntr_route: net quarantined: %s\n",
+                     outcome.status.to_string().c_str());
+        if (!opts.report_json_path.empty())
+          write_report_json(opts.report_json_path, outcome);
+        // Under --on-error skip a dropped net is the requested behavior,
+        // not a failure; fail/degrade surface the typed exit code.
+        return opts.on_error == ntr::core::OnError::kSkip
+                   ? ntr::io::kExitOk
+                   : ntr::io::exit_code_for(outcome.status);
+      }
+      routing = std::move(guarded.solution->graph);
       label = ntr::core::strategy_name(opts.strategy);
+      if (outcome.disposition != ntr::core::NetDisposition::kOk) {
+        label += " [degraded rung " + std::to_string(outcome.rung) + "]";
+        std::fprintf(stderr, "ntr_route: degraded to rung %d: %s\n",
+                     outcome.rung, outcome.status.to_string().c_str());
+      }
     }
+    if (!opts.report_json_path.empty())
+      write_report_json(opts.report_json_path, outcome);
 
-    const std::vector<double> sink_delays = evaluator->sink_delays(routing);
+    // A degraded routing was produced by the Elmore rungs; measuring it
+    // with the primary (transient) evaluator could just re-hit the
+    // failure that forced the fallback, so report with the rung's model.
+    const ntr::delay::GraphElmoreEvaluator elmore(tech);
+    const ntr::delay::DelayEvaluator& reporter =
+        outcome.disposition == ntr::core::NetDisposition::kOk
+            ? *evaluator
+            : static_cast<const ntr::delay::DelayEvaluator&>(elmore);
+    const std::vector<double> sink_delays = reporter.sink_delays(routing);
     double max_delay = 0.0;
     for (const double d : sink_delays) max_delay = std::max(max_delay, d);
 
@@ -137,8 +190,9 @@ int main(int argc, char** argv) {
       std::printf("  wrote %s\n", opts.routing_path.c_str());
     }
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "ntr_route: %s\n", e.what());
-    return 1;
+    const ntr::runtime::Status status = ntr::runtime::exception_to_status(e);
+    std::fprintf(stderr, "ntr_route: %s\n", status.to_string().c_str());
+    return ntr::io::exit_code_for(status);
   }
-  return 0;
+  return ntr::io::kExitOk;
 }
