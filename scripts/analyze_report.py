@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Per-rule ntr_analyze finding counts, ratcheted against a baseline.
+
+Reads the findings JSON emitted by `ntr_analyze --json`, aggregates a
+{rule: count} report, writes it to --out, and diffs it against the
+checked-in baseline (scripts/analyze_baseline.json):
+
+  * any rule whose count EXCEEDS its baseline fails the run (exit 1) --
+    new structural debt cannot land;
+  * a count BELOW its baseline prints a ratchet reminder: lower the
+    baseline in the same change so the improvement is locked in;
+  * rules absent from the baseline default to 0 (new rules start strict).
+
+Run with --update to rewrite the baseline from the current counts after
+an intentional ratchet-down.
+"""
+
+import argparse
+import json
+import sys
+from collections import Counter
+
+
+def load_counts(findings_path: str) -> Counter:
+    with open(findings_path, encoding="utf-8") as f:
+        findings = json.load(f)
+    if not isinstance(findings, list):
+        raise SystemExit(f"{findings_path}: expected a JSON array of findings")
+    return Counter(d["rule"] for d in findings)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--findings", required=True,
+                        help="JSON array from ntr_analyze --json")
+    parser.add_argument("--baseline", required=True,
+                        help="checked-in {rule: count} ceiling")
+    parser.add_argument("--out", default=None,
+                        help="write the current {rule: count} report here")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite --baseline from the current counts")
+    args = parser.parse_args()
+
+    counts = load_counts(args.findings)
+    with open(args.baseline, encoding="utf-8") as f:
+        baseline = json.load(f)
+
+    report = {rule: counts.get(rule, 0)
+              for rule in sorted(set(baseline) | set(counts))}
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as f:
+            json.dump(report, f, indent=2, sort_keys=True)
+            f.write("\n")
+
+    failed = False
+    for rule, count in report.items():
+        ceiling = baseline.get(rule, 0)
+        if count > ceiling:
+            print(f"FAIL  {rule}: {count} finding(s), baseline allows {ceiling}")
+            failed = True
+        elif count < ceiling:
+            print(f"ratchet  {rule}: {count} < baseline {ceiling}; "
+                  f"lower the baseline to lock in the improvement")
+        else:
+            print(f"ok    {rule}: {count}")
+
+    if args.update:
+        with open(args.baseline, "w", encoding="utf-8") as f:
+            json.dump(report, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"baseline updated: {args.baseline}")
+
+    if failed:
+        print("ntr_analyze findings exceed the baseline; fix them or, for a "
+              "deliberate exception, use an ntr-lint-allow(<rule>) comment.")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

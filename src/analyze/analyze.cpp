@@ -1,0 +1,42 @@
+#include "analyze/analyze.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "analyze/concurrency.h"
+#include "analyze/include_hygiene.h"
+#include "analyze/layering.h"
+
+namespace ntr::analyze {
+
+AnalyzeResult analyze(const AnalyzeOptions& options) {
+  AnalyzeResult result;
+
+  std::filesystem::path conf = options.layer_config_path;
+  if (conf.empty()) conf = options.root / "docs" / "layering.conf";
+  result.config = load_layer_config(conf, result.error);
+  if (!result.error.empty()) return result;
+
+  std::vector<std::filesystem::path> paths = options.paths;
+  if (paths.empty()) paths = {"src", "tools", "tests"};
+  result.project = load_project(options.root, paths);
+
+  auto append = [&](std::vector<check::LintDiagnostic> findings) {
+    result.findings.insert(result.findings.end(),
+                           std::make_move_iterator(findings.begin()),
+                           std::make_move_iterator(findings.end()));
+  };
+  if (options.layering) append(check_layering(result.project, result.config));
+  if (options.include_cycles) append(check_include_cycles(result.project));
+  if (options.concurrency) append(check_concurrency(result.project));
+  if (options.include_hygiene) append(check_include_hygiene(result.project));
+
+  std::sort(result.findings.begin(), result.findings.end(),
+            [](const check::LintDiagnostic& a, const check::LintDiagnostic& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+  return result;
+}
+
+}  // namespace ntr::analyze

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "analyze/include_graph.h"
+#include "analyze/layering.h"
+#include "analyze/source_model.h"
+#include "check/lint.h"
+
+namespace ntr::analyze {
+
+/// Whole-project run configuration for ntr_analyze. Empty `paths`
+/// defaults to {src, tools, tests}; empty `layer_config_path` defaults
+/// to `<root>/docs/layering.conf`.
+struct AnalyzeOptions {
+  std::filesystem::path root;
+  std::vector<std::filesystem::path> paths;
+  std::filesystem::path layer_config_path;
+  bool layering = true;
+  bool include_cycles = true;
+  bool concurrency = true;
+  bool include_hygiene = true;
+};
+
+/// Everything a caller needs: the findings (sorted by file/line/rule),
+/// the scanned project and layer config (so the CLI can render the DOT
+/// figure without re-scanning), and a fatal `error` -- unreadable or
+/// malformed layering.conf -- which callers map to exit code 2.
+struct AnalyzeResult {
+  std::vector<check::LintDiagnostic> findings;
+  Project project;
+  LayerConfig config;
+  std::string error;
+};
+
+/// Runs every enabled pass over the project under `options.root`.
+[[nodiscard]] AnalyzeResult analyze(const AnalyzeOptions& options);
+
+}  // namespace ntr::analyze

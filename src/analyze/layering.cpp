@@ -1,0 +1,105 @@
+#include "analyze/layering.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace ntr::analyze {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r'))
+    s.remove_suffix(1);
+  return s;
+}
+
+}  // namespace
+
+int LayerConfig::layer_of(std::string_view module) const {
+  const auto it = layer_index_.find(module);
+  return it == layer_index_.end() ? -1 : it->second;
+}
+
+std::string_view LayerConfig::layer_name(std::string_view module) const {
+  const int i = layer_of(module);
+  return i < 0 ? std::string_view{} : layers[static_cast<std::size_t>(i)].name;
+}
+
+bool LayerConfig::allows(std::string_view from, std::string_view to) const {
+  const int lf = layer_of(from);
+  const int lt = layer_of(to);
+  if (lf < 0 || lt < 0) return true;  // undeclared: reported as unknown-module
+  return lt <= lf;
+}
+
+LayerConfig parse_layer_config(std::string_view text, std::string& error) {
+  LayerConfig config;
+  error.clear();
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  while (start <= text.size() && error.empty()) {
+    const std::size_t eol = text.find('\n', start);
+    const std::string_view raw =
+        text.substr(start, eol == std::string_view::npos ? text.size() - start
+                                                         : eol - start);
+    start = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+
+    std::string_view line = trim(raw);
+    if (const std::size_t hash = line.find('#'); hash != std::string_view::npos)
+      line = trim(line.substr(0, hash));
+    if (line.empty()) continue;
+
+    if (!line.starts_with("layer ")) {
+      error = "layering.conf:" + std::to_string(line_no) +
+              ": expected `layer <name>: <module> ...`";
+      break;
+    }
+    line.remove_prefix(6);
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      error = "layering.conf:" + std::to_string(line_no) +
+              ": missing ':' after layer name";
+      break;
+    }
+    LayerConfig::Layer layer;
+    layer.name = std::string(trim(line.substr(0, colon)));
+    if (layer.name.empty()) {
+      error = "layering.conf:" + std::to_string(line_no) + ": empty layer name";
+      break;
+    }
+    std::istringstream modules{std::string(line.substr(colon + 1))};
+    for (std::string m; modules >> m;) {
+      if (config.layer_index_.contains(m)) {
+        error = "layering.conf:" + std::to_string(line_no) + ": module '" + m +
+                "' declared in two layers";
+        break;
+      }
+      config.layer_index_.emplace(m, static_cast<int>(config.layers.size()));
+      layer.modules.push_back(std::move(m));
+    }
+    if (!error.empty()) break;
+    if (layer.modules.empty()) {
+      error = "layering.conf:" + std::to_string(line_no) + ": layer '" +
+              layer.name + "' lists no modules";
+      break;
+    }
+    config.layers.push_back(std::move(layer));
+  }
+  return config;
+}
+
+LayerConfig load_layer_config(const std::filesystem::path& path,
+                              std::string& error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    error = "cannot read layer config: " + path.generic_string();
+    return {};
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_layer_config(buffer.str(), error);
+}
+
+}  // namespace ntr::analyze

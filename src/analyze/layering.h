@@ -1,0 +1,54 @@
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ntr::analyze {
+
+/// The declared module-layer DAG, loaded from docs/layering.conf. The
+/// file is a sequence of layer declarations, lowest layer first:
+///
+///     # comment
+///     layer base: runtime check
+///     layer foundation: geom linalg graph spice
+///     layer engines: sim delay steiner
+///     ...
+///
+/// A module may include modules of its own layer (cycles are caught by
+/// the include-cycle pass) or of any lower layer; an include that reaches
+/// *up* is a layering violation. Every module that appears in the scanned
+/// tree must be declared in exactly one layer.
+struct LayerConfig {
+  struct Layer {
+    std::string name;
+    std::vector<std::string> modules;
+  };
+  std::vector<Layer> layers;  ///< index 0 = lowest
+
+  /// Layer index of `module`, or -1 when undeclared.
+  [[nodiscard]] int layer_of(std::string_view module) const;
+  [[nodiscard]] std::string_view layer_name(std::string_view module) const;
+
+  /// True when `from` may include `to`: both declared and
+  /// layer(to) <= layer(from). Undeclared modules are reported separately
+  /// (unknown-module), so this returns true for them to avoid cascades.
+  [[nodiscard]] bool allows(std::string_view from, std::string_view to) const;
+
+ private:
+  friend LayerConfig parse_layer_config(std::string_view, std::string&);
+  std::map<std::string, int, std::less<>> layer_index_;
+};
+
+/// Parses the conf text. On malformed input returns a partially filled
+/// config and sets `error` (empty on success).
+[[nodiscard]] LayerConfig parse_layer_config(std::string_view text,
+                                             std::string& error);
+
+/// Reads and parses `path`; an unreadable file sets `error`.
+[[nodiscard]] LayerConfig load_layer_config(const std::filesystem::path& path,
+                                            std::string& error);
+
+}  // namespace ntr::analyze

@@ -5,6 +5,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "check/cpp_lexer.h"
+
 namespace ntr::check {
 
 namespace {
@@ -65,87 +67,16 @@ bool is_header(std::string_view path) {
   return path.ends_with(".h") || path.ends_with(".hpp");
 }
 
-struct Stripper {
-  enum class State { kCode, kBlockComment } state = State::kCode;
+}  // namespace
 
-  /// Removes comments and string/char literal contents from one line,
-  /// carrying block-comment state across lines. Stripped spans are
-  /// blanked (not deleted) so column positions survive.
-  std::string strip(std::string_view line) {
-    std::string out(line);
-    std::size_t i = 0;
-    const auto blank = [&](std::size_t from, std::size_t to) {
-      for (std::size_t k = from; k < to && k < out.size(); ++k) out[k] = ' ';
-    };
-    while (i < out.size()) {
-      if (state == State::kBlockComment) {
-        const std::size_t close = out.find("*/", i);
-        if (close == std::string::npos) {
-          blank(i, out.size());
-          return out;
-        }
-        blank(i, close + 2);
-        state = State::kCode;
-        i = close + 2;
-        continue;
-      }
-      const char c = out[i];
-      if (c == '/' && i + 1 < out.size() && out[i + 1] == '/') {
-        blank(i, out.size());
-        return out;
-      }
-      if (c == '/' && i + 1 < out.size() && out[i + 1] == '*') {
-        state = State::kBlockComment;
-        blank(i, i + 2);
-        i += 2;
-        continue;
-      }
-      if (c == '"' && i > 0 && out[i - 1] == 'R') {
-        // Raw string literal: R"delim( ... )delim". Content confined to
-        // one line in this codebase; anything unterminated is blanked.
-        const std::size_t open = out.find('(', i);
-        if (open == std::string::npos) {
-          blank(i, out.size());
-          return out;
-        }
-        const std::string close = ")" + out.substr(i + 1, open - i - 1) + "\"";
-        const std::size_t endpos = out.find(close, open);
-        const std::size_t stop =
-            endpos == std::string::npos ? out.size() : endpos + close.size();
-        blank(i - 1, stop);
-        i = stop;
-        continue;
-      }
-      // A ' directly after an identifier character is a digit separator
-      // (1'000'000) or part of a literal suffix, not a char literal.
-      if (c == '"' || (c == '\'' && (i == 0 || !is_ident(out[i - 1])))) {
-        const char quote = c;
-        std::size_t j = i + 1;
-        while (j < out.size() && out[j] != quote) {
-          if (out[j] == '\\') ++j;
-          ++j;
-        }
-        const std::size_t stop = j < out.size() ? j + 1 : out.size();
-        blank(i, stop);
-        i = stop;
-        continue;
-      }
-      ++i;
-    }
-    return out;
-  }
-};
-
-bool suppressed(std::string_view raw_line, std::string_view file_content,
-                std::string_view rule) {
+bool lint_suppressed(std::string_view raw_line, std::string_view file_content,
+                     std::string_view rule) {
   const std::string line_tag = "ntr-lint-allow(" + std::string(rule) + ")";
   if (raw_line.find(line_tag) != std::string_view::npos) return true;
   if (raw_line.find("ntr-lint-allow(all)") != std::string_view::npos) return true;
   const std::string file_tag = "ntr-lint-allow-file(" + std::string(rule) + ")";
   return file_content.find(file_tag) != std::string_view::npos;
 }
-
-}  // namespace
 
 std::string format(const LintDiagnostic& d) {
   return d.file + ":" + std::to_string(d.line) + ": [" + d.rule + "] " + d.message;
@@ -162,22 +93,23 @@ std::vector<LintDiagnostic> lint_source(std::string_view path,
       path.find("src/core/") != std::string_view::npos ||
       path.find("src/sim/") != std::string_view::npos ||
       path.find("src/flow/") != std::string_view::npos ||
-      path.find("src/linalg/") != std::string_view::npos;
+      path.find("src/linalg/") != std::string_view::npos ||
+      path.find("src/runtime/") != std::string_view::npos ||
+      path.find("src/delay/") != std::string_view::npos;
 
   const auto report = [&](std::string_view raw_line, std::size_t line,
                           std::string_view rule, std::string message) {
-    if (suppressed(raw_line, content, rule)) return;
+    if (lint_suppressed(raw_line, content, rule)) return;
     out.push_back(LintDiagnostic{std::string(path), line, std::string(rule),
                                  std::move(message)});
   };
 
-  Stripper stripper;
+  const LexedSource lexed = lex_source(content);
   bool pragma_once_seen = false;
-  std::size_t line_no = 0;
-  std::istringstream lines{std::string(content)};
-  for (std::string raw; std::getline(lines, raw);) {
-    ++line_no;
-    const std::string code = stripper.strip(raw);
+  for (std::size_t li = 0; li < lexed.raw_lines.size(); ++li) {
+    const std::size_t line_no = li + 1;
+    const std::string& raw = lexed.raw_lines[li];
+    const std::string& code = lexed.stripped_lines[li];
 
     if (code.find("#pragma once") != std::string::npos) pragma_once_seen = true;
 
@@ -220,7 +152,7 @@ std::vector<LintDiagnostic> lint_source(std::string_view path,
     if (typed_throw_scope && has_token(code, "throw", /*require_call=*/false) &&
         code.find("std::runtime_error") != std::string::npos) {
       report(raw, line_no, "untyped-throw",
-             "solver/sim/flow hot paths must throw typed "
+             "solver/sim/flow/delay/runtime hot paths must throw typed "
              "ntr::runtime::NtrError (with a StatusCode), not bare "
              "std::runtime_error");
     }
@@ -265,7 +197,7 @@ std::vector<LintDiagnostic> lint_paths(
       const std::string name = p.filename().string();
       if (std::filesystem::is_directory(p)) {
         if (name.empty() || name.front() == '.' || name.starts_with("build") ||
-            name == "lint_fixtures")
+            name == "lint_fixtures" || name == "analyze_fixtures")
           continue;
         self(p, self);
       } else if (scannable(p)) {

@@ -32,6 +32,9 @@ struct LintDiagnostic {
 ///                          randomness is always injected and seeded)
 ///   cout-in-library        src/: no std::cout / bare printf in library
 ///                          code (tools, benches and examples may print)
+///   untyped-throw          src/{core,sim,flow,linalg,runtime,delay}/: throw
+///                          typed ntr::runtime::NtrError on hot paths, not
+///                          bare std::runtime_error
 ///
 /// Comments and string/char literals are ignored. A line containing
 /// `ntr-lint-allow(<rule>)` (or `ntr-lint-allow(all)`) suppresses findings
@@ -39,6 +42,15 @@ struct LintDiagnostic {
 /// the file suppresses the rule for the whole file.
 [[nodiscard]] std::vector<LintDiagnostic> lint_source(std::string_view path,
                                                       std::string_view content);
+
+/// The suppression predicate behind `ntr-lint-allow(...)`, shared with the
+/// `ntr_analyze` passes so every static-analysis finding in the repo obeys
+/// one syntax: true when `raw_line` carries `ntr-lint-allow(<rule>)` or
+/// `ntr-lint-allow(all)`, or `file_content` carries
+/// `ntr-lint-allow-file(<rule>)` anywhere.
+[[nodiscard]] bool lint_suppressed(std::string_view raw_line,
+                                   std::string_view file_content,
+                                   std::string_view rule);
 
 /// Reads and scans one file. `repo_root` is stripped from the reported
 /// path. Unreadable files yield a single diagnostic under rule "io".

@@ -8,7 +8,8 @@
 
 #include "check/contracts.h"
 #include "check/faultinject.h"
-#include "check/validate_graph.h"
+#include "graph/validate.h"
+#include "runtime/status.h"
 
 namespace ntr::core {
 
@@ -201,7 +202,7 @@ LdrgResult ldrg(const graph::RoutingGraph& initial,
   NTR_CHECK(result.final_cost <=
             std::max(result.initial_cost, cost_budget) * (1.0 + 1e-12));
   NTR_DCHECK(check::require(
-      check::validate_graph(result.graph, {.require_connected = true}),
+      graph::validate_graph(result.graph, {.require_connected = true}),
       "ldrg postcondition"));
   return result;
 }

@@ -9,6 +9,8 @@
 #include "check/faultinject.h"
 #include "core/parallel.h"
 #include "delay/screener.h"
+#include "graph/routing_graph.h"
+#include "runtime/status.h"
 
 namespace ntr::core {
 
@@ -90,13 +92,29 @@ LdrgResult ldrg_screened(const graph::RoutingGraph& initial,
       }
     }
     if (ranked.empty()) break;
+    // Same stop protocol as the verify scan below: one lane observing a
+    // tripped token raises the shared flag, every lane breaks at its next
+    // stride check, and the trip rethrows as a typed error after the join.
+    std::atomic<bool> screen_stop_hit{false};
     parallel_chunks(pool.get(), ranked.size(),
                     [&](std::size_t, std::size_t begin, std::size_t end) {
-                      for (std::size_t i = begin; i < end; ++i)
+                      for (std::size_t i = begin; i < end; ++i) {
+                        if (stop_engaged && (i - begin) % 16 == 0) {
+                          if (screen_stop_hit.load(std::memory_order_relaxed) ||
+                              options.base.stop.poll() !=
+                                  runtime::StatusCode::kOk) {
+                            screen_stop_hit.store(true,
+                                                  std::memory_order_relaxed);
+                            break;
+                          }
+                        }
                         ranked[i].score =
                             screened_objective(screener, result.graph, ranked[i].u,
                                                ranked[i].v, options.base.criticality);
+                      }
                     });
+    if (screen_stop_hit.load(std::memory_order_relaxed))
+      options.base.stop.throw_if_stopped("ldrg_screened screen scan");
     const std::size_t top_k = std::min(options.verify_top_k, ranked.size());
     std::partial_sort(ranked.begin(), ranked.begin() + static_cast<std::ptrdiff_t>(top_k),
                       ranked.end(),

@@ -2,6 +2,7 @@
 
 #include "core/ldrg.h"
 #include "delay/evaluator.h"
+#include "graph/routing_graph.h"
 #include "spice/technology.h"
 
 namespace ntr::core {

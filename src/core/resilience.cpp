@@ -4,6 +4,8 @@
 #include <sstream>
 #include <utility>
 
+#include "delay/evaluator.h"
+
 namespace ntr::core {
 
 namespace {

@@ -6,6 +6,7 @@
 #include <string>
 #include <string_view>
 
+#include "delay/evaluator.h"
 #include "core/solver.h"
 #include "runtime/status.h"
 #include "runtime/stop.h"

@@ -3,7 +3,7 @@
 #include <stdexcept>
 
 #include "check/contracts.h"
-#include "check/validate_graph.h"
+#include "graph/validate.h"
 #include "core/heuristics.h"
 #include "route/constructions.h"
 #include "route/ert.h"
@@ -91,7 +91,7 @@ Solution solve(const graph::Net& net, Strategy strategy,
   // Every strategy must hand back a structurally sound routing of the
   // whole net: sourced at node 0, connected, Manhattan edge lengths.
   NTR_DCHECK(check::require(
-      check::validate_graph(solution.graph,
+      graph::validate_graph(solution.graph,
                             {.require_source = true, .require_connected = true}),
       "solve postcondition"));
   NTR_DCHECK(solution.graph.node_count() >= net.size());

@@ -4,9 +4,11 @@
 #include <vector>
 
 #include "core/ldrg.h"
+#include "core/parallel.h"
 #include "delay/evaluator.h"
 #include "graph/net.h"
 #include "graph/routing_graph.h"
+#include "runtime/stop.h"
 #include "spice/technology.h"
 #include "steiner/iterated_one_steiner.h"
 

@@ -7,6 +7,7 @@
 #include "delay/incremental_elmore.h"
 #include "delay/moments.h"
 #include "delay/two_pole.h"
+#include "spice/netlist.h"
 
 namespace ntr::delay {
 

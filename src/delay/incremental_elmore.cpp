@@ -6,6 +6,7 @@
 
 #include "delay/moments.h"
 #include "geom/point.h"
+#include "linalg/vector_ops.h"
 
 namespace ntr::delay {
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "geom/point.h"
+
 namespace ntr::expt {
 
 graph::Net NetGenerator::random_net(std::size_t pin_count) {

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/parallel.h"
+#include "runtime/stop.h"
 #include "runtime/status.h"
 
 namespace ntr::flow {

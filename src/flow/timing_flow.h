@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/ldrg.h"
+#include "core/parallel.h"
 #include "core/resilience.h"
 #include "delay/evaluator.h"
 #include "graph/net.h"

@@ -4,6 +4,7 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "geom/point.h"
 #include "graph/bridges.h"
 #include "graph/embedding.h"
 #include "graph/paths.h"

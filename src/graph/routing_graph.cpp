@@ -3,7 +3,7 @@
 #include <stdexcept>
 
 #include "check/contracts.h"
-#include "check/validate_graph.h"
+#include "graph/validate.h"
 #include "graph/mst.h"
 #include "graph/union_find.h"
 
@@ -37,7 +37,7 @@ EdgeId RoutingGraph::add_edge(NodeId u, NodeId v) {
   const EdgeId id = edges_.size() - 1;
   adjacency_[u].push_back(id);
   adjacency_[v].push_back(id);
-  NTR_DCHECK(check::require(check::validate_graph(*this),
+  NTR_DCHECK(check::require(validate_graph(*this),
                             "RoutingGraph::add_edge postcondition"));
   return id;
 }
@@ -46,7 +46,7 @@ void RoutingGraph::remove_edge(EdgeId e) {
   if (e >= edges_.size()) throw std::out_of_range("RoutingGraph::remove_edge");
   edges_.erase(edges_.begin() + static_cast<std::ptrdiff_t>(e));
   rebuild_adjacency();
-  NTR_DCHECK(check::require(check::validate_graph(*this),
+  NTR_DCHECK(check::require(validate_graph(*this),
                             "RoutingGraph::remove_edge postcondition"));
 }
 

@@ -13,7 +13,7 @@
 #include "graph/routing_graph.h"
 #include "graph/union_find.h"
 
-namespace ntr::check {
+namespace ntr::graph {
 
 /// Which RoutingGraph invariants to enforce beyond the structural core
 /// (in-range endpoints, no self-loops, no parallel edges, Manhattan edge
@@ -32,15 +32,15 @@ struct GraphValidateOptions {
 /// Validates a raw node/edge set. Exposed separately from the
 /// RoutingGraph overload so tests can feed deliberately corrupted edge
 /// lists that the RoutingGraph mutation API itself refuses to build.
-inline ValidationReport validate_graph(std::span<const graph::GraphNode> nodes,
-                                       std::span<const graph::GraphEdge> edges,
+inline check::ValidationReport validate_graph(std::span<const GraphNode> nodes,
+                                       std::span<const GraphEdge> edges,
                                        const GraphValidateOptions& options = {}) {
-  ValidationReport report;
+  check::ValidationReport report;
   const std::size_t n = nodes.size();
 
-  std::set<std::pair<graph::NodeId, graph::NodeId>> seen;
+  std::set<std::pair<NodeId, NodeId>> seen;
   for (std::size_t e = 0; e < edges.size(); ++e) {
-    const graph::GraphEdge& edge = edges[e];
+    const GraphEdge& edge = edges[e];
     const std::string tag = "edge " + std::to_string(e);
     if (edge.u >= n || edge.v >= n) {
       report.errors.push_back(tag + ": dangling endpoint (" + std::to_string(edge.u) +
@@ -72,11 +72,11 @@ inline ValidationReport validate_graph(std::span<const graph::GraphNode> nodes,
   if (options.require_source) {
     if (n == 0) {
       report.errors.emplace_back("graph is empty but a source node is required");
-    } else if (nodes[0].kind != graph::NodeKind::kSource) {
+    } else if (nodes[0].kind != NodeKind::kSource) {
       report.errors.emplace_back("node 0 is not the source");
     }
     for (std::size_t i = 1; i < n; ++i) {
-      if (nodes[i].kind == graph::NodeKind::kSource) {
+      if (nodes[i].kind == NodeKind::kSource) {
         report.errors.push_back("node " + std::to_string(i) +
                                 " is a second source node");
       }
@@ -84,8 +84,8 @@ inline ValidationReport validate_graph(std::span<const graph::GraphNode> nodes,
   }
 
   if (options.require_connected && n > 0) {
-    graph::UnionFind uf(n);
-    for (const graph::GraphEdge& edge : edges) {
+    UnionFind uf(n);
+    for (const GraphEdge& edge : edges) {
       if (edge.u < n && edge.v < n) uf.unite(edge.u, edge.v);
     }
     if (uf.component_count() != 1) {
@@ -100,21 +100,21 @@ inline ValidationReport validate_graph(std::span<const graph::GraphNode> nodes,
 /// Validates a RoutingGraph, additionally cross-checking the adjacency
 /// index against the edge list (every incident edge id in range, actually
 /// incident, listed exactly once per endpoint, and covering all edges).
-inline ValidationReport validate_graph(const graph::RoutingGraph& g,
+inline check::ValidationReport validate_graph(const RoutingGraph& g,
                                        const GraphValidateOptions& options = {}) {
-  ValidationReport report = validate_graph(g.nodes(), g.edges(), options);
+  check::ValidationReport report = validate_graph(g.nodes(), g.edges(), options);
 
   std::size_t incident_total = 0;
-  for (graph::NodeId node = 0; node < g.node_count(); ++node) {
-    std::set<graph::EdgeId> unique;
-    for (const graph::EdgeId e : g.incident_edges(node)) {
+  for (NodeId node = 0; node < g.node_count(); ++node) {
+    std::set<EdgeId> unique;
+    for (const EdgeId e : g.incident_edges(node)) {
       ++incident_total;
       if (e >= g.edge_count()) {
         report.errors.push_back("adjacency of node " + std::to_string(node) +
                                 ": edge id " + std::to_string(e) + " out of range");
         continue;
       }
-      const graph::GraphEdge& edge = g.edge(e);
+      const GraphEdge& edge = g.edge(e);
       if (edge.u != node && edge.v != node) {
         report.errors.push_back("adjacency of node " + std::to_string(node) +
                                 ": edge " + std::to_string(e) + " is not incident");
@@ -133,4 +133,4 @@ inline ValidationReport validate_graph(const graph::RoutingGraph& g,
   return report;
 }
 
-}  // namespace ntr::check
+}  // namespace ntr::graph

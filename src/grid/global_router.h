@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "graph/net.h"
+#include "grid/grid.h"
 #include "grid/net_router.h"
 
 namespace ntr::grid {

@@ -4,6 +4,7 @@
 #include <span>
 #include <vector>
 
+#include "geom/point.h"
 #include "graph/net.h"
 #include "graph/routing_graph.h"
 #include "grid/grid.h"

@@ -5,6 +5,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "geom/point.h"
+
 namespace ntr::grid {
 
 namespace {

@@ -4,6 +4,7 @@
 
 #include "graph/net.h"
 #include "graph/routing_graph.h"
+#include "grid/grid.h"
 #include "grid/search.h"
 
 namespace ntr::grid {

@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "geom/point.h"
 #include "runtime/status.h"
 
 namespace ntr::io {

@@ -24,59 +24,59 @@
 ///   viz/      SVG rendering of routings
 ///   io/       .net/.route text formats, CLI option parsing
 
-#include "core/exhaustive.h"
-#include "core/heuristics.h"
-#include "core/horg.h"
-#include "core/ldrg.h"
-#include "core/ldrg_screened.h"
-#include "core/solver.h"
-#include "core/wire_sizing.h"
-#include "delay/bounds.h"
-#include "delay/elmore.h"
-#include "delay/evaluator.h"
-#include "delay/moments.h"
-#include "delay/screener.h"
-#include "delay/two_pole.h"
-#include "expt/comparison.h"
-#include "expt/net_generator.h"
-#include "expt/protocol.h"
-#include "expt/statistics.h"
-#include "flow/timing_flow.h"
-#include "geom/bbox.h"
-#include "geom/hanan.h"
-#include "geom/point.h"
-#include "geom/segments.h"
-#include "graph/bridges.h"
-#include "graph/embedding.h"
-#include "graph/metrics.h"
-#include "graph/mst.h"
-#include "graph/net.h"
-#include "graph/paths.h"
-#include "graph/routing_graph.h"
-#include "grid/global_router.h"
-#include "grid/grid.h"
-#include "grid/layered.h"
-#include "grid/net_router.h"
-#include "grid/search.h"
-#include "io/cli.h"
-#include "io/net_io.h"
-#include "linalg/dense_matrix.h"
-#include "linalg/sparse.h"
-#include "linalg/sparse_cholesky.h"
-#include "linalg/vector_ops.h"
-#include "route/brbc.h"
-#include "route/constructions.h"
-#include "route/local_search.h"
-#include "route/ert.h"
-#include "sim/mna.h"
-#include "sim/transient.h"
-#include "sim/waveform_io.h"
-#include "spice/deck_io.h"
-#include "spice/graph_netlist.h"
-#include "spice/netlist.h"
-#include "spice/spef.h"
-#include "spice/technology.h"
-#include "spice/units.h"
-#include "sta/timing_graph.h"
-#include "steiner/iterated_one_steiner.h"
-#include "viz/svg.h"
+#include "core/exhaustive.h"  // IWYU pragma: export
+#include "core/heuristics.h"  // IWYU pragma: export
+#include "core/horg.h"  // IWYU pragma: export
+#include "core/ldrg.h"  // IWYU pragma: export
+#include "core/ldrg_screened.h"  // IWYU pragma: export
+#include "core/solver.h"  // IWYU pragma: export
+#include "core/wire_sizing.h"  // IWYU pragma: export
+#include "delay/bounds.h"  // IWYU pragma: export
+#include "delay/elmore.h"  // IWYU pragma: export
+#include "delay/evaluator.h"  // IWYU pragma: export
+#include "delay/moments.h"  // IWYU pragma: export
+#include "delay/screener.h"  // IWYU pragma: export
+#include "delay/two_pole.h"  // IWYU pragma: export
+#include "expt/comparison.h"  // IWYU pragma: export
+#include "expt/net_generator.h"  // IWYU pragma: export
+#include "expt/protocol.h"  // IWYU pragma: export
+#include "expt/statistics.h"  // IWYU pragma: export
+#include "flow/timing_flow.h"  // IWYU pragma: export
+#include "geom/bbox.h"  // IWYU pragma: export
+#include "geom/hanan.h"  // IWYU pragma: export
+#include "geom/point.h"  // IWYU pragma: export
+#include "geom/segments.h"  // IWYU pragma: export
+#include "graph/bridges.h"  // IWYU pragma: export
+#include "graph/embedding.h"  // IWYU pragma: export
+#include "graph/metrics.h"  // IWYU pragma: export
+#include "graph/mst.h"  // IWYU pragma: export
+#include "graph/net.h"  // IWYU pragma: export
+#include "graph/paths.h"  // IWYU pragma: export
+#include "graph/routing_graph.h"  // IWYU pragma: export
+#include "grid/global_router.h"  // IWYU pragma: export
+#include "grid/grid.h"  // IWYU pragma: export
+#include "grid/layered.h"  // IWYU pragma: export
+#include "grid/net_router.h"  // IWYU pragma: export
+#include "grid/search.h"  // IWYU pragma: export
+#include "io/cli.h"  // IWYU pragma: export
+#include "io/net_io.h"  // IWYU pragma: export
+#include "linalg/dense_matrix.h"  // IWYU pragma: export
+#include "linalg/sparse.h"  // IWYU pragma: export
+#include "linalg/sparse_cholesky.h"  // IWYU pragma: export
+#include "linalg/vector_ops.h"  // IWYU pragma: export
+#include "route/brbc.h"  // IWYU pragma: export
+#include "route/constructions.h"  // IWYU pragma: export
+#include "route/local_search.h"  // IWYU pragma: export
+#include "route/ert.h"  // IWYU pragma: export
+#include "sim/mna.h"  // IWYU pragma: export
+#include "sim/transient.h"  // IWYU pragma: export
+#include "sim/waveform_io.h"  // IWYU pragma: export
+#include "spice/deck_io.h"  // IWYU pragma: export
+#include "spice/graph_netlist.h"  // IWYU pragma: export
+#include "spice/netlist.h"  // IWYU pragma: export
+#include "spice/spef.h"  // IWYU pragma: export
+#include "spice/technology.h"  // IWYU pragma: export
+#include "spice/units.h"  // IWYU pragma: export
+#include "sta/timing_graph.h"  // IWYU pragma: export
+#include "steiner/iterated_one_steiner.h"  // IWYU pragma: export
+#include "viz/svg.h"  // IWYU pragma: export

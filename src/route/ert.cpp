@@ -5,7 +5,8 @@
 #include <stdexcept>
 
 #include "check/contracts.h"
-#include "check/validate_graph.h"
+#include "geom/point.h"
+#include "graph/validate.h"
 #include "delay/elmore.h"
 
 namespace ntr::route {
@@ -150,7 +151,7 @@ ErtResult elmore_routing_tree(const graph::Net& net, const spice::Technology& te
   NTR_CHECK(result.node_pin.size() == result.graph.node_count());
   NTR_CHECK(result.graph.is_tree());
   NTR_DCHECK(check::require(
-      check::validate_graph(result.graph,
+      graph::validate_graph(result.graph,
                             {.require_source = true, .require_connected = true}),
       "elmore_routing_tree postcondition"));
   return result;

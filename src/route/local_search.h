@@ -5,7 +5,6 @@
 #include <vector>
 
 #include "delay/evaluator.h"
-#include "graph/net.h"
 #include "graph/routing_graph.h"
 
 namespace ntr::route {

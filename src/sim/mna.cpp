@@ -5,7 +5,7 @@
 
 #include "check/contracts.h"
 #include "check/faultinject.h"
-#include "check/validate_mna.h"
+#include "sim/validate.h"
 #include "runtime/status.h"
 
 namespace ntr::sim {
@@ -89,7 +89,7 @@ MnaSystem assemble_mna(const spice::Circuit& circuit) {
   // the circuit's topology, not on correct assembly.)
   NTR_CHECK(next_branch == mna.size());
   NTR_DCHECK(check::require(
-      check::validate_mna(mna, {.spd = check::MnaValidateOptions::Spd::kSkip}),
+      validate_mna(mna, {.spd = MnaValidateOptions::Spd::kSkip}),
       "assemble_mna postcondition"));
   return mna;
 }

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "linalg/dense_matrix.h"
+#include "linalg/vector_ops.h"
 #include "spice/netlist.h"
 
 namespace ntr::sim {

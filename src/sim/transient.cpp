@@ -7,7 +7,7 @@
 
 #include "check/contracts.h"
 #include "check/faultinject.h"
-#include "check/validate_mna.h"
+#include "sim/validate.h"
 #include "runtime/status.h"
 
 namespace ntr::sim {
@@ -82,7 +82,7 @@ TransientSimulator::TransientSimulator(const spice::Circuit& circuit,
   NTR_CHECK(std::isfinite(h_) && h_ > 0.0);
   NTR_CHECK(std::isfinite(t_max_) && t_max_ >= h_);
   NTR_DCHECK(check::require(
-      check::validate_mna(mna_, {.spd = check::MnaValidateOptions::Spd::kSkip}),
+      validate_mna(mna_, {.spd = MnaValidateOptions::Spd::kSkip}),
       "TransientSimulator precondition"));
 }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "linalg/dense_matrix.h"
+#include "linalg/vector_ops.h"
 #include "runtime/stop.h"
 #include "sim/mna.h"
 #include "spice/netlist.h"

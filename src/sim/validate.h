@@ -6,11 +6,12 @@
 #include <string>
 
 #include "check/validation.h"
+#include "linalg/dense_matrix.h"
 #include "linalg/sparse.h"
 #include "linalg/sparse_cholesky.h"
 #include "sim/mna.h"
 
-namespace ntr::check {
+namespace ntr::sim {
 
 struct MnaValidateOptions {
   /// When to run the sparse-Cholesky SPD probe on the node-voltage block
@@ -31,9 +32,9 @@ struct MnaValidateOptions {
 /// entries, symmetric G and C, non-negative node-block diagonal of G, and
 /// (optionally) positive definiteness of the node-voltage conductance
 /// block via the envelope Cholesky factorization.
-inline ValidationReport validate_mna(const sim::MnaSystem& mna,
+inline check::ValidationReport validate_mna(const MnaSystem& mna,
                                      const MnaValidateOptions& options = {}) {
-  ValidationReport report;
+  check::ValidationReport report;
   const std::size_t n = mna.size();
 
   if (mna.g.rows() != n || mna.g.cols() != n)
@@ -100,4 +101,4 @@ inline ValidationReport validate_mna(const sim::MnaSystem& mna,
   return report;
 }
 
-}  // namespace ntr::check
+}  // namespace ntr::sim

@@ -7,7 +7,7 @@
 #include <stdexcept>
 
 #include "check/contracts.h"
-#include "check/validate_timing.h"
+#include "sta/validate.h"
 
 namespace ntr::sta {
 
@@ -84,7 +84,7 @@ TimingReport analyze(const TimingGraph& design, double clock_period_s) {
   // Cycle detection stays with topological_gates below, which reports it
   // through this function's documented std::invalid_argument contract.
   NTR_DCHECK(check::require(
-      check::validate_timing(design, {.check_cycles = false}),
+      validate_timing(design, {.check_cycles = false}),
       "analyze precondition"));
   const std::vector<GateId> order = topological_gates(design);
 

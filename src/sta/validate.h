@@ -9,7 +9,7 @@
 #include "check/validation.h"
 #include "sta/timing_graph.h"
 
-namespace ntr::check {
+namespace ntr::sta {
 
 struct TimingValidateOptions {
   /// Detect combinational cycles (Kahn's algorithm over the gate DAG).
@@ -22,12 +22,12 @@ struct TimingValidateOptions {
 /// Validates a gate-level TimingGraph: driver/output cross-references,
 /// sink/delay array agreement, sink gates actually reading the net,
 /// finite non-negative delays, and (optionally) acyclicity.
-inline ValidationReport validate_timing(const sta::TimingGraph& design,
+inline check::ValidationReport validate_timing(const TimingGraph& design,
                                         const TimingValidateOptions& options = {}) {
-  ValidationReport report;
+  check::ValidationReport report;
 
-  for (sta::GateId g = 0; g < design.gate_count(); ++g) {
-    const sta::TimingGraph::Gate& gate = design.gate(g);
+  for (GateId g = 0; g < design.gate_count(); ++g) {
+    const TimingGraph::Gate& gate = design.gate(g);
     const std::string tag = "gate " + gate.name;
     if (!(gate.delay_s >= 0.0) || !std::isfinite(gate.delay_s))
       report.errors.push_back(tag + ": bad delay " + std::to_string(gate.delay_s));
@@ -36,15 +36,15 @@ inline ValidationReport validate_timing(const sta::TimingGraph& design,
     } else if (design.net(gate.output).driver != g) {
       report.errors.push_back(tag + ": output net does not list it as driver");
     }
-    for (const sta::NetId in : gate.inputs)
+    for (const NetId in : gate.inputs)
       if (in >= design.net_count())
         report.errors.push_back(tag + ": input net out of range");
   }
 
-  for (sta::NetId n = 0; n < design.net_count(); ++n) {
-    const sta::TimingGraph::Net& net = design.net(n);
+  for (NetId n = 0; n < design.net_count(); ++n) {
+    const TimingGraph::Net& net = design.net(n);
     const std::string tag = "net " + net.name;
-    if (net.driver != sta::kNoId) {
+    if (net.driver != kNoId) {
       if (net.driver >= design.gate_count()) {
         report.errors.push_back(tag + ": driver gate out of range");
       } else if (design.gate(net.driver).output != n) {
@@ -57,13 +57,13 @@ inline ValidationReport validate_timing(const sta::TimingGraph& design,
                               " interconnect delays");
     }
     for (std::size_t i = 0; i < net.sinks.size(); ++i) {
-      const sta::GateId sink = net.sinks[i];
+      const GateId sink = net.sinks[i];
       if (sink >= design.gate_count()) {
         report.errors.push_back(tag + ": sink gate out of range");
         continue;
       }
       bool reads = false;
-      for (const sta::NetId in : design.gate(sink).inputs) reads |= in == n;
+      for (const NetId in : design.gate(sink).inputs) reads |= in == n;
       if (!reads)
         report.errors.push_back(tag + ": sink gate " + design.gate_name(sink) +
                                 " does not read it");
@@ -76,18 +76,18 @@ inline ValidationReport validate_timing(const sta::TimingGraph& design,
 
   if (options.check_cycles && report.ok()) {
     std::vector<std::size_t> pending(design.gate_count(), 0);
-    for (sta::GateId g = 0; g < design.gate_count(); ++g)
-      for (const sta::NetId in : design.gate(g).inputs)
+    for (GateId g = 0; g < design.gate_count(); ++g)
+      for (const NetId in : design.gate(g).inputs)
         if (!design.is_primary_input(in)) ++pending[g];
-    std::queue<sta::GateId> ready;
-    for (sta::GateId g = 0; g < design.gate_count(); ++g)
+    std::queue<GateId> ready;
+    for (GateId g = 0; g < design.gate_count(); ++g)
       if (pending[g] == 0) ready.push(g);
     std::size_t ordered = 0;
     while (!ready.empty()) {
-      const sta::GateId g = ready.front();
+      const GateId g = ready.front();
       ready.pop();
       ++ordered;
-      for (const sta::GateId sink : design.net(design.gate(g).output).sinks)
+      for (const GateId sink : design.net(design.gate(g).output).sinks)
         if (--pending[sink] == 0) ready.push(sink);
     }
     if (ordered != design.gate_count())
@@ -98,4 +98,4 @@ inline ValidationReport validate_timing(const sta::TimingGraph& design,
   return report;
 }
 
-}  // namespace ntr::check
+}  // namespace ntr::sta

@@ -5,7 +5,7 @@
 #include <unordered_set>
 
 #include "check/contracts.h"
-#include "check/validate_graph.h"
+#include "graph/validate.h"
 #include "geom/hanan.h"
 #include "graph/mst.h"
 
@@ -100,7 +100,7 @@ SteinerResult iterated_one_steiner(const graph::Net& net, const SteinerOptions& 
   // points as a tree; pruning above removed every degree-<=2 Steiner point.
   NTR_CHECK(result.graph.is_tree());
   NTR_DCHECK(check::require(
-      check::validate_graph(result.graph,
+      graph::validate_graph(result.graph,
                             {.require_source = true, .require_connected = true}),
       "iterated_one_steiner postcondition"));
   return result;
@@ -172,7 +172,7 @@ ExactSteinerResult exact_steiner_tree(const graph::Net& net,
   for (const auto& [u, v] : graph::prim_mst(augmented)) best.graph.add_edge(u, v);
   NTR_CHECK(best.graph.is_tree());
   NTR_DCHECK(check::require(
-      check::validate_graph(best.graph,
+      graph::validate_graph(best.graph,
                             {.require_source = true, .require_connected = true}),
       "exact_steiner_tree postcondition"));
   return best;

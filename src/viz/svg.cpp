@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "geom/bbox.h"
+#include "geom/point.h"
 
 namespace ntr::viz {
 

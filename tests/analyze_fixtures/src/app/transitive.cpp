@@ -1,0 +1,11 @@
+#include "engine/engine.h"
+
+// Seeded violation: Slice is defined in util/strings.h, which arrives
+// only through engine/engine.h; the use below must be reported as
+// `transitive-include`.
+
+namespace fix::app {
+
+int width_of(fix::util::Slice s) { return fix::engine::tokenize(s); }
+
+}  // namespace fix::app

@@ -1,0 +1,10 @@
+#include "util/strings.h"
+
+// Seeded violation: nothing from util/strings.h is used here, so the
+// include above must be reported as `unused-include`.
+
+namespace fix::app {
+
+int answer() { return 42; }
+
+}  // namespace fix::app

@@ -1,0 +1,11 @@
+#pragma once
+
+#include "engine/cycle_b.h"
+
+// Seeded violation: cycle_a.h <-> cycle_b.h form a file-level include
+// cycle; ntr_analyze must report one `include-cycle` finding anchored
+// here (the lexicographically first member).
+
+struct CycleA {
+  CycleB* peer;
+};

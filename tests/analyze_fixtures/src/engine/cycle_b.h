@@ -1,0 +1,9 @@
+#pragma once
+
+#include "engine/cycle_a.h"
+
+// Second half of the seeded include cycle; see cycle_a.h.
+
+struct CycleB {
+  CycleA* peer;
+};

@@ -1,0 +1,12 @@
+#pragma once
+
+#include "util/strings.h"
+
+// Clean mid-layer header: includes downward only.
+
+namespace fix::engine {
+
+int rank();
+int tokenize(util::Slice s);
+
+}  // namespace fix::engine

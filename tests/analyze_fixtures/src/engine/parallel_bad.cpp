@@ -1,0 +1,19 @@
+#include "engine/engine.h"
+
+// Seeded violations: `total` is captured by reference and accumulated in
+// the lane with no atomic, lock, or lane-local slot (parallel-shared-write),
+// and the lane loop never polls a stop token (parallel-missing-poll).
+
+namespace fix::engine {
+
+int sum_all(int n) {
+  int total = rank();
+  parallel_chunks(nullptr, static_cast<std::size_t>(n),
+                  [&](std::size_t, std::size_t begin, std::size_t end) {
+                    for (std::size_t i = begin; i < end; ++i)
+                      total += static_cast<int>(i);
+                  });
+  return total;
+}
+
+}  // namespace fix::engine

@@ -1,0 +1,10 @@
+#pragma once
+
+// Seeded violation: module "rogue" is not declared in layering.conf, so
+// this file must be reported as `unknown-module`.
+
+namespace fix::rogue {
+
+int off_the_map();
+
+}  // namespace fix::rogue

@@ -1,0 +1,12 @@
+#pragma once
+
+#include "engine/engine.h"  // ntr-lint-allow(layering)
+
+// Same upward include as uplink.h, but suppressed on the include line:
+// ntr_analyze must NOT report it.
+
+namespace fix::util {
+
+inline int allowed_uplink_rank() { return fix::engine::rank(); }
+
+}  // namespace fix::util

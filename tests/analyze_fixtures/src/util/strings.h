@@ -1,0 +1,16 @@
+#pragma once
+
+// Clean base-layer header: the single definition site of Slice, which the
+// transitive-include seed in app/transitive.cpp reaches without a direct
+// include.
+
+namespace fix::util {
+
+struct Slice {
+  const char* data;
+  int size;
+};
+
+int count_words(Slice text);
+
+}  // namespace fix::util

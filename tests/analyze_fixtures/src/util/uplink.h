@@ -1,0 +1,12 @@
+#pragma once
+
+#include "engine/engine.h"
+
+// Seeded violation: a base-layer header reaching up into the mid layer.
+// ntr_analyze must report the include above as `layering`.
+
+namespace fix::util {
+
+inline int uplink_rank() { return fix::engine::rank(); }
+
+}  // namespace fix::util

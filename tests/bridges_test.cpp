@@ -4,7 +4,6 @@
 #include "delay/evaluator.h"
 #include "expt/net_generator.h"
 #include "graph/bridges.h"
-#include "graph/mst.h"
 
 namespace ntr::graph {
 namespace {

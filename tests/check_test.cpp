@@ -12,7 +12,9 @@
 
 #include "check/contracts.h"
 #include "check/lint.h"
-#include "check/validate.h"
+#include "graph/validate.h"
+#include "sim/validate.h"
+#include "sta/validate.h"
 #include "graph/routing_graph.h"
 #include "sim/mna.h"
 #include "spice/netlist.h"
@@ -96,17 +98,17 @@ bool mentions(const ValidationReport& report, const std::string& needle) {
 
 TEST_F(CheckTest, MstRoutingValidates) {
   const auto g = ntr::graph::mst_routing(square_net());
-  const ntr::check::GraphValidateOptions strict{.require_source = true,
+  const ntr::graph::GraphValidateOptions strict{.require_source = true,
                                                .require_connected = true};
-  EXPECT_TRUE(ntr::check::validate_graph(g, strict).ok());
-  EXPECT_NO_THROW(ntr::check::require(ntr::check::validate_graph(g, strict), "mst"));
+  EXPECT_TRUE(ntr::graph::validate_graph(g, strict).ok());
+  EXPECT_NO_THROW(ntr::check::require(ntr::graph::validate_graph(g, strict), "mst"));
 }
 
 TEST_F(CheckTest, EdgelessGraphIsStructurallyValidButDisconnected) {
   const ntr::graph::RoutingGraph g(square_net());
-  EXPECT_TRUE(ntr::check::validate_graph(g).ok());
+  EXPECT_TRUE(ntr::graph::validate_graph(g).ok());
   const auto report =
-      ntr::check::validate_graph(g, {.require_connected = true});
+      ntr::graph::validate_graph(g, {.require_connected = true});
   EXPECT_FALSE(report.ok());
   EXPECT_TRUE(mentions(report, "disconnected"));
   EXPECT_THROW(ntr::check::require(report, "edgeless"), ContractViolation);
@@ -122,20 +124,20 @@ TEST_F(CheckTest, CorruptedEdgeListsAreRejected) {
   };
 
   const std::vector<GraphEdge> dangling = {{0, 7, 10.0, 1.0}};
-  EXPECT_TRUE(mentions(ntr::check::validate_graph(nodes, dangling), "dangling"));
+  EXPECT_TRUE(mentions(ntr::graph::validate_graph(nodes, dangling), "dangling"));
 
   const std::vector<GraphEdge> self_loop = {{1, 1, 0.0, 1.0}};
-  EXPECT_TRUE(mentions(ntr::check::validate_graph(nodes, self_loop), "self-loop"));
+  EXPECT_TRUE(mentions(ntr::graph::validate_graph(nodes, self_loop), "self-loop"));
 
   const std::vector<GraphEdge> parallel = {{0, 1, 10.0, 1.0}, {1, 0, 10.0, 1.0}};
-  EXPECT_TRUE(mentions(ntr::check::validate_graph(nodes, parallel), "parallel"));
+  EXPECT_TRUE(mentions(ntr::graph::validate_graph(nodes, parallel), "parallel"));
 
   const std::vector<GraphEdge> wrong_length = {{0, 1, 25.0, 1.0}};
   EXPECT_TRUE(
-      mentions(ntr::check::validate_graph(nodes, wrong_length), "Manhattan"));
+      mentions(ntr::graph::validate_graph(nodes, wrong_length), "Manhattan"));
 
   const std::vector<GraphEdge> bad_width = {{0, 1, 10.0, -2.0}};
-  EXPECT_TRUE(mentions(ntr::check::validate_graph(nodes, bad_width), "width"));
+  EXPECT_TRUE(mentions(ntr::graph::validate_graph(nodes, bad_width), "width"));
 }
 
 TEST_F(CheckTest, SecondSourceNodeIsRejected) {
@@ -145,9 +147,9 @@ TEST_F(CheckTest, SecondSourceNodeIsRejected) {
   };
   const std::vector<ntr::graph::GraphEdge> edges = {{0, 1, 10.0, 1.0}};
   const auto report =
-      ntr::check::validate_graph(nodes, edges, {.require_source = true});
+      ntr::graph::validate_graph(nodes, edges, {.require_source = true});
   EXPECT_TRUE(mentions(report, "second source"));
-  EXPECT_TRUE(ntr::check::validate_graph(nodes, edges).ok());  // structural-only
+  EXPECT_TRUE(ntr::graph::validate_graph(nodes, edges).ok());  // structural-only
 }
 
 // ------------------------------------------------------------ MNA validator
@@ -165,13 +167,13 @@ ntr::sim::MnaSystem assembled_rc_line() {
 
 TEST_F(CheckTest, AssembledMnaValidates) {
   const auto mna = assembled_rc_line();
-  EXPECT_TRUE(ntr::check::validate_mna(mna).ok());
+  EXPECT_TRUE(ntr::sim::validate_mna(mna).ok());
 }
 
 TEST_F(CheckTest, NonSymmetricStampIsRejected) {
   auto mna = assembled_rc_line();
   mna.g(0, 1) += 0.5;  // corrupt one triangle only
-  const auto report = ntr::check::validate_mna(mna);
+  const auto report = ntr::sim::validate_mna(mna);
   EXPECT_FALSE(report.ok());
   EXPECT_TRUE(mentions(report, "not symmetric"));
   EXPECT_THROW(ntr::check::require(report, "corrupted stamp"), ContractViolation);
@@ -180,7 +182,7 @@ TEST_F(CheckTest, NonSymmetricStampIsRejected) {
 TEST_F(CheckTest, DimensionMismatchIsRejected) {
   auto mna = assembled_rc_line();
   mna.b_final.pop_back();
-  EXPECT_TRUE(mentions(ntr::check::validate_mna(mna), "b_final"));
+  EXPECT_TRUE(mentions(ntr::sim::validate_mna(mna), "b_final"));
 }
 
 ntr::sim::MnaSystem branchless_system(double g01) {
@@ -199,13 +201,13 @@ ntr::sim::MnaSystem branchless_system(double g01) {
 }
 
 TEST_F(CheckTest, SpdProbeAcceptsGroundedConductance) {
-  EXPECT_TRUE(ntr::check::validate_mna(branchless_system(-1.0)).ok());
+  EXPECT_TRUE(ntr::sim::validate_mna(branchless_system(-1.0)).ok());
 }
 
 TEST_F(CheckTest, SpdProbeRejectsIndefiniteMatrix) {
   // Symmetric with positive diagonal, but eigenvalues {5, -1}: only the
   // Cholesky probe can tell this apart from a healthy conductance matrix.
-  const auto report = ntr::check::validate_mna(branchless_system(3.0));
+  const auto report = ntr::sim::validate_mna(branchless_system(3.0));
   EXPECT_FALSE(report.ok());
   EXPECT_TRUE(mentions(report, "positive definite"));
 }
@@ -214,7 +216,7 @@ TEST_F(CheckTest, NegativeNodeDiagonalIsRejected) {
   auto mna = branchless_system(-1.0);
   mna.g(0, 0) = -2.0;
   mna.g(1, 1) = -2.0;
-  EXPECT_TRUE(mentions(ntr::check::validate_mna(mna), "diagonal"));
+  EXPECT_TRUE(mentions(ntr::sim::validate_mna(mna), "diagonal"));
 }
 
 // --------------------------------------------------------- timing validator
@@ -227,7 +229,7 @@ TEST_F(CheckTest, TimingGraphValidates) {
   design.add_gate("g1", 1e-9, {in}, mid);
   design.add_gate("g2", 2e-9, {mid}, out);
   design.set_interconnect_delay(mid, 1, 0.5e-9);
-  EXPECT_TRUE(ntr::check::validate_timing(design).ok());
+  EXPECT_TRUE(ntr::sta::validate_timing(design).ok());
 }
 
 TEST_F(CheckTest, TimingCycleIsDetected) {
@@ -236,11 +238,11 @@ TEST_F(CheckTest, TimingCycleIsDetected) {
   const auto b = design.add_net("b");
   design.add_gate("g1", 1e-9, {a}, b);
   design.add_gate("g2", 1e-9, {b}, a);
-  const auto report = ntr::check::validate_timing(design);
+  const auto report = ntr::sta::validate_timing(design);
   EXPECT_TRUE(mentions(report, "cycle"));
   // Structure-only validation accepts it; analyze() owns cycle reporting.
   EXPECT_TRUE(
-      ntr::check::validate_timing(design, {.check_cycles = false}).ok());
+      ntr::sta::validate_timing(design, {.check_cycles = false}).ok());
 }
 
 // ------------------------------------------------------------ lint: engine
@@ -330,6 +332,10 @@ TEST_F(CheckTest, LintFlagsUntypedThrowOnHotPathsOnly) {
   EXPECT_TRUE(flags_rule(ntr::check::lint_source("src/linalg/foo.cpp", bad),
                          "untyped-throw"));
   EXPECT_TRUE(flags_rule(ntr::check::lint_source("src/flow/foo.cpp", bad),
+                         "untyped-throw"));
+  EXPECT_TRUE(flags_rule(ntr::check::lint_source("src/runtime/foo.cpp", bad),
+                         "untyped-throw"));
+  EXPECT_TRUE(flags_rule(ntr::check::lint_source("src/delay/foo.cpp", bad),
                          "untyped-throw"));
   // Cold paths (viz, tools) and typed throws are out of scope.
   EXPECT_TRUE(ntr::check::lint_source("src/viz/foo.cpp", bad).empty());

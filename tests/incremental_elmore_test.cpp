@@ -7,7 +7,6 @@
 #include "delay/incremental_elmore.h"
 #include "delay/moments.h"
 #include "expt/net_generator.h"
-#include "graph/mst.h"
 #include "graph/routing_graph.h"
 
 namespace ntr::delay {

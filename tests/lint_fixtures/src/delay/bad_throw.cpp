@@ -1,0 +1,7 @@
+// Lint fixture: untyped throw on a (pretend) delay-evaluator hot path.
+#include <stdexcept>
+
+double fixture_delay_fail(double r) {
+  if (r < 0.0) throw std::runtime_error("fixture: negative resistance");
+  return r;
+}

@@ -1,0 +1,7 @@
+// Lint fixture: untyped throw in the (pretend) runtime layer, which the
+// degradation ladder must be able to catch by type.
+#include <stdexcept>
+
+void fixture_runtime_fail(int budget_ms) {
+  if (budget_ms <= 0) throw std::runtime_error("fixture: budget exhausted");
+}

@@ -2,7 +2,6 @@
 
 #include "expt/net_generator.h"
 #include "geom/bbox.h"
-#include "graph/mst.h"
 #include "graph/routing_graph.h"
 #include "steiner/iterated_one_steiner.h"
 

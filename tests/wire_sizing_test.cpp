@@ -2,7 +2,6 @@
 
 #include "core/wire_sizing.h"
 #include "delay/evaluator.h"
-#include "expt/net_generator.h"
 #include "graph/routing_graph.h"
 
 namespace ntr::core {

@@ -1,0 +1,167 @@
+// ntr_analyze: whole-project structural analysis.
+//
+// Where ntr_lint checks one file at a time, ntr_analyze loads the whole
+// tree, resolves the include graph, and enforces cross-file structure:
+// the declared module layering (docs/layering.conf), include-cycle
+// freedom, the parallel-lane concurrency discipline from PR 3, and
+// include-what-you-use hygiene. CI runs it as a required step; see
+// docs/static_analysis.md for the rules and the suppression syntax.
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "analyze/analyze.h"
+#include "analyze/include_graph.h"
+#include "check/lint.h"
+
+namespace {
+
+void usage(std::FILE* out) {
+  std::fputs(
+      "usage: ntr_analyze [--root DIR] [--layers FILE] [--graph-dot FILE]\n"
+      "                   [--json FILE] [path...]\n"
+      "\n"
+      "Loads every .h/.hpp/.cc/.cpp under the given files/directories\n"
+      "(default: src tools tests, resolved against --root, default '.'),\n"
+      "resolves the project include graph, and runs the structural\n"
+      "passes: layering (against --layers, default docs/layering.conf\n"
+      "under the root), include-cycle, concurrency discipline, and\n"
+      "include hygiene.\n"
+      "\n"
+      "  --graph-dot FILE   also write the module dependency DAG as\n"
+      "                     GraphViz DOT ('-' for stdout)\n"
+      "  --json FILE        also write findings as a JSON array\n"
+      "                     ('-' for stdout)\n"
+      "\n"
+      "Prints one 'file:line: [rule] message' per finding. Exit codes:\n"
+      "0 clean, 1 findings, 2 usage or unreadable config.\n",
+      out);
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+bool write_output(const std::string& path, const std::string& content,
+                  const char* what) {
+  if (path == "-") {
+    std::fputs(content.c_str(), stdout);
+    return true;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "ntr_analyze: cannot write %s file: %s\n", what,
+                 path.c_str());
+    return false;
+  }
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ntr::analyze::AnalyzeOptions options;
+  options.root = ".";
+  std::string dot_path;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto flag_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "ntr_analyze: %s requires an argument\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage(stdout);
+      return 0;
+    } else if (arg == "--root") {
+      const char* v = flag_value("--root");
+      if (v == nullptr) return 2;
+      options.root = v;
+    } else if (arg == "--layers") {
+      const char* v = flag_value("--layers");
+      if (v == nullptr) return 2;
+      options.layer_config_path = v;
+    } else if (arg == "--graph-dot") {
+      const char* v = flag_value("--graph-dot");
+      if (v == nullptr) return 2;
+      dot_path = v;
+    } else if (arg == "--json") {
+      const char* v = flag_value("--json");
+      if (v == nullptr) return 2;
+      json_path = v;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "ntr_analyze: unknown option: %s\n", arg.c_str());
+      usage(stderr);
+      return 2;
+    } else {
+      options.paths.emplace_back(arg);
+    }
+  }
+  if (options.paths.empty()) options.paths = {"src", "tools", "tests"};
+  for (std::filesystem::path& p : options.paths) {
+    if (p.is_relative()) p = options.root / p;
+    if (!std::filesystem::exists(p)) {
+      std::fprintf(stderr, "ntr_analyze: no such path: %s\n",
+                   p.string().c_str());
+      return 2;
+    }
+  }
+
+  const ntr::analyze::AnalyzeResult result = ntr::analyze::analyze(options);
+  if (!result.error.empty()) {
+    std::fprintf(stderr, "ntr_analyze: %s\n", result.error.c_str());
+    return 2;
+  }
+
+  for (const ntr::check::LintDiagnostic& d : result.findings) {
+    std::fprintf(stderr, "%s\n", ntr::check::format(d).c_str());
+  }
+  std::fprintf(stderr, "ntr_analyze: %zu file(s), %zu finding(s)\n",
+               result.project.files.size(), result.findings.size());
+
+  if (!dot_path.empty()) {
+    const std::string dot =
+        ntr::analyze::module_graph_dot(result.project, result.config);
+    if (!write_output(dot_path, dot, "DOT")) return 2;
+  }
+  if (!json_path.empty()) {
+    std::string json = "[\n";
+    for (std::size_t i = 0; i < result.findings.size(); ++i) {
+      const ntr::check::LintDiagnostic& d = result.findings[i];
+      json += "  {\"file\": \"" + json_escape(d.file) +
+              "\", \"line\": " + std::to_string(d.line) + ", \"rule\": \"" +
+              json_escape(d.rule) + "\", \"message\": \"" +
+              json_escape(d.message) + "\"}";
+      if (i + 1 < result.findings.size()) json += ",";
+      json += "\n";
+    }
+    json += "]\n";
+    if (!write_output(json_path, json, "JSON")) return 2;
+  }
+  return result.findings.empty() ? 0 : 1;
+}
