@@ -4,6 +4,7 @@
 #include <tuple>
 
 #include "analyze/concurrency.h"
+#include "analyze/dataflow.h"
 #include "analyze/include_hygiene.h"
 #include "analyze/layering.h"
 
@@ -30,12 +31,25 @@ AnalyzeResult analyze(const AnalyzeOptions& options) {
   if (options.include_cycles) append(check_include_cycles(result.project));
   if (options.concurrency) append(check_concurrency(result.project));
   if (options.include_hygiene) append(check_include_hygiene(result.project));
+  if (options.dataflow) append(check_dataflow(result.project));
 
-  std::sort(result.findings.begin(), result.findings.end(),
-            [](const check::LintDiagnostic& a, const check::LintDiagnostic& b) {
-              return std::tie(a.file, a.line, a.rule, a.message) <
-                     std::tie(b.file, b.line, b.rule, b.message);
-            });
+  // The report contract: findings are (file, line, rule, message)-ordered
+  // and exactly duplicate findings collapse, so reruns, pass reorderings,
+  // and passes that overlap on a line all produce byte-identical output.
+  std::stable_sort(
+      result.findings.begin(), result.findings.end(),
+      [](const check::LintDiagnostic& a, const check::LintDiagnostic& b) {
+        return std::tie(a.file, a.line, a.rule, a.message) <
+               std::tie(b.file, b.line, b.rule, b.message);
+      });
+  result.findings.erase(
+      std::unique(result.findings.begin(), result.findings.end(),
+                  [](const check::LintDiagnostic& a,
+                     const check::LintDiagnostic& b) {
+                    return std::tie(a.file, a.line, a.rule, a.message) ==
+                           std::tie(b.file, b.line, b.rule, b.message);
+                  }),
+      result.findings.end());
   return result;
 }
 

@@ -22,6 +22,10 @@ struct AnalyzeOptions {
   bool include_cycles = true;
   bool concurrency = true;
   bool include_hygiene = true;
+  /// The semantic dataflow passes (unchecked-status,
+  /// nondeterministic-iteration, escaping-ref-capture); see
+  /// analyze/dataflow.h.
+  bool dataflow = true;
 };
 
 /// Everything a caller needs: the findings (sorted by file/line/rule),

@@ -43,12 +43,20 @@ DeclaredNames declared_names(const std::vector<Token>& toks) {
     const Token& t = toks[i];
     if (t.kind != TokenKind::kIdentifier) continue;
 
-    // class-key NAME [...]; `enum class NAME`; attributes are rare after
-    // a class-key in this codebase, so the next identifier is the name.
+    // class-key NAME [...]; `enum class NAME`; a `[[nodiscard]]`-style
+    // attribute may sit between the class-key and the name.
     if (std::find(kTypeKeywords.begin(), kTypeKeywords.end(), t.text) !=
         kTypeKeywords.end()) {
       std::size_t j = i + 1;
       if (j < toks.size() && is_ident(toks[j], "class")) ++j;  // enum class
+      if (j + 1 < toks.size() && is_punct(toks[j], "[") &&
+          is_punct(toks[j + 1], "[")) {  // class [[attr]] NAME
+        j += 2;
+        while (j + 1 < toks.size() &&
+               !(is_punct(toks[j], "]") && is_punct(toks[j + 1], "]")))
+          ++j;
+        j = j + 1 < toks.size() ? j + 2 : toks.size();
+      }
       if (j < toks.size() && toks[j].kind == TokenKind::kIdentifier) {
         out.weak.insert(toks[j].text);
         // Definition (not a forward declaration): body or base clause

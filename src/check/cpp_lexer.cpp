@@ -86,11 +86,32 @@ LexedSource lex_source(std::string_view src) {
       ++i;
       continue;
     }
-    // Comments.
+    // Backslash-newline splices the logical line: the physical line count
+    // advances, but the directive state does not reset (a '#' after a
+    // continuation is still mid-directive, not a new one).
+    if (c == '\\' && i + 1 < n &&
+        (src[i + 1] == '\n' ||
+         (src[i + 1] == '\r' && i + 2 < n && src[i + 2] == '\n'))) {
+      ++line;
+      i += src[i + 1] == '\n' ? 2 : 3;
+      continue;
+    }
+    // Comments. A line comment whose line ends in a backslash continues
+    // onto the next physical line (the splice happens before comment
+    // recognition in real translation).
     if (c == '/' && i + 1 < n && src[i + 1] == '/') {
       std::size_t eol = src.find('\n', i);
+      while (eol != std::string_view::npos) {
+        std::size_t b = eol;
+        if (b > i && src[b - 1] == '\r') --b;
+        if (b > i && src[b - 1] == '\\')
+          eol = src.find('\n', eol + 1);
+        else
+          break;
+      }
       if (eol == std::string_view::npos) eol = n;
       blank(i, eol);
+      line += count_newlines(i, eol);
       i = eol;
       continue;
     }
@@ -169,6 +190,7 @@ LexedSource lex_source(std::string_view src) {
         emit(q == '"' ? TokenKind::kString : TokenKind::kCharLiteral,
              q == '"' ? "\"\"" : "''");
         blank(i, stop);
+        line += count_newlines(i, stop);  // backslash-continued literals
         i = stop;
         continue;
       }
@@ -201,6 +223,7 @@ LexedSource lex_source(std::string_view src) {
       emit(c == '"' ? TokenKind::kString : TokenKind::kCharLiteral,
            c == '"' ? "\"\"" : "''");
       blank(i, stop);
+      line += count_newlines(i, stop);  // backslash-continued literals
       i = stop;
       continue;
     }

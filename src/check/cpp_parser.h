@@ -1,0 +1,135 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "check/cpp_lexer.h"
+
+namespace ntr::check {
+
+/// A lightweight declaration/scope-aware front end on top of `cpp_lexer`,
+/// shared by the `ntr_analyze` semantic passes. It recovers exactly the
+/// structure those passes reason about -- function boundaries, the block
+/// scope tree, local/parameter declarations with *coarse* types, lambda
+/// capture lists, and call expressions -- and deliberately nothing more:
+/// no preprocessing, no template instantiation, no overload resolution,
+/// no name lookup across files. Every recognizer is a documented
+/// heuristic tuned to the repo's style; see docs/static_analysis.md
+/// ("Semantic passes") for the known limits.
+
+/// One `{ ... }` region (or the whole file for scope 0). A function body,
+/// a lambda body, a class body, and a bare block each get one scope.
+struct ParsedScope {
+  std::size_t begin = 0;    ///< token index of '{' (0 for the file scope)
+  std::size_t end = 0;      ///< token index of the matching '}' (token count
+                            ///< for the file scope or an unbalanced brace)
+  int parent = -1;          ///< index into ParsedSource::scopes, -1 for file
+  int function = -1;        ///< innermost enclosing function, -1 outside
+};
+
+/// A declared name with the coarse spelling of its type. Covers function
+/// parameters, block-scope locals, and class/namespace-scope members that
+/// match the `type-tokens name terminator` shape. The classic `a * b;`
+/// expression/declaration ambiguity is resolved toward "declaration",
+/// which is harmless for the consumers (they look types *up*, never
+/// report a declaration itself).
+struct ParsedDecl {
+  std::string name;
+  std::vector<std::string> type_tokens;  ///< e.g. {"const","std","::",
+                                         ///< "unordered_map","<","int",",",
+                                         ///< "int",">","&"}
+  std::size_t name_index = 0;            ///< token index of `name`
+  std::size_t line = 0;
+  int scope = -1;                        ///< scope the name is visible in
+  bool is_param = false;                 ///< function/lambda parameter
+};
+
+/// True when `ident` appears as a whole token in the declaration's type.
+[[nodiscard]] bool decl_type_has(const ParsedDecl& decl, std::string_view ident);
+
+/// One function definition or declaration. Heuristic: an identifier
+/// followed by a balanced `(...)` that is followed -- after cv/ref/
+/// noexcept/override qualifiers, a trailing return type, or a constructor
+/// initializer list -- by `{` (definition) or `;` (declaration; only kept
+/// when a return type was seen, so plain call statements never match).
+struct ParsedFunction {
+  std::string name;                        ///< unqualified ("try_read_net")
+  std::vector<std::string> return_tokens;  ///< coarse return type; empty for
+                                           ///< constructors/destructors and
+                                           ///< macro-shaped definitions
+  std::size_t name_index = 0;
+  std::size_t line = 0;
+  std::size_t body_begin = 0;  ///< token index of '{'; 0 for declarations
+  std::size_t body_end = 0;    ///< matching '}'; 0 for declarations
+  int body_scope = -1;         ///< index into scopes; -1 for declarations
+};
+
+/// True when `ident` appears as a whole token in the return type.
+[[nodiscard]] bool return_type_has(const ParsedFunction& fn,
+                                   std::string_view ident);
+
+/// One lambda expression, with its capture list decomposed. Init-captures
+/// (`x = expr`, `&x = expr`) record the introduced name.
+struct ParsedLambda {
+  std::size_t intro = 0;       ///< token index of '['
+  std::size_t body_begin = 0;  ///< token index of '{'
+  std::size_t body_end = 0;    ///< matching '}'
+  std::size_t line = 0;
+  bool default_by_ref = false;    ///< [&]
+  bool default_by_value = false;  ///< [=]
+  bool captures_this = false;     ///< [this] or [*this]
+  std::vector<std::string> ref_captures;    ///< [&name], [&name = expr]
+  std::vector<std::string> value_captures;  ///< [name], [name = expr]
+  int body_scope = -1;
+};
+
+/// One call expression `callee(...)`. `discarded` is the property the
+/// unchecked-status pass keys on: the call roots a full-expression
+/// statement and nothing consumes its value -- the token after the
+/// closing ')' is ';' and the postfix chain starts the statement.
+struct ParsedCall {
+  std::string callee;       ///< last identifier before '(' ("try_read_net"
+                            ///< for io::try_read_net, "ok" for s.ok())
+  std::size_t name_index = 0;
+  std::size_t lparen = 0;
+  std::size_t rparen = 0;
+  std::size_t line = 0;
+  bool member_call = false;  ///< preceded by '.' or '->'
+  bool discarded = false;    ///< statement-rooted, result unused
+  bool void_cast = false;    ///< preceded by a `(void)` cast
+  int scope = -1;
+};
+
+/// The parse of one translation unit. All vectors are ordered by token
+/// position, so passes can scan them front to back deterministically.
+struct ParsedSource {
+  std::vector<ParsedScope> scopes;  ///< scopes[0] is the file scope
+  std::vector<ParsedFunction> functions;
+  std::vector<ParsedDecl> decls;
+  std::vector<ParsedLambda> lambdas;
+  std::vector<ParsedCall> calls;
+
+  /// Innermost scope containing token `index` (0, the file scope, when no
+  /// braced scope contains it).
+  [[nodiscard]] int scope_at(std::size_t index) const;
+
+  /// True when `maybe_ancestor` is `scope` or one of its ancestors.
+  [[nodiscard]] bool scope_within(int scope, int maybe_ancestor) const;
+
+  /// The declaration of `name` visible at token `index`: the match in the
+  /// deepest enclosing scope, preferring the last one declared at or
+  /// before `index` (class members used before their declaration point
+  /// still resolve -- position only breaks ties within one scope).
+  /// Returns nullptr when no declaration matches.
+  [[nodiscard]] const ParsedDecl* lookup(std::string_view name,
+                                         std::size_t index) const;
+};
+
+/// Parses one lexed translation unit. Never fails: unrecognized syntax is
+/// simply not recorded, because analysis passes must not die on fixtures
+/// or on code the heuristics do not cover.
+[[nodiscard]] ParsedSource parse_source(const LexedSource& lexed);
+
+}  // namespace ntr::check

@@ -33,7 +33,10 @@ enum class StatusCode {
 [[nodiscard]] const char* status_code_name(StatusCode code);
 
 /// A StatusCode plus a human-readable message. Cheap to copy when ok.
-class Status {
+/// Class-level [[nodiscard]]: every function returning a Status by value
+/// forces the caller to look at it (or discard with an explicit (void)),
+/// mirroring the ntr_analyze unchecked-status rule at compile time.
+class [[nodiscard]] Status {
  public:
   Status() = default;  ///< ok
   Status(StatusCode code, std::string message)
@@ -79,7 +82,7 @@ class NtrError : public std::runtime_error {
 /// Either a value or a non-ok Status. Minimal absl-flavoured carrier for
 /// the library's boundary functions.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
   StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)

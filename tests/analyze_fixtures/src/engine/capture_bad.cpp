@@ -1,0 +1,16 @@
+// Seeded escaping-ref-capture violation: a lambda capturing a local by
+// reference is handed to a deferred-execution sink, so it can run after
+// `counter` is gone. Parsed, never compiled.
+
+namespace fix::engine {
+
+struct Executor {
+  void submit(void* task);
+};
+
+void schedule(Executor& pool) {
+  int counter = 0;
+  pool.submit([&counter] { counter += 1; });
+}
+
+}  // namespace fix::engine

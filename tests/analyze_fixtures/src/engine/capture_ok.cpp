@@ -1,0 +1,25 @@
+// The same sink made safe: capture by value, a suppression carrying the
+// lifetime argument, and a by-ref lambda that never leaves its scope.
+// Must produce zero findings.
+
+namespace fix::engine {
+
+struct Executor {
+  void submit(void* task);
+};
+
+void consume(int value);
+
+void schedule_safe(Executor& pool) {
+  int counter = 0;
+  pool.submit([counter] { consume(counter); });
+  pool.submit([&counter] { counter += 1; });  // ntr-lint-allow(escaping-ref-capture) joined before return
+}
+
+void apply_inline(std::vector<int>& xs) {
+  int bias = 2;
+  auto bump = [&bias](int v) { return v + bias; };
+  for (int& v : xs) v = bump(v);
+}
+
+}  // namespace fix::engine

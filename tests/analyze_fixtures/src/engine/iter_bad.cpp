@@ -1,0 +1,14 @@
+// Seeded nondeterministic-iteration violation: hash-order writes into an
+// output vector with no ordering step, no ordered target, and no
+// justification comment. Parsed, never compiled.
+
+namespace fix::engine {
+
+void collect(const std::unordered_map<int, double>& weights,
+             std::vector<double>& out) {
+  for (const auto& entry : weights) {
+    out.push_back(entry.second);
+  }
+}
+
+}  // namespace fix::engine

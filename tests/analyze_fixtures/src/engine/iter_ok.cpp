@@ -1,0 +1,29 @@
+// Unordered-container loops that are fine, one per exemption: a
+// justification comment, an ordered-container target, a post-loop sort,
+// and loop-local state. Must produce zero findings.
+
+namespace fix::engine {
+
+double total_weight(const std::unordered_map<int, double>& weights) {
+  double sum = 0.0;
+  // ntr-determinism(floating add is accepted as commutative here)
+  for (const auto& entry : weights) {
+    sum += entry.second;
+  }
+  return sum;
+}
+
+void ordered_copy(const std::unordered_set<int>& ids, std::map<int, int>& out) {
+  for (int id : ids) {
+    out.emplace(id, id);
+  }
+}
+
+void sorted_output(const std::unordered_set<int>& ids, std::vector<int>& out) {
+  for (int id : ids) {
+    out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+}
+
+}  // namespace fix::engine

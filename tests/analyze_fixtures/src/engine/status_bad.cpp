@@ -1,0 +1,18 @@
+// Seeded unchecked-status violations: a Status-returning call whose
+// result roots a discarded statement, and a Status local never read
+// after initialization. Parsed, never compiled.
+
+namespace fix::engine {
+
+struct Status {
+  bool ok() const;
+};
+
+Status try_commit(int value);
+
+void run_pipeline() {
+  try_commit(1);
+  Status pending = try_commit(2);
+}
+
+}  // namespace fix::engine

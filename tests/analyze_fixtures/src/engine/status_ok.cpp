@@ -1,0 +1,21 @@
+// The same shapes as status_bad.cpp with every sanctioned remedy: the
+// result is tested, the discard is explicit via (void), or the line is
+// suppressed with a justification. Must produce zero findings.
+
+namespace fix::engine {
+
+struct Status {
+  bool ok() const;
+};
+
+Status try_commit(int value);
+
+int checked_pipeline() {
+  Status s = try_commit(1);
+  if (!s.ok()) return 1;
+  (void)try_commit(2);
+  try_commit(3);  // ntr-lint-allow(unchecked-status) fire-and-forget probe
+  return 0;
+}
+
+}  // namespace fix::engine

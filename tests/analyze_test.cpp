@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <filesystem>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "analyze/analyze.h"
@@ -46,9 +47,13 @@ TEST(AnalyzeFixtures, DetectsEverySeededViolation) {
   const std::vector<std::string> expected = {
       "src/app/transitive.cpp:9:transitive-include",
       "src/app/unused.cpp:1:unused-include",
+      "src/engine/capture_bad.cpp:13:escaping-ref-capture",
       "src/engine/cycle_a.h:3:include-cycle",
+      "src/engine/iter_bad.cpp:10:nondeterministic-iteration",
       "src/engine/parallel_bad.cpp:13:parallel-missing-poll",
       "src/engine/parallel_bad.cpp:14:parallel-shared-write",
+      "src/engine/status_bad.cpp:14:unchecked-status",
+      "src/engine/status_bad.cpp:15:unchecked-status",
       "src/rogue/rogue.h:1:unknown-module",
       "src/util/uplink.h:3:layering",
   };
@@ -59,6 +64,33 @@ TEST(AnalyzeFixtures, SuppressedLayeringViolationIsNotReported) {
   const AnalyzeResult result = analyze_fixture();
   for (const check::LintDiagnostic& d : result.findings)
     EXPECT_NE(d.file, "src/util/allowed_uplink.h") << d.rule << ": " << d.message;
+}
+
+TEST(AnalyzeFixtures, SemanticNegativesProduceNoFindings) {
+  // The *_ok.cpp twins exercise every sanctioned remedy for the semantic
+  // rules: tested / (void)-discarded / suppressed Status results,
+  // justified / ordered / sorted unordered-loops, and by-value or
+  // scope-local or suppressed captures.
+  const AnalyzeResult result = analyze_fixture();
+  for (const check::LintDiagnostic& d : result.findings) {
+    EXPECT_NE(d.file, "src/engine/status_ok.cpp") << d.rule << ": " << d.message;
+    EXPECT_NE(d.file, "src/engine/iter_ok.cpp") << d.rule << ": " << d.message;
+    EXPECT_NE(d.file, "src/engine/capture_ok.cpp") << d.rule << ": " << d.message;
+  }
+}
+
+TEST(AnalyzeFixtures, FindingsAreSortedAndDeduplicated) {
+  // The report contract every consumer (baseline ratchet, CI diffing,
+  // golden tests) leans on: (file, line, rule, message) order, no exact
+  // duplicates.
+  const AnalyzeResult result = analyze_fixture();
+  const auto key = [](const check::LintDiagnostic& d) {
+    return std::tie(d.file, d.line, d.rule, d.message);
+  };
+  for (std::size_t i = 1; i < result.findings.size(); ++i)
+    EXPECT_TRUE(key(result.findings[i - 1]) < key(result.findings[i]))
+        << result.findings[i - 1].file << ":" << result.findings[i - 1].line
+        << " vs " << result.findings[i].file << ":" << result.findings[i].line;
 }
 
 TEST(AnalyzeFixtures, MessagesNameTheStructure) {
@@ -76,6 +108,16 @@ TEST(AnalyzeFixtures, MessagesNameTheStructure) {
   EXPECT_NE(with_rule("transitive-include").find("src/util/strings.h"),
             std::string::npos);
   EXPECT_NE(with_rule("unused-include").find("util/strings.h"),
+            std::string::npos);
+  EXPECT_NE(with_rule("unchecked-status").find("'try_commit'"),
+            std::string::npos);
+  EXPECT_NE(with_rule("nondeterministic-iteration").find("'weights'"),
+            std::string::npos);
+  EXPECT_NE(with_rule("nondeterministic-iteration").find("ntr-determinism("),
+            std::string::npos);
+  EXPECT_NE(with_rule("escaping-ref-capture").find("[&counter]"),
+            std::string::npos);
+  EXPECT_NE(with_rule("escaping-ref-capture").find("'submit'"),
             std::string::npos);
 }
 

@@ -1,0 +1,303 @@
+// Unit tests for the scope-aware C++ front end (check/cpp_parser.h) the
+// ntr_analyze semantic passes are built on. These pin down the exact
+// recognizer behavior -- function boundaries, scope nesting, coarse
+// declarations, lambda captures, call discardedness -- so a parser
+// regression shows up here, not as a silently blind dataflow pass.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+
+#include "check/cpp_lexer.h"
+#include "check/cpp_parser.h"
+
+namespace ntr::check {
+namespace {
+
+ParsedSource parse(std::string_view src) {
+  return parse_source(lex_source(src));
+}
+
+const ParsedFunction* find_fn(const ParsedSource& p, std::string_view name) {
+  for (const ParsedFunction& fn : p.functions)
+    if (fn.name == name) return &fn;
+  return nullptr;
+}
+
+const ParsedDecl* find_decl(const ParsedSource& p, std::string_view name) {
+  for (const ParsedDecl& d : p.decls)
+    if (d.name == name) return &d;
+  return nullptr;
+}
+
+const ParsedCall* find_call(const ParsedSource& p, std::string_view callee) {
+  for (const ParsedCall& c : p.calls)
+    if (c.callee == callee) return &c;
+  return nullptr;
+}
+
+// ------------------------------------------------------------- functions
+
+TEST(CppParser, FindsFreeFunctionDefinitionWithReturnType) {
+  const ParsedSource p = parse(
+      "namespace x {\n"
+      "runtime::StatusOr<int> try_parse(std::string_view s) {\n"
+      "  return 1;\n"
+      "}\n"
+      "}\n");
+  const ParsedFunction* fn = find_fn(p, "try_parse");
+  ASSERT_NE(fn, nullptr);
+  EXPECT_TRUE(return_type_has(*fn, "StatusOr"));
+  EXPECT_FALSE(return_type_has(*fn, "Status"));
+  EXPECT_NE(fn->body_begin, 0u);
+  EXPECT_GT(fn->body_end, fn->body_begin);
+  EXPECT_EQ(fn->line, 2u);
+}
+
+TEST(CppParser, FindsDeclarationOnlyFunctions) {
+  const ParsedSource p = parse(
+      "[[nodiscard]] runtime::Status validate(const Net& net);\n"
+      "void run();\n");
+  const ParsedFunction* validate = find_fn(p, "validate");
+  ASSERT_NE(validate, nullptr);
+  EXPECT_EQ(validate->body_begin, 0u);
+  EXPECT_TRUE(return_type_has(*validate, "Status"));
+  ASSERT_NE(find_fn(p, "run"), nullptr);
+}
+
+TEST(CppParser, CallStatementIsNotAFunctionDeclaration) {
+  const ParsedSource p = parse(
+      "void caller() {\n"
+      "  helper(1, 2);\n"
+      "  other.method();\n"
+      "}\n");
+  EXPECT_EQ(find_fn(p, "helper"), nullptr);
+  EXPECT_EQ(find_fn(p, "method"), nullptr);
+  ASSERT_NE(find_fn(p, "caller"), nullptr);
+}
+
+TEST(CppParser, HandlesQualifiedNamesCtorInitListsAndTrailingReturn) {
+  const ParsedSource p = parse(
+      "Foo::Foo(int x) : a_(x), b_{x + 1} { init(); }\n"
+      "auto Foo::get() const -> const std::vector<int>& { return v_; }\n");
+  const ParsedFunction* ctor = find_fn(p, "Foo");
+  ASSERT_NE(ctor, nullptr);
+  EXPECT_NE(ctor->body_begin, 0u);
+  const ParsedFunction* get = find_fn(p, "get");
+  ASSERT_NE(get, nullptr);
+  EXPECT_NE(get->body_begin, 0u);
+}
+
+TEST(CppParser, ControlFlowKeywordsAreNeverFunctions) {
+  const ParsedSource p = parse(
+      "void f(bool c) {\n"
+      "  if (c) { g(); }\n"
+      "  while (c) { h(); }\n"
+      "  for (int i = 0; i < 3; ++i) { }\n"
+      "  switch (0) { default: break; }\n"
+      "}\n");
+  EXPECT_EQ(find_fn(p, "if"), nullptr);
+  EXPECT_EQ(find_fn(p, "while"), nullptr);
+  EXPECT_EQ(find_fn(p, "for"), nullptr);
+  EXPECT_EQ(find_fn(p, "switch"), nullptr);
+}
+
+// ----------------------------------------------------------------- scopes
+
+TEST(CppParser, ScopesNestAndTagTheirFunction) {
+  const ParsedSource p = parse(
+      "void outer() {\n"
+      "  {\n"
+      "    int x = 0;\n"
+      "  }\n"
+      "}\n"
+      "int later;\n");
+  const ParsedFunction* outer = find_fn(p, "outer");
+  ASSERT_NE(outer, nullptr);
+  const ParsedDecl* x = find_decl(p, "x");
+  ASSERT_NE(x, nullptr);
+  const ParsedScope& xs = p.scopes[static_cast<std::size_t>(x->scope)];
+  EXPECT_GE(xs.function, 0);
+  EXPECT_EQ(p.functions[static_cast<std::size_t>(xs.function)].name, "outer");
+  const ParsedDecl* later = find_decl(p, "later");
+  ASSERT_NE(later, nullptr);
+  EXPECT_EQ(later->scope, 0);
+}
+
+// ----------------------------------------------------------- declarations
+
+TEST(CppParser, RecordsLocalsWithCoarseTypes) {
+  const ParsedSource p = parse(
+      "void f() {\n"
+      "  const std::unordered_map<std::string, int>& m = get();\n"
+      "  std::vector<double> out;\n"
+      "  runtime::Status st = check();\n"
+      "}\n");
+  const ParsedDecl* m = find_decl(p, "m");
+  ASSERT_NE(m, nullptr);
+  EXPECT_TRUE(decl_type_has(*m, "unordered_map"));
+  EXPECT_FALSE(decl_type_has(*m, "unordered_set"));
+  const ParsedDecl* out = find_decl(p, "out");
+  ASSERT_NE(out, nullptr);
+  EXPECT_TRUE(decl_type_has(*out, "vector"));
+  const ParsedDecl* st = find_decl(p, "st");
+  ASSERT_NE(st, nullptr);
+  EXPECT_TRUE(decl_type_has(*st, "Status"));
+}
+
+TEST(CppParser, RecordsFunctionParameters) {
+  const ParsedSource p = parse(
+      "int sum(const std::vector<int>& values, std::size_t limit) {\n"
+      "  return 0;\n"
+      "}\n");
+  const ParsedDecl* values = find_decl(p, "values");
+  ASSERT_NE(values, nullptr);
+  EXPECT_TRUE(values->is_param);
+  EXPECT_TRUE(decl_type_has(*values, "vector"));
+  const ParsedDecl* limit = find_decl(p, "limit");
+  ASSERT_NE(limit, nullptr);
+  EXPECT_TRUE(limit->is_param);
+}
+
+TEST(CppParser, RecordsRangeForAndMultiDeclarators) {
+  const ParsedSource p = parse(
+      "void f(const std::unordered_set<int>& pool) {\n"
+      "  int a = 0, b = 1;\n"
+      "  for (const int v : pool) { (void)v; }\n"
+      "}\n");
+  EXPECT_NE(find_decl(p, "a"), nullptr);
+  EXPECT_NE(find_decl(p, "b"), nullptr);
+  const ParsedDecl* v = find_decl(p, "v");
+  ASSERT_NE(v, nullptr);
+  EXPECT_TRUE(decl_type_has(*v, "int"));
+}
+
+TEST(CppParser, LookupPrefersTheInnermostDeclaration) {
+  const ParsedSource p = parse(
+      "std::unordered_map<int, int> m;\n"
+      "void f() {\n"
+      "  std::vector<int> m;\n"
+      "  use(m);\n"
+      "}\n");
+  const ParsedCall* use = find_call(p, "use");
+  ASSERT_NE(use, nullptr);
+  const ParsedDecl* inner = p.lookup("m", use->name_index);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_TRUE(decl_type_has(*inner, "vector"));
+  // At file scope (before f's body) the global is the visible one.
+  const ParsedDecl* outerm = p.lookup("m", 1);
+  ASSERT_NE(outerm, nullptr);
+  EXPECT_TRUE(decl_type_has(*outerm, "unordered_map"));
+}
+
+// ---------------------------------------------------------------- lambdas
+
+TEST(CppParser, DecomposesCaptureLists) {
+  const ParsedSource p = parse(
+      "void f() {\n"
+      "  int a = 0, b = 0;\n"
+      "  auto l1 = [&]() { return a; };\n"
+      "  auto l2 = [=]() { return b; };\n"
+      "  auto l3 = [&a, b, this]() { return a + b; };\n"
+      "  auto l4 = [&total = a](int x) { return total + x; };\n"
+      "}\n");
+  ASSERT_EQ(p.lambdas.size(), 4u);
+  EXPECT_TRUE(p.lambdas[0].default_by_ref);
+  EXPECT_TRUE(p.lambdas[1].default_by_value);
+  ASSERT_EQ(p.lambdas[2].ref_captures.size(), 1u);
+  EXPECT_EQ(p.lambdas[2].ref_captures[0], "a");
+  ASSERT_EQ(p.lambdas[2].value_captures.size(), 1u);
+  EXPECT_EQ(p.lambdas[2].value_captures[0], "b");
+  EXPECT_TRUE(p.lambdas[2].captures_this);
+  ASSERT_EQ(p.lambdas[3].ref_captures.size(), 1u);
+  EXPECT_EQ(p.lambdas[3].ref_captures[0], "total");
+}
+
+TEST(CppParser, LambdaParametersBecomeBodyScopeDecls) {
+  const ParsedSource p = parse(
+      "void f() {\n"
+      "  auto l = [](std::size_t lane, std::size_t begin) { use(lane, begin); };\n"
+      "}\n");
+  ASSERT_EQ(p.lambdas.size(), 1u);
+  const ParsedDecl* lane = find_decl(p, "lane");
+  ASSERT_NE(lane, nullptr);
+  EXPECT_TRUE(lane->is_param);
+  EXPECT_EQ(lane->scope, p.lambdas[0].body_scope);
+}
+
+TEST(CppParser, SubscriptsAndAttributesAreNotLambdas) {
+  const ParsedSource p = parse(
+      "[[nodiscard]] int f(std::vector<int>& v) {\n"
+      "  v[0] = 1;\n"
+      "  return v[0];\n"
+      "}\n");
+  EXPECT_TRUE(p.lambdas.empty());
+}
+
+// ------------------------------------------------------------------ calls
+
+TEST(CppParser, ClassifiesDiscardedCalls) {
+  const ParsedSource p = parse(
+      "void f() {\n"
+      "  helper();\n"
+      "  int x = used();\n"
+      "  (void)explicitly_ignored();\n"
+      "  if (tested()) { }\n"
+      "  return;\n"
+      "}\n");
+  const ParsedCall* helper = find_call(p, "helper");
+  ASSERT_NE(helper, nullptr);
+  EXPECT_TRUE(helper->discarded);
+  const ParsedCall* used = find_call(p, "used");
+  ASSERT_NE(used, nullptr);
+  EXPECT_FALSE(used->discarded);
+  const ParsedCall* ignored = find_call(p, "explicitly_ignored");
+  ASSERT_NE(ignored, nullptr);
+  EXPECT_FALSE(ignored->discarded);
+  EXPECT_TRUE(ignored->void_cast);
+  const ParsedCall* tested = find_call(p, "tested");
+  ASSERT_NE(tested, nullptr);
+  EXPECT_FALSE(tested->discarded);
+}
+
+TEST(CppParser, MemberAndQualifiedChainsRootCorrectly) {
+  const ParsedSource p = parse(
+      "void f() {\n"
+      "  io::try_read_net(\"x\");\n"
+      "  result.status();\n"
+      "  obj.chain().next();\n"
+      "  if (r.ok()) { }\n"
+      "}\n");
+  const ParsedCall* try_read = find_call(p, "try_read_net");
+  ASSERT_NE(try_read, nullptr);
+  EXPECT_TRUE(try_read->discarded);
+  EXPECT_FALSE(try_read->member_call);
+  const ParsedCall* status = find_call(p, "status");
+  ASSERT_NE(status, nullptr);
+  EXPECT_TRUE(status->member_call);
+  EXPECT_TRUE(status->discarded);
+  // chain() feeds .next(), so only next() is the discarded one.
+  const ParsedCall* chain = find_call(p, "chain");
+  ASSERT_NE(chain, nullptr);
+  EXPECT_FALSE(chain->discarded);
+  const ParsedCall* next = find_call(p, "next");
+  ASSERT_NE(next, nullptr);
+  EXPECT_TRUE(next->discarded);
+  const ParsedCall* ok = find_call(p, "ok");
+  ASSERT_NE(ok, nullptr);
+  EXPECT_FALSE(ok->discarded);
+}
+
+TEST(CppParser, ReturnedCallsAreUsed) {
+  const ParsedSource p = parse(
+      "int f() {\n"
+      "  return compute();\n"
+      "}\n");
+  const ParsedCall* compute = find_call(p, "compute");
+  ASSERT_NE(compute, nullptr);
+  EXPECT_FALSE(compute->discarded);
+}
+
+}  // namespace
+}  // namespace ntr::check

@@ -3,8 +3,10 @@
 // Where ntr_lint checks one file at a time, ntr_analyze loads the whole
 // tree, resolves the include graph, and enforces cross-file structure:
 // the declared module layering (docs/layering.conf), include-cycle
-// freedom, the parallel-lane concurrency discipline from PR 3, and
-// include-what-you-use hygiene. CI runs it as a required step; see
+// freedom, the parallel-lane concurrency discipline from PR 3,
+// include-what-you-use hygiene, and the semantic dataflow rules on the
+// scope-aware parse (unchecked-status, nondeterministic-iteration,
+// escaping-ref-capture). CI runs it as a required step; see
 // docs/static_analysis.md for the rules and the suppression syntax.
 
 #include <cstdio>
@@ -27,8 +29,10 @@ void usage(std::FILE* out) {
       "(default: src tools tests, resolved against --root, default '.'),\n"
       "resolves the project include graph, and runs the structural\n"
       "passes: layering (against --layers, default docs/layering.conf\n"
-      "under the root), include-cycle, concurrency discipline, and\n"
-      "include hygiene.\n"
+      "under the root), include-cycle, concurrency discipline, include\n"
+      "hygiene, and the semantic dataflow passes on the scope-aware\n"
+      "parse (unchecked-status, nondeterministic-iteration,\n"
+      "escaping-ref-capture; src/ only).\n"
       "\n"
       "  --graph-dot FILE   also write the module dependency DAG as\n"
       "                     GraphViz DOT ('-' for stdout)\n"
