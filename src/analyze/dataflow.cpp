@@ -131,7 +131,7 @@ void check_unchecked_status(
   }
 
   // A local holding a Status/StatusOr that is never read again. `auto`
-  // locals resolve through the initializer's first call.
+  // locals resolve through the initializer's outermost call.
   for (const ParsedDecl& decl : ctx.parsed.decls) {
     if (decl.is_param) continue;
     if (decl.scope < 0) continue;
@@ -142,16 +142,23 @@ void check_unchecked_status(
     if (!status_typed && check::decl_type_has(decl, "auto") &&
         decl.name_index + 1 < toks.size() &&
         is_punct(toks[decl.name_index + 1], "=")) {
-      // `auto r = try_x(...)`: the first call of the initializer decides.
+      // `auto r = try_x(...)`: the outermost call of the initializer's
+      // postfix chain decides -- the one whose rparen is last before the
+      // ';'. Keying off the first call by token order would type
+      // `try_read().value()` as Status and `registry.lookup(k).commit()`
+      // as whatever `lookup` returns.
       std::size_t stmt_end = decl.name_index + 2;
       while (stmt_end < toks.size() && !is_punct(toks[stmt_end], ";"))
         ++stmt_end;
+      const ParsedCall* outermost = nullptr;
       for (const ParsedCall& call : ctx.parsed.calls) {
         if (call.name_index <= decl.name_index || call.name_index >= stmt_end)
           continue;
-        status_typed = status_fns.contains(call.callee);
-        break;
+        if (outermost == nullptr || call.rparen > outermost->rparen)
+          outermost = &call;
       }
+      if (outermost != nullptr)
+        status_typed = status_fns.contains(outermost->callee);
     }
     if (!status_typed) continue;
 

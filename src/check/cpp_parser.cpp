@@ -65,9 +65,10 @@ std::size_t match_backward(const std::vector<Token>& toks, std::size_t close) {
 
 /// Matching '>' of a template argument list opened at `open`, tracking
 /// only '<'/'>' nesting and giving up at ';' or braces (a bare less-than
-/// comparison). Shift tokens ('<<', '>>') also end the attempt: the repo
-/// style never spells nested template closers as '>>'-free, but a shift
-/// inside a type is not something the coarse parser needs to survive.
+/// comparison). A '>>' token while two or more lists are open closes two
+/// of them (`vector<vector<int>>` lexes the tail as one '>>' by maximal
+/// munch); at lower depth it is an actual right shift and ends the
+/// attempt, as does '<<'.
 std::size_t match_template(const std::vector<Token>& toks, std::size_t open) {
   int depth = 0;
   for (std::size_t i = open; i < toks.size(); ++i) {
@@ -81,6 +82,11 @@ std::size_t match_template(const std::vector<Token>& toks, std::size_t open) {
     }
     if (t.text == "<") ++depth;
     if (t.text == ">" && --depth == 0) return i;
+    if (t.text == ">>" && depth >= 2) {
+      depth -= 2;
+      if (depth == 0) return i;
+      continue;
+    }
     if (t.text == ";" || t.text == "{" || t.text == "}" || t.text == ")" ||
         t.text == "<<" || t.text == ">>")
       break;  // a bare less-than comparison, not a template argument list
@@ -499,6 +505,24 @@ ParsedSource parse_source(const LexedSource& lexed) {
     out.functions.push_back(std::move(fn));
   }
 
+  // Drop "declarations" that sit inside a function body: those are call
+  // statements or `T x(3);` locals the declaration heuristic cannot
+  // distinguish, and keeping them would pollute the project-wide
+  // return-type map. This must happen before scopes are tagged with
+  // function indices below: erasing afterwards would leave the tags
+  // pointing into the shrunken vector.
+  {
+    std::vector<std::pair<std::size_t, std::size_t>> bodies;
+    for (const ParsedFunction& fn : out.functions)
+      if (fn.body_begin != 0) bodies.emplace_back(fn.body_begin, fn.body_end);
+    std::erase_if(out.functions, [&](const ParsedFunction& fn) {
+      if (fn.body_begin != 0) return false;
+      for (const auto& [begin, end] : bodies)
+        if (begin < fn.name_index && fn.name_index < end) return true;
+      return false;
+    });
+  }
+
   // Tag every scope with its innermost enclosing function definition.
   for (std::size_t s = 0; s < out.scopes.size(); ++s) {
     std::size_t best_begin = 0;
@@ -512,15 +536,6 @@ ParsedSource parse_source(const LexedSource& lexed) {
       }
     }
   }
-  // Drop "declarations" that sit inside a function body: those are call
-  // statements or `T x(3);` locals the declaration heuristic cannot
-  // distinguish, and keeping them would pollute the project-wide
-  // return-type map.
-  std::erase_if(out.functions, [&](const ParsedFunction& fn) {
-    return fn.body_begin == 0 &&
-           out.scopes[static_cast<std::size_t>(out.scope_at(fn.name_index))]
-                   .function != -1;
-  });
 
   // Parameters of function definitions.
   for (const ParsedFunction& fn : out.functions) {
@@ -587,8 +602,12 @@ ParsedSource parse_source(const LexedSource& lexed) {
     if (k >= toks.size()) continue;
     static constexpr std::array<std::string_view, 7> kTerm = {
         "=", ";", ",", "{", "[", ":", ")"};
+    // Direct-initialization `T x(3);` -- but only when the name is not
+    // itself qualified: `io::try_read_net(buf);` is a call statement, not
+    // a declaration of `try_read_net` with type tokens {io, ::}.
     const bool ctor_init =
         is_punct(toks[k], "(") &&
+        !(name_at >= 1 && is_punct(toks[name_at - 1], "::")) &&
         out.scopes[static_cast<std::size_t>(out.scope_at(i))].function != -1;
     if (!ctor_init &&
         !(toks[k].kind == TokenKind::kPunct &&

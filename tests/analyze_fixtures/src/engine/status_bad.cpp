@@ -15,4 +15,15 @@ void run_pipeline() {
   Status pending = try_commit(2);
 }
 
+struct Registry {
+  int lookup(int key);
+  Status commit();
+};
+
+// The auto local's type comes from the OUTERMOST call of the chain:
+// `lookup` returns int, but the trailing `commit()` yields a Status.
+void chained_pipeline(Registry& registry) {
+  auto deferred = registry.lookup(4).commit();
+}
+
 }  // namespace fix::engine

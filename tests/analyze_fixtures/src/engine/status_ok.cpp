@@ -18,4 +18,13 @@ int checked_pipeline() {
   return 0;
 }
 
+Status try_read();
+
+// `try_read` returns a Status, but the auto local holds what the
+// OUTERMOST call of the chain returns -- not a Status, so leaving it
+// unread is not an unchecked-status finding.
+void wrapped_value_probe() {
+  auto inner = try_read().value();
+}
+
 }  // namespace fix::engine

@@ -54,6 +54,7 @@ TEST(AnalyzeFixtures, DetectsEverySeededViolation) {
       "src/engine/parallel_bad.cpp:14:parallel-shared-write",
       "src/engine/status_bad.cpp:14:unchecked-status",
       "src/engine/status_bad.cpp:15:unchecked-status",
+      "src/engine/status_bad.cpp:26:unchecked-status",
       "src/rogue/rogue.h:1:unknown-module",
       "src/util/uplink.h:3:layering",
   };

@@ -105,6 +105,28 @@ TEST(CppParser, ControlFlowKeywordsAreNeverFunctions) {
 
 // ----------------------------------------------------------------- scopes
 
+TEST(CppParser, ScopeFunctionTagsSurviveStatementPruning) {
+  // `return compute(x);` first parses as a declaration-only
+  // pseudo-function; it must be pruned before scopes are tagged with
+  // function indices, or every later function's tag is stale -- here
+  // `second` would be tagged 2 with only 2 functions surviving.
+  const ParsedSource p = parse(
+      "int helper(int x) {\n"
+      "  return compute(x);\n"
+      "}\n"
+      "void second() {\n"
+      "  int y = 0;\n"
+      "}\n");
+  EXPECT_EQ(find_fn(p, "compute"), nullptr);
+  ASSERT_EQ(p.functions.size(), 2u);
+  const ParsedDecl* y = find_decl(p, "y");
+  ASSERT_NE(y, nullptr);
+  const ParsedScope& ys = p.scopes[static_cast<std::size_t>(y->scope)];
+  ASSERT_GE(ys.function, 0);
+  ASSERT_LT(static_cast<std::size_t>(ys.function), p.functions.size());
+  EXPECT_EQ(p.functions[static_cast<std::size_t>(ys.function)].name, "second");
+}
+
 TEST(CppParser, ScopesNestAndTagTheirFunction) {
   const ParsedSource p = parse(
       "void outer() {\n"
@@ -171,6 +193,37 @@ TEST(CppParser, RecordsRangeForAndMultiDeclarators) {
   const ParsedDecl* v = find_decl(p, "v");
   ASSERT_NE(v, nullptr);
   EXPECT_TRUE(decl_type_has(*v, "int"));
+}
+
+TEST(CppParser, NestedTemplateClosersParseAsDeclarations) {
+  // `>>` lexes as one token by maximal munch; inside a template argument
+  // list at depth >= 2 it closes two lists, it is not a right shift.
+  const ParsedSource p = parse(
+      "void f() {\n"
+      "  std::unordered_map<int, std::vector<int>> grouped;\n"
+      "  std::vector<std::vector<std::vector<int>>> deep;\n"
+      "}\n");
+  const ParsedDecl* grouped = find_decl(p, "grouped");
+  ASSERT_NE(grouped, nullptr);
+  EXPECT_TRUE(decl_type_has(*grouped, "unordered_map"));
+  const ParsedDecl* deep = find_decl(p, "deep");
+  ASSERT_NE(deep, nullptr);
+  EXPECT_TRUE(decl_type_has(*deep, "vector"));
+}
+
+TEST(CppParser, QualifiedCallStatementsAreNotCtorInitDecls) {
+  // `io::try_read_net(buf);` is a call statement; recording it as a
+  // direct-initialized declaration named `try_read_net` would shadow
+  // real outer declarations in later lookups.
+  const ParsedSource p = parse(
+      "void f(Buffer& buf) {\n"
+      "  io::try_read_net(buf);\n"
+      "  net::Grid grid(3);\n"
+      "}\n");
+  EXPECT_EQ(find_decl(p, "try_read_net"), nullptr);
+  const ParsedDecl* grid = find_decl(p, "grid");
+  ASSERT_NE(grid, nullptr);
+  EXPECT_TRUE(decl_type_has(*grid, "Grid"));
 }
 
 TEST(CppParser, LookupPrefersTheInnermostDeclaration) {
