@@ -22,10 +22,17 @@ from collections import Counter
 
 
 def load_counts(findings_path: str) -> Counter:
+    """Accepts both --json shapes: the bare findings array emitted before
+    the analyzer reported run metadata, and the current object form
+    {"wall_ms": ..., "files": ..., "findings": [...]}."""
     with open(findings_path, encoding="utf-8") as f:
         findings = json.load(f)
+    if isinstance(findings, dict):
+        findings = findings.get("findings")
     if not isinstance(findings, list):
-        raise SystemExit(f"{findings_path}: expected a JSON array of findings")
+        raise SystemExit(
+            f"{findings_path}: expected a findings array or an object "
+            "with a 'findings' key")
     return Counter(d["rule"] for d in findings)
 
 

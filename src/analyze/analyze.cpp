@@ -1,17 +1,70 @@
 #include "analyze/analyze.h"
 
 #include <algorithm>
+#include <chrono>
+#include <map>
+#include <set>
 #include <tuple>
 
 #include "analyze/concurrency.h"
 #include "analyze/dataflow.h"
 #include "analyze/include_hygiene.h"
 #include "analyze/layering.h"
+#include "analyze/reentrancy.h"
 
 namespace ntr::analyze {
 
+namespace {
+
+/// Rule name -> the pass that owns it, for --only routing.
+const std::map<std::string, std::string, std::less<>>& rule_passes() {
+  static const std::map<std::string, std::string, std::less<>> kMap = {
+      {"layering", "layering"},
+      {"unknown-module", "layering"},
+      {"include-cycle", "include_cycles"},
+      {"parallel-shared-write", "concurrency"},
+      {"parallel-missing-poll", "concurrency"},
+      {"unused-include", "include_hygiene"},
+      {"transitive-include", "include_hygiene"},
+      {"unchecked-status", "dataflow"},
+      {"nondeterministic-iteration", "dataflow"},
+      {"escaping-ref-capture", "dataflow"},
+      {"global-mutable-state", "reentrancy"},
+      {"alloc-in-hot-path", "reentrancy"},
+      {"blocking-in-lane", "reentrancy"},
+  };
+  return kMap;
+}
+
+}  // namespace
+
 AnalyzeResult analyze(const AnalyzeOptions& options) {
+  const auto started = std::chrono::steady_clock::now();
   AnalyzeResult result;
+
+  bool layering = options.layering;
+  bool include_cycles = options.include_cycles;
+  bool concurrency = options.concurrency;
+  bool include_hygiene = options.include_hygiene;
+  bool dataflow = options.dataflow;
+  bool reentrancy = options.reentrancy;
+  if (!options.only_rules.empty()) {
+    std::set<std::string, std::less<>> passes;
+    for (const std::string& rule : options.only_rules) {
+      const auto it = rule_passes().find(rule);
+      if (it == rule_passes().end()) {
+        result.error = "unknown rule for --only: " + rule;
+        return result;
+      }
+      passes.insert(it->second);
+    }
+    layering = passes.contains("layering");
+    include_cycles = passes.contains("include_cycles");
+    concurrency = passes.contains("concurrency");
+    include_hygiene = passes.contains("include_hygiene");
+    dataflow = passes.contains("dataflow");
+    reentrancy = passes.contains("reentrancy");
+  }
 
   std::filesystem::path conf = options.layer_config_path;
   if (conf.empty()) conf = options.root / "docs" / "layering.conf";
@@ -21,17 +74,30 @@ AnalyzeResult analyze(const AnalyzeOptions& options) {
   std::vector<std::filesystem::path> paths = options.paths;
   if (paths.empty()) paths = {"src", "tools", "tests"};
   result.project = load_project(options.root, paths);
+  result.callgraph = build_call_graph(result.project);
 
   auto append = [&](std::vector<check::LintDiagnostic> findings) {
     result.findings.insert(result.findings.end(),
                            std::make_move_iterator(findings.begin()),
                            std::make_move_iterator(findings.end()));
   };
-  if (options.layering) append(check_layering(result.project, result.config));
-  if (options.include_cycles) append(check_include_cycles(result.project));
-  if (options.concurrency) append(check_concurrency(result.project));
-  if (options.include_hygiene) append(check_include_hygiene(result.project));
-  if (options.dataflow) append(check_dataflow(result.project));
+  if (layering) append(check_layering(result.project, result.config));
+  if (include_cycles) append(check_include_cycles(result.project));
+  if (concurrency) append(check_concurrency(result.project));
+  if (include_hygiene) append(check_include_hygiene(result.project));
+  if (dataflow) append(check_dataflow(result.project));
+  if (reentrancy)
+    append(check_reentrancy(result.project, result.callgraph, options.entries));
+
+  // --only keeps exactly the named rules: a pass that owns several rules
+  // still runs whole, so the filter is on the findings.
+  if (!options.only_rules.empty()) {
+    const std::set<std::string, std::less<>> keep(options.only_rules.begin(),
+                                                  options.only_rules.end());
+    std::erase_if(result.findings, [&](const check::LintDiagnostic& d) {
+      return !keep.contains(d.rule);
+    });
+  }
 
   // The report contract: findings are (file, line, rule, message)-ordered
   // and exactly duplicate findings collapse, so reruns, pass reorderings,
@@ -50,6 +116,9 @@ AnalyzeResult analyze(const AnalyzeOptions& options) {
                            std::tie(b.file, b.line, b.rule, b.message);
                   }),
       result.findings.end());
+  result.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - started)
+                       .count();
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "analyze/callgraph.h"
 #include "analyze/include_graph.h"
 #include "analyze/layering.h"
 #include "analyze/source_model.h"
@@ -26,6 +27,16 @@ struct AnalyzeOptions {
   /// nondeterministic-iteration, escaping-ref-capture); see
   /// analyze/dataflow.h.
   bool dataflow = true;
+  /// The interprocedural reachability passes (global-mutable-state,
+  /// alloc-in-hot-path, blocking-in-lane); see analyze/reentrancy.h.
+  bool reentrancy = true;
+  /// Non-empty: run only the passes owning these rule names and keep only
+  /// their findings. An unknown rule name is a fatal `error` (exit 2).
+  std::vector<std::string> only_rules;
+  /// Entry-point specs for global-mutable-state (CallGraph::find_nodes
+  /// syntax). Empty means the engine defaults: run_timing_flow + the
+  /// *ldrg* family.
+  std::vector<std::string> entries;
 };
 
 /// Everything a caller needs: the findings (sorted by file/line/rule),
@@ -36,6 +47,11 @@ struct AnalyzeResult {
   std::vector<check::LintDiagnostic> findings;
   Project project;
   LayerConfig config;
+  /// The whole-project call graph (always built; the CLI renders it with
+  /// --callgraph-dot without re-scanning).
+  CallGraph callgraph;
+  /// Wall-clock time of the full run, load through passes, milliseconds.
+  double wall_ms = 0.0;
   std::string error;
 };
 

@@ -101,7 +101,7 @@ bool determinism_justified(const Project& project, std::size_t file,
 
 struct FileCtx {
   const SourceFile* sf = nullptr;
-  ParsedSource parsed;
+  const ParsedSource* parsed = nullptr;  ///< SourceFile::parsed, shared
 };
 
 // ------------------------------------------------------- unchecked-status
@@ -121,7 +121,7 @@ void check_unchecked_status(
   };
 
   // A Status-returning call whose result roots a discarded statement.
-  for (const ParsedCall& call : ctx.parsed.calls) {
+  for (const ParsedCall& call : ctx.parsed->calls) {
     if (!call.discarded) continue;
     if (!status_fns.contains(call.callee)) continue;
     report(call.line,
@@ -132,10 +132,10 @@ void check_unchecked_status(
 
   // A local holding a Status/StatusOr that is never read again. `auto`
   // locals resolve through the initializer's outermost call.
-  for (const ParsedDecl& decl : ctx.parsed.decls) {
+  for (const ParsedDecl& decl : ctx.parsed->decls) {
     if (decl.is_param) continue;
     if (decl.scope < 0) continue;
-    const auto& scope = ctx.parsed.scopes[static_cast<std::size_t>(decl.scope)];
+    const auto& scope = ctx.parsed->scopes[static_cast<std::size_t>(decl.scope)];
     if (scope.function == -1) continue;  // members: used across functions
     bool status_typed = check::decl_type_has(decl, "Status") ||
                         check::decl_type_has(decl, "StatusOr");
@@ -151,7 +151,7 @@ void check_unchecked_status(
       while (stmt_end < toks.size() && !is_punct(toks[stmt_end], ";"))
         ++stmt_end;
       const ParsedCall* outermost = nullptr;
-      for (const ParsedCall& call : ctx.parsed.calls) {
+      for (const ParsedCall& call : ctx.parsed->calls) {
         if (call.name_index <= decl.name_index || call.name_index >= stmt_end)
           continue;
         if (outermost == nullptr || call.rparen > outermost->rparen)
@@ -188,7 +188,7 @@ void check_nondeterministic_iteration(const Project& project, std::size_t fi,
                                       std::vector<check::LintDiagnostic>& out) {
   const SourceFile& sf = *ctx.sf;
   const std::vector<Token>& toks = sf.lexed.tokens;
-  const ParsedSource& parsed = ctx.parsed;
+  const ParsedSource& parsed = *ctx.parsed;
   const auto report = [&](std::size_t line, std::string message) {
     if (check::lint_suppressed(project.raw_line(fi, line), sf.content,
                                "nondeterministic-iteration"))
@@ -350,7 +350,7 @@ void check_escaping_ref_capture(const Project& project, std::size_t fi,
                                 std::vector<check::LintDiagnostic>& out) {
   const SourceFile& sf = *ctx.sf;
   const std::vector<Token>& toks = sf.lexed.tokens;
-  const ParsedSource& parsed = ctx.parsed;
+  const ParsedSource& parsed = *ctx.parsed;
   const auto report = [&](std::size_t line, std::string message) {
     if (check::lint_suppressed(project.raw_line(fi, line), sf.content,
                                "escaping-ref-capture"))
@@ -472,8 +472,8 @@ std::vector<check::LintDiagnostic> check_dataflow(const Project& project) {
   std::set<std::string, std::less<>> status_fns;
   for (std::size_t fi = 0; fi < project.files.size(); ++fi) {
     ctxs[fi].sf = &project.files[fi];
-    ctxs[fi].parsed = check::parse_source(project.files[fi].lexed);
-    for (const ParsedFunction& fn : ctxs[fi].parsed.functions) {
+    ctxs[fi].parsed = &project.files[fi].parsed;  // parsed once at load
+    for (const ParsedFunction& fn : ctxs[fi].parsed->functions) {
       if (fn.name == "Status" || fn.name == "StatusOr") continue;
       if (check::return_type_has(fn, "Status") ||
           check::return_type_has(fn, "StatusOr"))

@@ -116,6 +116,7 @@ Project load_project(const std::filesystem::path& root,
       sf.content = buffer.str();
     }
     sf.lexed = check::lex_source(sf.content);
+    sf.parsed = check::parse_source(sf.lexed);
     project.files.push_back(std::move(sf));
   }
   std::sort(project.files.begin(), project.files.end(),

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "check/cpp_lexer.h"
+#include "check/cpp_parser.h"
 
 namespace ntr::analyze {
 
@@ -20,6 +21,10 @@ struct SourceFile {
   bool is_header = false;
   std::string content;      ///< raw bytes, for suppression lookups
   check::LexedSource lexed;
+  /// The scope-aware parse of `lexed`, built once at load time and shared
+  /// by every pass that needs it (dataflow, call graph, reachability) so
+  /// no pass re-lexes or re-parses a file.
+  check::ParsedSource parsed;
   /// Parallel to lexed.includes: index into Project::files of the target,
   /// or -1 for system/external headers (and unresolved paths).
   std::vector<int> resolved_includes;

@@ -164,24 +164,43 @@ LexedSource lex_source(std::string_view src) {
       while (j < n && is_ident(src[j])) ++j;
       const std::string_view word = src.substr(i, j - i);
       if (j < n && src[j] == '"' && is_raw_string_prefix(word)) {
-        // R"delim( ... )delim" -- body may span lines and contain anything.
-        std::size_t open = j + 1;
+        // R"delim( ... )delim" -- the body may span lines and contain
+        // anything (comment markers, quotes, braces); it is consumed
+        // atomically and never scanned for nested constructs. The
+        // delimiter must be a valid d-char-seq (at most 16 characters,
+        // none of space/'('/')'/'\\'/'"'); when it is not -- e.g. `R"x" +
+        // f(b)` where R is really a macro -- this is not a raw string at
+        // all, and the prefix falls back to an ordinary identifier so the
+        // quote lexes as a plain string instead of swallowing the rest of
+        // the file while hunting for a closing sequence.
+        const std::size_t open = j + 1;
         std::size_t d = open;
-        while (d < n && src[d] != '(' && src[d] != '\n') ++d;
-        if (d < n && src[d] == '(') {
+        bool valid_delim = true;
+        while (d < n && src[d] != '(') {
+          const char dc = src[d];
+          if (dc == ')' || dc == '\\' || dc == '"' ||
+              std::isspace(static_cast<unsigned char>(dc)) != 0 ||
+              d - open >= 16) {
+            valid_delim = false;
+            break;
+          }
+          ++d;
+        }
+        if (d >= n) valid_delim = false;
+        if (valid_delim) {
           const std::string close =
               ")" + std::string(src.substr(open, d - open)) + "\"";
-          std::size_t endpos = src.find(close, d + 1);
+          const std::size_t endpos = src.find(close, d + 1);
           const std::size_t stop =
               endpos == std::string_view::npos ? n : endpos + close.size();
           emit(TokenKind::kString, "\"\"");
           blank(i, stop);
           line += count_newlines(i, stop);
           i = stop;
-        } else {
-          blank(i, d);
-          i = d;
+          continue;
         }
+        emit(TokenKind::kIdentifier, std::string(word));
+        i = j;
         continue;
       }
       if (j < n && (src[j] == '"' || src[j] == '\'') && is_literal_prefix(word)) {

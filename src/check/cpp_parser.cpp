@@ -188,7 +188,8 @@ ParsedSource parse_source(const LexedSource& lexed) {
   ParsedSource out;
 
   // ----------------------------------------------------------- scope tree
-  out.scopes.push_back(ParsedScope{0, toks.size(), -1, -1});
+  out.scopes.push_back(ParsedScope{0, toks.size(), -1, -1,
+                                   ParsedScope::Kind::kFile, ""});
   {
     std::vector<int> stack{0};
     for (std::size_t i = 0; i < toks.size(); ++i) {
@@ -493,6 +494,10 @@ ParsedSource parse_source(const LexedSource& lexed) {
 
     ParsedFunction fn;
     fn.name = toks[i].text;
+    for (std::size_t q = head_begin; q < i; q += 2) {
+      if (!fn.qualifier.empty()) fn.qualifier += "::";
+      fn.qualifier += toks[q].text;  // Foo::Bar:: chain walked above
+    }
     fn.return_tokens = head;
     fn.name_index = i;
     fn.line = toks[i].line;
@@ -533,6 +538,97 @@ ParsedSource parse_source(const LexedSource& lexed) {
           out.scopes[s].end <= fn.body_end && fn.body_begin >= best_begin) {
         best_begin = fn.body_begin;
         out.scopes[s].function = static_cast<int>(f);
+      }
+    }
+  }
+
+  // Classify every scope. Function and lambda bodies are known exactly
+  // from the recognizers above; namespace and class bodies are recovered
+  // from the tokens between the previous hard boundary (';'/'{'/'}') and
+  // the opening '{'. Everything else stays kBlock.
+  {
+    const auto body_of = [](const auto& items, std::size_t begin) {
+      for (const auto& it : items)
+        if (it.body_begin == begin && it.body_begin != 0) return true;
+      return false;
+    };
+    for (std::size_t s = 1; s < out.scopes.size(); ++s) {
+      ParsedScope& sc = out.scopes[s];
+      if (body_of(out.lambdas, sc.begin)) {
+        sc.kind = ParsedScope::Kind::kLambda;
+        continue;
+      }
+      if (body_of(out.functions, sc.begin)) {
+        sc.kind = ParsedScope::Kind::kFunction;
+        continue;
+      }
+      std::size_t lo = 0;
+      for (std::size_t k = sc.begin; k-- > 0;) {
+        if (toks[k].kind == TokenKind::kPunct &&
+            (toks[k].text == ";" || toks[k].text == "{" ||
+             toks[k].text == "}")) {
+          lo = k + 1;
+          break;
+        }
+      }
+      bool is_enum = false;
+      std::size_t ns = toks.size();  // first 'namespace' keyword in window
+      std::size_t kw = toks.size();  // last class/struct/union keyword
+      for (std::size_t k = lo; k < sc.begin; ++k) {
+        if (!is_ident(toks[k])) continue;
+        const std::string& w = toks[k].text;
+        if (w == "enum") is_enum = true;
+        if (w == "namespace" && ns == toks.size()) ns = k;
+        if (w == "class" || w == "struct" || w == "union") kw = k;
+      }
+      if (is_enum) continue;  // enum bodies are plain blocks
+      if (ns < toks.size()) {
+        sc.kind = ParsedScope::Kind::kNamespace;
+        for (std::size_t k = ns + 1; k < sc.begin; ++k) {
+          if (is_ident(toks[k])) {
+            if (!sc.name.empty()) sc.name += "::";
+            sc.name += toks[k].text;
+          } else if (!is_punct(toks[k], "::")) {
+            break;
+          }
+        }
+        continue;
+      }
+      if (kw < toks.size() && kw + 1 < sc.begin && is_ident(toks[kw + 1])) {
+        // The name must head straight into the body or a base clause, so
+        // `template <class T>` parameters never classify as a class.
+        const std::size_t after = kw + 2;
+        const bool heads_body =
+            after == sc.begin || is_punct(toks[after], ":") ||
+            (is_ident(toks[after]) && toks[after].text == "final");
+        if (heads_body &&
+            !in_set(kNotAName, std::string_view(toks[kw + 1].text))) {
+          sc.kind = ParsedScope::Kind::kClass;
+          sc.name = toks[kw + 1].text;
+          // Base clause: one base per top-level ','-segment, named by its
+          // last identifier (`public std::logic_error` -> "logic_error",
+          // `Base<T>` -> "Base").
+          std::size_t b = after;
+          while (b < sc.begin && !is_punct(toks[b], ":")) ++b;
+          std::string base;
+          for (std::size_t k = b + 1; k <= sc.begin && k <= toks.size(); ++k) {
+            if (k == sc.begin || is_punct(toks[k], ",")) {
+              if (!base.empty()) sc.bases.push_back(base);
+              base.clear();
+              continue;
+            }
+            if (is_punct(toks[k], "<")) {
+              const std::size_t close = match_template(toks, k);
+              if (close >= sc.begin) break;
+              k = close;
+              continue;
+            }
+            if (is_ident(toks[k]) && toks[k].text != "public" &&
+                toks[k].text != "private" && toks[k].text != "protected" &&
+                toks[k].text != "virtual")
+              base = toks[k].text;
+          }
+        }
       }
     }
   }
@@ -680,6 +776,18 @@ ParsedSource parse_source(const LexedSource& lexed) {
     call.line = toks[i].line;
     call.member_call =
         i >= 1 && (is_punct(toks[i - 1], ".") || is_punct(toks[i - 1], "->"));
+    if (call.member_call && i >= 2 && is_ident(toks[i - 2]))
+      call.receiver = toks[i - 2].text;  // "" for f(x).g(), a[i].g()
+    if (!call.member_call && i >= 2 && is_punct(toks[i - 1], "::") &&
+        is_ident(toks[i - 2])) {
+      std::size_t q = i;
+      while (q >= 2 && is_punct(toks[q - 1], "::") && is_ident(toks[q - 2]))
+        q -= 2;
+      for (std::size_t h = q; h + 1 < i; h += 2) {
+        if (!call.qualifier.empty()) call.qualifier += "::";
+        call.qualifier += toks[h].text;
+      }
+    }
     call.scope = out.scope_at(i);
 
     const std::size_t start = chain_start(toks, i);

@@ -22,11 +22,24 @@ namespace ntr::check {
 /// One `{ ... }` region (or the whole file for scope 0). A function body,
 /// a lambda body, a class body, and a bare block each get one scope.
 struct ParsedScope {
+  /// What kind of construct opened this scope, recovered from the tokens
+  /// directly before the '{'. `kBlock` is the catch-all (bare blocks,
+  /// loop/if bodies, brace initializers, enum bodies).
+  enum class Kind { kFile, kNamespace, kClass, kFunction, kLambda, kBlock };
+
   std::size_t begin = 0;    ///< token index of '{' (0 for the file scope)
   std::size_t end = 0;      ///< token index of the matching '}' (token count
                             ///< for the file scope or an unbalanced brace)
   int parent = -1;          ///< index into ParsedSource::scopes, -1 for file
   int function = -1;        ///< innermost enclosing function, -1 outside
+  Kind kind = Kind::kBlock;
+  /// Namespace or class/struct name ("" for anonymous namespaces and
+  /// non-namespace/class scopes). `namespace a::b {` records "a::b".
+  std::string name;
+  /// For kClass scopes: the unqualified names of the direct bases, e.g.
+  /// {"DelayEvaluator"} for `class TransientEvaluator final : public
+  /// DelayEvaluator {`. Empty for everything else.
+  std::vector<std::string> bases;
 };
 
 /// A declared name with the coarse spelling of its type. Covers function
@@ -59,6 +72,10 @@ struct ParsedFunction {
   std::vector<std::string> return_tokens;  ///< coarse return type; empty for
                                            ///< constructors/destructors and
                                            ///< macro-shaped definitions
+  /// Explicit name qualifier of an out-of-line definition: "RoutingGraph"
+  /// for `void RoutingGraph::add_edge(...)`, "A::B" for `void
+  /// A::B::f(...)`, "" when the name is unqualified.
+  std::string qualifier;
   std::size_t name_index = 0;
   std::size_t line = 0;
   std::size_t body_begin = 0;  ///< token index of '{'; 0 for declarations
@@ -92,6 +109,14 @@ struct ParsedLambda {
 struct ParsedCall {
   std::string callee;       ///< last identifier before '(' ("try_read_net"
                             ///< for io::try_read_net, "ok" for s.ok())
+  /// The `a::b` chain directly before the callee: "io" for
+  /// `io::try_read_net(...)`, "std::chrono" for a nested one, "" for
+  /// unqualified and member calls.
+  std::string qualifier;
+  /// For member calls, the single identifier the call is invoked on ("s"
+  /// for `s.ok()`, "this" for `this->f()`); "" when the receiver is a
+  /// longer expression (`f(x).g()`, `a[i].g()`) or the call is free.
+  std::string receiver;
   std::size_t name_index = 0;
   std::size_t lparen = 0;
   std::size_t rparen = 0;

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "check/contracts.h"
+#include "core/annotations.h"
 #include "check/faultinject.h"
 #include "graph/validate.h"
 #include "runtime/status.h"
@@ -58,8 +59,11 @@ struct LaneBest {
 
 }  // namespace
 
-LdrgResult ldrg(const graph::RoutingGraph& initial,
-                const delay::DelayEvaluator& evaluator, const LdrgOptions& options) {
+// NTR_HOT: the per-round candidate scan is the paper's O(n^2) inner
+// loop; everything this reaches must be allocation-disciplined.
+NTR_HOT LdrgResult ldrg(const graph::RoutingGraph& initial,
+                        const delay::DelayEvaluator& evaluator,
+                        const LdrgOptions& options) {
   if (!initial.is_connected())
     throw std::invalid_argument("ldrg: initial routing must be connected");
 
@@ -94,6 +98,9 @@ LdrgResult ldrg(const graph::RoutingGraph& initial,
     // budget; the enumeration order defines the tie-break index.
     NTR_FAULT_POINT(kLdrgAllocation);
     std::vector<Candidate> candidates;
+    const std::size_t pair_bound = result.graph.node_count() *
+                                   (result.graph.node_count() - 1) / 2;
+    candidates.reserve(pair_bound);
     for (graph::NodeId u = 0; u < result.graph.node_count(); ++u) {
       for (graph::NodeId v = u + 1; v < result.graph.node_count(); ++v) {
         if (result.graph.has_edge(u, v)) continue;
@@ -192,6 +199,7 @@ LdrgResult ldrg(const graph::RoutingGraph& initial,
 
     result.final_objective = accepted;
     result.final_cost = result.graph.total_wirelength();
+    // ntr-alloc-in-hot-path(one step per accepted round; the trace IS the result)
     result.steps.push_back(
         LdrgStep{winner.u, winner.v, current, accepted, result.final_cost});
   }

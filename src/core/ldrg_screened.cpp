@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "check/faultinject.h"
+#include "core/annotations.h"
 #include "core/parallel.h"
 #include "delay/screener.h"
 #include "graph/routing_graph.h"
@@ -44,10 +45,12 @@ double screened_objective(const delay::EdgeCandidateScreener& screener,
 
 }  // namespace
 
-LdrgResult ldrg_screened(const graph::RoutingGraph& initial,
-                         const delay::DelayEvaluator& evaluator,
-                         const spice::Technology& tech,
-                         const ScreenedLdrgOptions& options) {
+// NTR_HOT: shares ldrg's per-round scan loop, with the Elmore screen in
+// front of the exact oracle; same no-allocation discipline applies.
+NTR_HOT LdrgResult ldrg_screened(const graph::RoutingGraph& initial,
+                                 const delay::DelayEvaluator& evaluator,
+                                 const spice::Technology& tech,
+                                 const ScreenedLdrgOptions& options) {
   if (!initial.is_connected())
     throw std::invalid_argument("ldrg_screened: initial routing must be connected");
   if (options.verify_top_k == 0)
@@ -85,6 +88,8 @@ LdrgResult ldrg_screened(const graph::RoutingGraph& initial,
     };
     NTR_FAULT_POINT(kLdrgAllocation);
     std::vector<Ranked> ranked;
+    ranked.reserve(result.graph.node_count() *
+                   (result.graph.node_count() - 1) / 2);
     for (graph::NodeId u = 0; u < result.graph.node_count(); ++u) {
       for (graph::NodeId v = u + 1; v < result.graph.node_count(); ++v) {
         if (result.graph.has_edge(u, v)) continue;
@@ -172,6 +177,7 @@ LdrgResult ldrg_screened(const graph::RoutingGraph& initial,
     result.graph.add_edge(ranked[best.index].u, ranked[best.index].v);
     result.final_objective = best.score;
     result.final_cost = result.graph.total_wirelength();
+    // ntr-alloc-in-hot-path(one step per accepted round; the trace IS the result)
     result.steps.push_back(LdrgStep{ranked[best.index].u, ranked[best.index].v,
                                     current, best.score, result.final_cost});
   }

@@ -92,6 +92,9 @@ std::size_t ThreadPool::lane_count() const { return impl_->workers.size() + 1; }
 
 void ThreadPool::run(const std::function<void(std::size_t)>& fn) {
   {
+    // A nested ldrg invocation from an outer lane funnels through here
+    // by design; the inner pool is sized 1 in that configuration.
+    // ntr-blocking-in-lane(this IS the lane dispatch latch)
     std::lock_guard<std::mutex> lock(impl_->mutex);
     impl_->job = &fn;
     impl_->pending = impl_->workers.size();
@@ -102,7 +105,9 @@ void ThreadPool::run(const std::function<void(std::size_t)>& fn) {
   impl_->work_cv.notify_all();
   impl_->execute(fn, 0);  // the calling thread is lane 0
   {
+    // ntr-blocking-in-lane(completion barrier of the dispatch latch)
     std::unique_lock<std::mutex> lock(impl_->mutex);
+    // ntr-blocking-in-lane(completion barrier of the dispatch latch)
     impl_->done_cv.wait(lock, [&] { return impl_->pending == 0; });
     if (impl_->failure) std::rethrow_exception(impl_->failure);
   }

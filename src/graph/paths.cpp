@@ -51,6 +51,7 @@ RootedTree root_tree(const RoutingGraph& g, NodeId root) {
 
   std::vector<bool> seen(n, false);
   std::vector<NodeId> stack{root};
+  stack.reserve(n);
   seen[root] = true;
   while (!stack.empty()) {
     const NodeId u = stack.back();

@@ -1,0 +1,13 @@
+#include "alpha/alpha.h"
+
+namespace mini::alpha {
+
+int Scaler::apply(int v) const { return base_ + v; }
+
+// `apply` is unqualified: sibling-method resolution must bind it to
+// Scaler::apply, not to a free function.
+int Scaler::twice(int v) const { return apply(v) + apply(v); }
+
+int normalize(int v) { return v < 0 ? -v : v; }
+
+}  // namespace mini::alpha

@@ -1,0 +1,19 @@
+#pragma once
+
+// Mini-project for the call-graph resolution test: one class and one
+// free function, both defined out of line in alpha.cpp.
+
+namespace mini::alpha {
+
+class Scaler {
+ public:
+  int apply(int v) const;
+  int twice(int v) const;
+
+ private:
+  int base_ = 2;
+};
+
+int normalize(int v);
+
+}  // namespace mini::alpha

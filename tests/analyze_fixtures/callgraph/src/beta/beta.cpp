@@ -1,0 +1,17 @@
+#include "alpha/alpha.h"
+
+// Exercises every resolution path the test asserts on: member calls
+// through a coarse-typed local, a namespace-qualified free call, and an
+// unresolvable external call (std::abs).
+
+namespace mini::beta {
+
+int drive(int v) {
+  alpha::Scaler s;
+  const int scaled = s.apply(v);
+  const int doubled = s.twice(scaled);
+  const int normed = alpha::normalize(doubled);
+  return std::abs(normed);
+}
+
+}  // namespace mini::beta

@@ -1,0 +1,18 @@
+// Seeded violations: `g_tally` is a mutable namespace-scope global
+// referenced on the entry path, and `hits` is a function-local static in
+// a function the entry reaches (global-mutable-state, twice).
+
+namespace fix::engine {
+
+int g_tally = 0;
+
+int bump_tally(int n) {
+  static int hits = 0;
+  hits += n;
+  g_tally += hits;
+  return g_tally;
+}
+
+int run_timing_flow(int n) { return bump_tally(n); }
+
+}  // namespace fix::engine

@@ -1,0 +1,17 @@
+// The same shapes made safe: constexpr, atomic, and a justified test
+// seam. Must produce zero findings.
+
+namespace fix::engine {
+
+constexpr int kTallyLimit = 8;
+std::atomic<int> g_safe_tally{0};
+// ntr-global-mutable-state(test seam; written once before any lane starts)
+int g_seeded_epoch = 7;
+
+int run_timing_flow_clean(int n) {
+  g_safe_tally += n;
+  if (g_seeded_epoch > kTallyLimit) return 0;
+  return g_safe_tally.load();
+}
+
+}  // namespace fix::engine

@@ -1,0 +1,26 @@
+// Seeded violations: an NTR_HOT scan loop that builds a per-element tag
+// string, news a scratch buffer, and grows a vector with no reserve in a
+// callee the hot function reaches (alloc-in-hot-path, four findings).
+
+namespace fix::engine {
+
+int append_candidate(std::vector<int>& out, int v) {
+  out.push_back(v);
+  return v;
+}
+
+NTR_HOT int scan_candidates(int n) {
+  std::vector<int> out;
+  int acc = 0;
+  for (int i = 0; i < n; ++i) {
+    std::string tag = std::to_string(i);
+    acc += static_cast<int>(tag.size());
+    acc += append_candidate(out, i);
+  }
+  int* scratch = new int[4];
+  acc += scratch[0];
+  delete[] scratch;
+  return acc;
+}
+
+}  // namespace fix::engine

@@ -1,0 +1,25 @@
+// The same shapes made safe: a visible reserve before growth, string
+// construction only on the cold throw path, and a justified one-time
+// warmup allocation. Must produce zero findings.
+
+namespace fix::engine {
+
+int fold(int v);
+
+NTR_HOT int scan_reserved(int n) {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(n));
+  int acc = 0;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(i);
+    acc += fold(i);
+  }
+  if (acc < 0)
+    throw std::runtime_error("scan_reserved: negative " + std::to_string(acc));
+  // ntr-alloc-in-hot-path(one-time warmup block, filled before the scan)
+  auto warm = std::make_unique<std::vector<int>>();
+  acc += static_cast<int>(warm->size());
+  return acc;
+}
+
+}  // namespace fix::engine

@@ -1,0 +1,24 @@
+// Seeded violations: the lane body sleeps and takes a lock, and calls a
+// helper that does stream I/O -- blocking reached both directly and
+// through the call graph (blocking-in-lane, three findings).
+
+namespace fix::engine {
+
+std::mutex g_lane_mu;
+
+void trace_chunk(std::size_t begin) {
+  std::cout << begin;
+}
+
+void run_lanes(std::size_t n) {
+  parallel_chunks(nullptr, n,
+                  [](std::size_t, std::size_t begin, std::size_t end) {
+                    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+                    g_lane_mu.lock();
+                    trace_chunk(begin);
+                    g_lane_mu.unlock();
+                    (void)end;
+                  });
+}
+
+}  // namespace fix::engine

@@ -63,6 +63,28 @@ TEST(LexerRawStrings, BodyHidesCommentsIncludesAndQuotes) {
   EXPECT_EQ(live->line, 2u);
 }
 
+TEST(LexerRawStrings, InvalidDelimiterFallsBackToPlainString) {
+  // Here `R` is an ordinary identifier (say, a macro) followed by a plain
+  // string literal: a quote cannot appear in a raw-string d-char-seq, so
+  // the lexer must not eat the rest of the file as a raw body.
+  const LexedSource lexed = lex_source(
+      "auto a = R\"x\" + f(b);\n"
+      "int live = 1;\n");
+  EXPECT_NE(find_token(lexed, "R"), nullptr);
+  EXPECT_EQ(count_kind(lexed, TokenKind::kString), 1u);
+  EXPECT_NE(find_token(lexed, "b"), nullptr);
+  EXPECT_NE(find_token(lexed, "live"), nullptr);
+}
+
+TEST(LexerRawStrings, OverlongDelimiterFallsBackToPlainString) {
+  // A d-char-seq is at most 16 characters; 17 means "not a raw string".
+  const LexedSource lexed = lex_source(
+      "auto a = R\"abcdefghijklmnopq(body)abcdefghijklmnopq\";\n"
+      "int live = 1;\n");
+  EXPECT_NE(find_token(lexed, "R"), nullptr);
+  EXPECT_NE(find_token(lexed, "live"), nullptr);
+}
+
 TEST(LexerRawStrings, EncodingPrefixes) {
   const LexedSource lexed = lex_source(
       "auto a = u8R\"(x)\"; auto b = LR\"(y)\"; auto c = uR\"(z)\"; "

@@ -352,5 +352,102 @@ TEST(CppParser, ReturnedCallsAreUsed) {
   EXPECT_FALSE(compute->discarded);
 }
 
+// --------------------------------------------------- scope classification
+
+const ParsedScope* find_scope(const ParsedSource& p, ParsedScope::Kind kind,
+                              std::string_view name) {
+  for (const ParsedScope& s : p.scopes)
+    if (s.kind == kind && s.name == name) return &s;
+  return nullptr;
+}
+
+TEST(CppParser, ClassifiesScopeKindsAndNames) {
+  const ParsedSource p = parse(
+      "namespace outer::inner {\n"
+      "class Widget final : public Base, private util::Mixin<int> {\n"
+      " public:\n"
+      "  void poke() { }\n"
+      "};\n"
+      "struct Pod { int x; };\n"
+      "enum class Mode { kA, kB };\n"
+      "void f() { { int block = 0; } }\n"
+      "}  // namespace outer::inner\n");
+  ASSERT_FALSE(p.scopes.empty());
+  EXPECT_EQ(p.scopes[0].kind, ParsedScope::Kind::kFile);
+
+  const ParsedScope* ns =
+      find_scope(p, ParsedScope::Kind::kNamespace, "outer::inner");
+  ASSERT_NE(ns, nullptr);
+
+  const ParsedScope* widget =
+      find_scope(p, ParsedScope::Kind::kClass, "Widget");
+  ASSERT_NE(widget, nullptr);
+  // Direct bases, access/virtual keywords and template args stripped.
+  ASSERT_EQ(widget->bases.size(), 2u);
+  EXPECT_EQ(widget->bases[0], "Base");
+  EXPECT_EQ(widget->bases[1], "Mixin");
+
+  const ParsedScope* pod = find_scope(p, ParsedScope::Kind::kClass, "Pod");
+  ASSERT_NE(pod, nullptr);
+  EXPECT_TRUE(pod->bases.empty());
+
+  // An enum body is a plain block, never a class scope.
+  EXPECT_EQ(find_scope(p, ParsedScope::Kind::kClass, "Mode"), nullptr);
+
+  // Function bodies are kFunction; the nested bare block stays kBlock.
+  const ParsedFunction* f = find_fn(p, "f");
+  ASSERT_NE(f, nullptr);
+  ASSERT_GE(f->body_scope, 0);
+  EXPECT_EQ(p.scopes[static_cast<std::size_t>(f->body_scope)].kind,
+            ParsedScope::Kind::kFunction);
+}
+
+TEST(CppParser, RecordsOutOfLineDefinitionQualifiers) {
+  const ParsedSource p = parse(
+      "void RoutingGraph::add_edge(int u) { (void)u; }\n"
+      "int A::B::f() { return 0; }\n"
+      "void g() { }\n");
+  const ParsedFunction* add_edge = find_fn(p, "add_edge");
+  ASSERT_NE(add_edge, nullptr);
+  EXPECT_EQ(add_edge->qualifier, "RoutingGraph");
+  const ParsedFunction* f = find_fn(p, "f");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->qualifier, "A::B");
+  const ParsedFunction* g = find_fn(p, "g");
+  ASSERT_NE(g, nullptr);
+  EXPECT_TRUE(g->qualifier.empty());
+}
+
+TEST(CppParser, CallsRecordQualifierAndReceiver) {
+  const ParsedSource p = parse(
+      "void f() {\n"
+      "  io::try_read_net(1);\n"
+      "  std::chrono::floor(2);\n"
+      "  s.ok();\n"
+      "  this->poke();\n"
+      "  make().next();\n"
+      "}\n");
+  const ParsedCall* try_read = find_call(p, "try_read_net");
+  ASSERT_NE(try_read, nullptr);
+  EXPECT_EQ(try_read->qualifier, "io");
+  EXPECT_TRUE(try_read->receiver.empty());
+  const ParsedCall* floor = find_call(p, "floor");
+  ASSERT_NE(floor, nullptr);
+  EXPECT_EQ(floor->qualifier, "std::chrono");
+  const ParsedCall* ok = find_call(p, "ok");
+  ASSERT_NE(ok, nullptr);
+  EXPECT_TRUE(ok->member_call);
+  EXPECT_EQ(ok->receiver, "s");
+  EXPECT_TRUE(ok->qualifier.empty());
+  const ParsedCall* poke = find_call(p, "poke");
+  ASSERT_NE(poke, nullptr);
+  EXPECT_EQ(poke->receiver, "this");
+  // A longer postfix chain has no single-identifier receiver.
+  const ParsedCall* next = find_call(p, "next");
+  ASSERT_NE(next, nullptr);
+  EXPECT_TRUE(next->member_call);
+  EXPECT_TRUE(next->receiver.empty());
+}
+
 }  // namespace
 }  // namespace ntr::check

@@ -4,17 +4,21 @@
 // tree, resolves the include graph, and enforces cross-file structure:
 // the declared module layering (docs/layering.conf), include-cycle
 // freedom, the parallel-lane concurrency discipline from PR 3,
-// include-what-you-use hygiene, and the semantic dataflow rules on the
+// include-what-you-use hygiene, the semantic dataflow rules on the
 // scope-aware parse (unchecked-status, nondeterministic-iteration,
-// escaping-ref-capture). CI runs it as a required step; see
+// escaping-ref-capture), and the interprocedural reachability rules on
+// the whole-project call graph (global-mutable-state, alloc-in-hot-path,
+// blocking-in-lane). CI runs it as a required step; see
 // docs/static_analysis.md for the rules and the suppression syntax.
 
+#include <cstddef>
 #include <cstdio>
 #include <filesystem>
 #include <string>
 #include <vector>
 
 #include "analyze/analyze.h"
+#include "analyze/callgraph.h"
 #include "analyze/include_graph.h"
 #include "check/lint.h"
 
@@ -23,21 +27,33 @@ namespace {
 void usage(std::FILE* out) {
   std::fputs(
       "usage: ntr_analyze [--root DIR] [--layers FILE] [--graph-dot FILE]\n"
-      "                   [--json FILE] [path...]\n"
+      "                   [--callgraph-dot FILE] [--json FILE]\n"
+      "                   [--only RULE[,RULE]] [--entry FUNCTION] [path...]\n"
       "\n"
       "Loads every .h/.hpp/.cc/.cpp under the given files/directories\n"
       "(default: src tools tests, resolved against --root, default '.'),\n"
       "resolves the project include graph, and runs the structural\n"
       "passes: layering (against --layers, default docs/layering.conf\n"
       "under the root), include-cycle, concurrency discipline, include\n"
-      "hygiene, and the semantic dataflow passes on the scope-aware\n"
-      "parse (unchecked-status, nondeterministic-iteration,\n"
-      "escaping-ref-capture; src/ only).\n"
+      "hygiene, the semantic dataflow passes on the scope-aware parse\n"
+      "(unchecked-status, nondeterministic-iteration,\n"
+      "escaping-ref-capture; src/ only), and the interprocedural\n"
+      "reachability passes on the whole-project call graph\n"
+      "(global-mutable-state, alloc-in-hot-path, blocking-in-lane;\n"
+      "src/ only).\n"
       "\n"
-      "  --graph-dot FILE   also write the module dependency DAG as\n"
-      "                     GraphViz DOT ('-' for stdout)\n"
-      "  --json FILE        also write findings as a JSON array\n"
-      "                     ('-' for stdout)\n"
+      "  --graph-dot FILE      also write the module dependency DAG as\n"
+      "                        GraphViz DOT ('-' for stdout)\n"
+      "  --callgraph-dot FILE  also write the project call graph as\n"
+      "                        GraphViz DOT ('-' for stdout)\n"
+      "  --json FILE           also write a JSON report: an object with\n"
+      "                        wall_ms, files, and the findings array\n"
+      "                        ('-' for stdout)\n"
+      "  --only RULE[,RULE]    run only the passes owning these rules and\n"
+      "                        keep only their findings\n"
+      "  --entry FUNCTION      entry point for global-mutable-state\n"
+      "                        (repeatable; default run_timing_flow and\n"
+      "                        the *ldrg* family)\n"
       "\n"
       "Prints one 'file:line: [rule] message' per finding. Exit codes:\n"
       "0 clean, 1 findings, 2 usage or unreadable config.\n",
@@ -89,6 +105,7 @@ int main(int argc, char** argv) {
   ntr::analyze::AnalyzeOptions options;
   options.root = ".";
   std::string dot_path;
+  std::string callgraph_dot_path;
   std::string json_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -114,6 +131,44 @@ int main(int argc, char** argv) {
       const char* v = flag_value("--graph-dot");
       if (v == nullptr) return 2;
       dot_path = v;
+    } else if (arg == "--callgraph-dot") {
+      const char* v = flag_value("--callgraph-dot");
+      if (v == nullptr) return 2;
+      callgraph_dot_path = v;
+    } else if (arg == "--only" || arg.starts_with("--only=")) {
+      std::string v;
+      if (arg.starts_with("--only=")) {
+        v = arg.substr(7);
+      } else {
+        const char* raw = flag_value("--only");
+        if (raw == nullptr) return 2;
+        v = raw;
+      }
+      for (std::size_t pos = 0; pos <= v.size();) {
+        std::size_t comma = v.find(',', pos);
+        if (comma == std::string::npos) comma = v.size();
+        if (comma > pos)
+          options.only_rules.push_back(v.substr(pos, comma - pos));
+        pos = comma + 1;
+      }
+      if (options.only_rules.empty()) {
+        std::fprintf(stderr, "ntr_analyze: --only requires rule names\n");
+        return 2;
+      }
+    } else if (arg == "--entry" || arg.starts_with("--entry=")) {
+      std::string v;
+      if (arg.starts_with("--entry=")) {
+        v = arg.substr(8);
+      } else {
+        const char* raw = flag_value("--entry");
+        if (raw == nullptr) return 2;
+        v = raw;
+      }
+      if (v.empty()) {
+        std::fprintf(stderr, "ntr_analyze: --entry requires a function\n");
+        return 2;
+      }
+      options.entries.push_back(v);
     } else if (arg == "--json") {
       const char* v = flag_value("--json");
       if (v == nullptr) return 2;
@@ -153,18 +208,28 @@ int main(int argc, char** argv) {
         ntr::analyze::module_graph_dot(result.project, result.config);
     if (!write_output(dot_path, dot, "DOT")) return 2;
   }
+  if (!callgraph_dot_path.empty()) {
+    const std::string dot =
+        ntr::analyze::call_graph_dot(result.callgraph, result.project);
+    if (!write_output(callgraph_dot_path, dot, "call-graph DOT")) return 2;
+  }
   if (!json_path.empty()) {
-    std::string json = "[\n";
+    char wall[32];
+    std::snprintf(wall, sizeof wall, "%.3f", result.wall_ms);
+    std::string json = "{\n  \"wall_ms\": " + std::string(wall) +
+                       ",\n  \"files\": " +
+                       std::to_string(result.project.files.size()) +
+                       ",\n  \"findings\": [\n";
     for (std::size_t i = 0; i < result.findings.size(); ++i) {
       const ntr::check::LintDiagnostic& d = result.findings[i];
-      json += "  {\"file\": \"" + json_escape(d.file) +
+      json += "    {\"file\": \"" + json_escape(d.file) +
               "\", \"line\": " + std::to_string(d.line) + ", \"rule\": \"" +
               json_escape(d.rule) + "\", \"message\": \"" +
               json_escape(d.message) + "\"}";
       if (i + 1 < result.findings.size()) json += ",";
       json += "\n";
     }
-    json += "]\n";
+    json += "  ]\n}\n";
     if (!write_output(json_path, json, "JSON")) return 2;
   }
   return result.findings.empty() ? 0 : 1;
