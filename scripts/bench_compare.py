@@ -73,6 +73,30 @@ def main():
             verdict = "improvement"
         print(f"  {name}: {base_s:.3f}s -> {cur_s:.3f}s ({change:+.0%}) {verdict}")
 
+        # Service phases also carry latency percentiles (ntr_loadgen's
+        # latency_ms block). Gate the percentiles like wall-clock; mean
+        # and max are printed for context only (max is a single sample).
+        base_lat = base_phases[name].get("latency_ms", {})
+        cur_lat = cur_phases[name].get("latency_ms", {})
+        for q in ("p50", "p95", "p99", "mean", "max"):
+            if q not in base_lat or q not in cur_lat:
+                continue
+            base_ms, cur_ms = base_lat[q], cur_lat[q]
+            if base_ms <= 0:
+                continue
+            lat_change = cur_ms / base_ms - 1.0
+            gated = comparable and q in ("p50", "p95", "p99")
+            verdict = "ok" if gated else "not gated"
+            if gated and lat_change > args.tolerance:
+                verdict = "REGRESSION"
+                failures.append(
+                    f"{name} latency {q}: {base_ms:.2f}ms -> {cur_ms:.2f}ms "
+                    f"({lat_change:+.0%}, tolerance {args.tolerance:.0%})")
+            elif gated and lat_change < -args.tolerance:
+                verdict = "improvement"
+            print(f"    latency {q}: {base_ms:.2f}ms -> {cur_ms:.2f}ms "
+                  f"({lat_change:+.0%}) {verdict}")
+
     for key, value in current.get("summary", {}).items():
         base_value = baseline.get("summary", {}).get(key)
         context = f" (baseline {base_value:.2f})" if base_value else ""

@@ -135,4 +135,19 @@ double TransientEvaluator::bounded_max_delay(const graph::RoutingGraph& g,
   return report.max_crossing_s;
 }
 
+std::unique_ptr<DelayEvaluator> make_evaluator(const std::string& name,
+                                               const spice::Technology& tech,
+                                               const runtime::StopToken& stop) {
+  if (name == "elmore") return std::make_unique<ElmoreTreeEvaluator>(tech);
+  if (name == "graph-elmore") return std::make_unique<GraphElmoreEvaluator>(tech);
+  if (name == "d2m") return std::make_unique<TwoPoleEvaluator>(tech);
+  if (name == "transient") {
+    sim::TransientOptions transient;
+    transient.stop = stop;
+    return std::make_unique<TransientEvaluator>(tech, spice::NetlistOptions{},
+                                                transient);
+  }
+  return nullptr;
+}
+
 }  // namespace ntr::delay

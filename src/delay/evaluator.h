@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "graph/routing_graph.h"
+#include "runtime/stop.h"
 #include "sim/transient.h"
 #include "spice/graph_netlist.h"
 #include "spice/technology.h"
@@ -178,5 +179,14 @@ class TransientEvaluator final : public DelayEvaluator {
   spice::NetlistOptions netlist_options_;
   sim::TransientOptions transient_options_;
 };
+
+/// Constructs the evaluator the command surfaces name: "transient" (the
+/// SPICE-role oracle; `stop` is threaded into its time-march so
+/// deadlines/cancellation reach the inner loop), "elmore" (tree Elmore),
+/// "graph-elmore", or "d2m". nullptr for unknown names. One instance per
+/// request/solve keeps callers re-entrant: evaluators share nothing.
+[[nodiscard]] std::unique_ptr<DelayEvaluator> make_evaluator(
+    const std::string& name, const spice::Technology& tech,
+    const runtime::StopToken& stop = {});
 
 }  // namespace ntr::delay

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "runtime/status.h"
+
+/// Minimal JSON document model for the ntr_serve wire protocol.
+///
+/// Hand-rolled on purpose (the repo takes no new dependencies): a small
+/// tagged value type, a strict recursive-descent parser, and a compact
+/// serializer. The parser rejects non-finite numbers outright -- NaN/inf
+/// can never enter the service through a JSON payload -- and bounds both
+/// nesting depth and input size at the frame layer (serve/wire.h).
+namespace ntr::serve {
+
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  /// Object members keep insertion order so serialized responses have a
+  /// stable, documented key order (and tests can golden-match them).
+  using Member = std::pair<std::string, Json>;
+
+  Json() = default;  ///< null
+
+  [[nodiscard]] static Json boolean(bool v);
+  [[nodiscard]] static Json number(double v);
+  [[nodiscard]] static Json string(std::string v);
+  [[nodiscard]] static Json array(std::vector<Json> items = {});
+  [[nodiscard]] static Json object(std::vector<Member> members = {});
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Kind-checked accessors; throw runtime::NtrError(kBadInput) on a kind
+  /// mismatch so a protocol handler that forgot an is_* guard fails typed.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<Json>& items() const;
+  [[nodiscard]] const std::vector<Member>& members() const;
+
+  /// First member with this key, or nullptr (objects only; nullptr for
+  /// every other kind, so lookups compose without kind checks).
+  [[nodiscard]] const Json* find(std::string_view key) const;
+
+  /// Builder helpers: append to an array / object in place.
+  void push_back(Json v);
+  void set(std::string key, Json v);
+
+  /// Compact serialization (no whitespace, insertion-ordered members,
+  /// integral numbers without a fraction part).
+  [[nodiscard]] std::string dump() const;
+
+  /// Strict parse of one JSON document (trailing garbage is an error).
+  /// kBadInput on malformed text, non-finite numbers, or nesting deeper
+  /// than an internal cap.
+  [[nodiscard]] static runtime::StatusOr<Json> parse(std::string_view text);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> items_;
+  std::vector<Member> members_;
+};
+
+/// Escapes `s` as the *contents* of a JSON string literal (no quotes).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+}  // namespace ntr::serve

@@ -1,0 +1,148 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/resilience.h"
+#include "core/solver.h"
+#include "runtime/status.h"
+#include "serve/json.h"
+
+/// The ntr_serve request/response protocol (see docs/serving.md).
+///
+/// One frame (serve/wire.h) carries one JSON document. A request routes a
+/// batch of nets; the server *streams* one `net` response frame per net
+/// as it completes (plus a `summary` frame in flow mode), so a client
+/// overlaps receiving early results with the server still routing late
+/// ones. The response-status taxonomy is the tool exit-code taxonomy
+/// (io/cli.h, codes 0-4) lifted to per-request granularity.
+namespace ntr::serve {
+
+enum class RequestOp : std::uint8_t {
+  kRoute,     ///< route a batch of nets (the workload)
+  kPing,      ///< liveness probe; answered inline by the event loop
+  kShutdown,  ///< graceful drain: finish queued work, flush, exit
+};
+
+enum class RouteMode : std::uint8_t {
+  kSolve,  ///< independent per-net solves; nets interleave across clients
+  kFlow,   ///< the whole batch through flow::run_timing_flow (STA-coupled)
+};
+
+/// A parsed request. Defaults match `ntr_route` where the two tools
+/// overlap so the service's routings stay bit-identical to the CLI's.
+struct Request {
+  Json id;  ///< echoed verbatim on every response frame (null when absent)
+  RequestOp op = RequestOp::kRoute;
+  RouteMode mode = RouteMode::kSolve;
+  /// Net texts in the io::read_net format, one per routed net.
+  std::vector<std::string> nets;
+  core::Strategy strategy = core::Strategy::kLdrg;
+  /// transient|elmore|graph-elmore|d2m (delay::make_evaluator names).
+  std::string evaluator = "graph-elmore";
+  /// Per-request wall budget in ms, counted from *admission* -- queueing
+  /// delay spends it, which is exactly the overload/QoS policy. 0 = the
+  /// server's default.
+  double deadline_ms = 0.0;
+  core::OnError on_error = core::OnError::kDegrade;
+  std::size_t max_edges = static_cast<std::size_t>(-1);
+  /// Flow mode: clock period for the synthetic STA design.
+  double clock_period_s = 5e-9;
+};
+
+/// Parses a request document. kBadInput with a user-readable message on
+/// unknown ops/strategies/evaluators, missing nets, or bad field types;
+/// the caller maps that to a kBadRequest response.
+[[nodiscard]] runtime::StatusOr<Request> parse_request(const Json& doc);
+
+/// The wire name io::strategy_from_name accepts ("ldrg", "mst", ...).
+[[nodiscard]] const char* strategy_wire_name(core::Strategy s);
+
+/// Client-side serializer: emits a document parse_request reads back to
+/// an equivalent Request (the loadgen and tests round-trip through it).
+[[nodiscard]] Json request_to_json(const Request& req);
+
+/// Response statuses: the service-level taxonomy. The first three mirror
+/// core::NetDisposition; the rest classify request-level failures.
+enum class ResponseStatus : std::uint8_t {
+  kOk,            ///< requested strategy shipped (rung 0)
+  kDegraded,      ///< the degradation ladder shipped a weaker routing
+  kQuarantined,   ///< no rung produced a routing; net dropped
+  kBadRequest,    ///< malformed JSON / unknown op / bad fields
+  kBadInput,      ///< a net failed the io validators (NaN coords, ...)
+  kOverloaded,    ///< bounded queue full; retry later
+  kShuttingDown,  ///< server draining; no new work admitted
+  kTimeout,       ///< deadline exceeded under on_error=fail
+  kCancelled,     ///< server cancelled the request (forced shutdown)
+  kNumerical,     ///< singular/non-finite failure under on_error=fail
+  kInternal,      ///< contract violation or unclassified failure
+};
+
+/// Stable wire name ("ok", "degraded", "overloaded", ...).
+[[nodiscard]] const char* response_status_name(ResponseStatus s);
+[[nodiscard]] std::optional<ResponseStatus> response_status_from_name(
+    std::string_view name);
+
+/// The `code` a response carries: the exit code `ntr_route` would have
+/// produced for the same condition (io/cli.h, 0-4). Shipped routings --
+/// ok or degraded -- are 0, exactly like the CLI under --on-error=degrade.
+[[nodiscard]] int response_code(ResponseStatus s);
+
+/// Classifies a failure Status into the response taxonomy.
+[[nodiscard]] ResponseStatus status_from_error(const runtime::Status& error);
+
+/// Classifies a resilient solve's outcome (ok / degraded / quarantined;
+/// a quarantine refines through status_from_error on its first failure).
+[[nodiscard]] ResponseStatus status_from_outcome(const core::NetOutcome& outcome);
+
+enum class ResponseKind : std::uint8_t {
+  kNet,       ///< one routed (or failed) net of a batch
+  kSummary,   ///< flow-mode batch summary (timing report)
+  kPong,      ///< answer to kPing
+  kShutdown,  ///< acknowledgment of kShutdown
+  kError,     ///< request-level failure (bad request, overloaded, ...)
+};
+
+[[nodiscard]] const char* response_kind_name(ResponseKind k);
+[[nodiscard]] std::optional<ResponseKind> response_kind_from_name(
+    std::string_view name);
+
+/// One response frame. Which fields are meaningful depends on `kind`;
+/// to_json() serializes exactly the meaningful ones, in a stable order.
+struct Response {
+  Json id;
+  ResponseKind kind = ResponseKind::kError;
+  ResponseStatus status = ResponseStatus::kInternal;
+  int code = 1;
+  std::string error;  ///< human-readable detail for non-ok statuses
+
+  // kNet fields.
+  std::size_t net_index = 0;
+  std::size_t net_count = 0;
+  int rung = 0;  ///< degradation-ladder rung that shipped the routing
+  std::string routing;  ///< io::write_routing text ("" when quarantined)
+  std::vector<double> delays_s;  ///< per-sink delays, ordered like sinks()
+  double wirelength_um = 0.0;
+  double max_delay_s = 0.0;
+  std::string evaluator;  ///< evaluator that measured delays_s
+
+  // kSummary fields (flow mode).
+  unsigned iterations = 0;
+  std::size_t nets_rerouted = 0;
+  double initial_worst_slack_s = 0.0;
+  double worst_slack_s = 0.0;
+
+  [[nodiscard]] std::string to_json() const;
+  /// Client-side parse; kBadInput on structurally invalid documents.
+  [[nodiscard]] static runtime::StatusOr<Response> from_json(const Json& doc);
+};
+
+/// Convenience constructor for request-level error responses.
+[[nodiscard]] Response make_error_response(const Json& id, ResponseStatus status,
+                                           std::string detail);
+
+}  // namespace ntr::serve

@@ -1,0 +1,77 @@
+#include "serve/queue.h"
+
+#include <utility>
+
+namespace ntr::serve {
+
+FairQueue::FairQueue(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::size_t FairQueue::find_client(std::uint64_t client) const {
+  for (std::size_t i = 0; i < queues_.size(); ++i)
+    if (queues_[i].client == client) return i;
+  return queues_.size();
+}
+
+FairQueue::Push FairQueue::push(std::uint64_t client, WorkItem item) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return Push::kClosed;
+    if (total_ >= capacity_) return Push::kFull;
+    const std::size_t i = find_client(client);
+    // A new client lands at index i == old size, right where find left off.
+    if (i == queues_.size()) queues_.push_back(ClientQueue{client, {}});
+    queues_[i].items.push_back(std::move(item));
+    ++total_;
+  }
+  ready_.notify_one();
+  return Push::kOk;
+}
+
+std::optional<WorkItem> FairQueue::pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ready_.wait(lock, [&] { return total_ > 0 || closed_; });
+  if (total_ == 0) return std::nullopt;  // closed and drained
+  if (rr_ >= queues_.size()) rr_ = 0;
+  ClientQueue& q = queues_[rr_];
+  WorkItem item = std::move(q.items.front());
+  q.items.pop_front();
+  --total_;
+  if (q.items.empty()) {
+    // Remove the drained client; rr_ now points at the next client.
+    queues_.erase(queues_.begin() + static_cast<std::ptrdiff_t>(rr_));
+  } else {
+    ++rr_;  // round-robin: next pop serves the next client
+  }
+  return item;
+}
+
+void FairQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  ready_.notify_all();
+}
+
+void FairQueue::drop_client(std::uint64_t client) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t i = find_client(client);
+  if (i == queues_.size()) return;
+  total_ -= queues_[i].items.size();
+  queues_.erase(queues_.begin() + static_cast<std::ptrdiff_t>(i));
+  if (rr_ > i) --rr_;
+}
+
+std::size_t FairQueue::size() const {
+  // ntr-blocking-in-lane(serve accessor; lanes reach it only via a size() name collision)
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+bool FairQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+}  // namespace ntr::serve

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "serve/service.h"
+
+/// The bounded, client-fair request queue between the event loop and the
+/// worker lanes.
+///
+/// Two properties matter under load:
+///
+///  - **Backpressure**: total capacity is bounded. When the queue is
+///    full, push() refuses and the server answers `overloaded`
+///    immediately instead of buffering without limit -- the admission
+///    half of the QoS policy (the other half is the per-request deadline,
+///    which keeps ticking while an item waits here, so saturated queues
+///    degrade work instead of serving stale results).
+///
+///  - **Per-client fairness**: items are kept in per-client FIFOs and
+///    dispatched round-robin across clients, so one client streaming a
+///    thousand-net batch cannot starve another client's single net. The
+///    per-client order is preserved; only the interleaving is fair.
+namespace ntr::serve {
+
+class FairQueue {
+ public:
+  /// `capacity` bounds the total queued items (>= 1).
+  explicit FairQueue(std::size_t capacity);
+
+  enum class Push : std::uint8_t {
+    kOk,      ///< admitted
+    kFull,    ///< capacity reached; caller answers `overloaded`
+    kClosed,  ///< draining; caller answers `shutting-down`
+  };
+
+  /// Enqueues `item` for `client`. Never blocks.
+  Push push(std::uint64_t client, WorkItem item);
+
+  /// Blocks until an item is available or the queue is closed *and*
+  /// drained; nullopt means "no more work ever" (worker exits). Items are
+  /// delivered round-robin across clients, FIFO within a client.
+  std::optional<WorkItem> pop();
+
+  /// Stops admission; queued items still drain through pop(). Idempotent.
+  void close();
+
+  /// Drops every queued item of `client` (its connection died). Items
+  /// already popped by a worker are the server's problem, not ours.
+  void drop_client(std::uint64_t client);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] bool closed() const;
+
+ private:
+  struct ClientQueue {
+    std::uint64_t client = 0;
+    std::deque<WorkItem> items;
+  };
+
+  /// Index into queues_ for `client`, or queues_.size().
+  [[nodiscard]] std::size_t find_client(std::uint64_t client) const;
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  /// Per-client FIFOs in round-robin order: pop() serves queues_[rr_]
+  /// and advances. Empty client queues are removed eagerly, so every
+  /// entry here holds at least one item.
+  std::vector<ClientQueue> queues_;
+  std::size_t rr_ = 0;
+  std::size_t total_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace ntr::serve

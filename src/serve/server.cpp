@@ -1,0 +1,574 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/parallel.h"
+#include "runtime/stop.h"
+#include "serve/json.h"
+#include "serve/protocol.h"
+#include "serve/queue.h"
+
+namespace ntr::serve {
+
+using runtime::Status;
+using runtime::StatusCode;
+
+namespace {
+
+/// epoll user-data ids for the two non-connection descriptors; client
+/// connections get ids from kFirstClientId up.
+constexpr std::uint64_t kListenId = 0;
+constexpr std::uint64_t kWakeId = 1;
+constexpr std::uint64_t kFirstClientId = 2;
+
+}  // namespace
+
+struct Server::Impl {
+  explicit Impl(ServerOptions opts)
+      : options(std::move(opts)),
+        queue(options.queue_capacity) {}
+
+  // ---- immutable after start() ----
+  ServerOptions options;
+
+  // ---- event-loop-owned state ----
+  struct Connection {
+    Connection(int fd_in, std::size_t max_frame_bytes)
+        : fd(fd_in), decoder(max_frame_bytes) {}
+    int fd;
+    FrameDecoder decoder;
+    std::string outbuf;     ///< pending response bytes (frames included)
+    std::size_t outpos = 0; ///< sent prefix of outbuf
+    std::size_t inflight = 0;  ///< queued + executing work items
+    std::uint32_t events = 0;  ///< current epoll interest mask
+    bool want_close = false;   ///< close once outbuf flushed
+    bool dead = false;         ///< fatal socket error; close now
+  };
+
+  // std::map, not unordered_map: the drain path iterates connections and
+  // the analyzer's nondeterministic-iteration rule (and plain sanity)
+  // wants a stable order.
+  std::map<std::uint64_t, Connection> conns;
+  std::uint64_t next_client_id = kFirstClientId;
+  int listen_fd = -1;
+  int epoll_fd = -1;
+  int wake_fd = -1;
+  std::uint16_t bound_port = 0;
+  bool draining = false;
+
+  // ---- cross-thread state ----
+  FairQueue queue;
+  runtime::CancelSource cancel;
+  std::atomic<bool> shutdown_requested{false};
+  std::atomic<bool> workers_done{false};
+  std::atomic<bool> loop_running{false};
+
+  /// Response frames for one completed work item, already serialized and
+  /// frame-encoded by the worker so the loop only memcpys.
+  struct Completion {
+    std::uint64_t client = 0;
+    std::vector<std::string> frames;
+  };
+  std::mutex completions_mutex;
+  std::vector<Completion> completions;
+
+  std::unique_ptr<core::ThreadPool> pool;
+  std::thread loop_thread;
+  std::thread driver_thread;
+  std::mutex join_mutex;
+
+  // ---- stats ----
+  std::atomic<std::uint64_t> st_accepted{0}, st_closed{0}, st_frames_in{0},
+      st_admitted{0}, st_frames_out{0}, st_overloaded{0}, st_bad_request{0},
+      st_protocol_errors{0};
+
+  // ---------------------------------------------------------------------
+  // Cross-thread plumbing.
+
+  /// Async-signal-safe wakeup of the event loop.
+  void wake() {
+    if (wake_fd < 0) return;
+    const std::uint64_t one = 1;
+    // A full eventfd counter still leaves the loop runnable; ignore.
+    (void)!::write(wake_fd, &one, sizeof one);
+  }
+
+  void worker_loop() {
+    while (std::optional<WorkItem> item = queue.pop()) {
+      Completion comp;
+      comp.client = item->client;
+      try {
+        for (const Response& r :
+             execute_work_item(*item, options.service, cancel.token()))
+          comp.frames.push_back(encode_frame(r.to_json()));
+      } catch (const std::exception& e) {
+        // Serialization failure (e.g. a non-finite delay the JSON layer
+        // refuses to emit) must not kill the lane.
+        comp.frames.assign(
+            1, encode_frame(make_error_response(item->request->id,
+                                                ResponseStatus::kInternal,
+                                                e.what())
+                                .to_json()));
+      }
+      {
+        std::lock_guard<std::mutex> lock(completions_mutex);
+        completions.push_back(std::move(comp));
+      }
+      wake();
+    }
+  }
+
+  // ---------------------------------------------------------------------
+  // Event-loop internals (loop thread only).
+
+  void set_interest(std::uint64_t id, Connection& c) {
+    std::uint32_t want = EPOLLRDHUP;
+    const bool paused =
+        c.inflight >= options.per_client_inflight || c.want_close || draining;
+    if (!paused) want |= EPOLLIN;
+    if (c.outpos < c.outbuf.size()) want |= EPOLLOUT;
+    if (want == c.events) return;
+    epoll_event ev{};
+    ev.events = want;
+    ev.data.u64 = id;
+    if (::epoll_ctl(epoll_fd, EPOLL_CTL_MOD, c.fd, &ev) == 0) c.events = want;
+  }
+
+  void close_conn(std::uint64_t id) {
+    const auto it = conns.find(id);
+    if (it == conns.end()) return;
+    ::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, it->second.fd, nullptr);
+    ::close(it->second.fd);
+    conns.erase(it);
+    // Undelivered work for a dead client is wasted work: purge it.
+    queue.drop_client(id);
+    st_closed.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Flushes as much of outbuf as the socket accepts. Fatal errors mark
+  /// the connection dead (reaped by finalize_conn).
+  void flush_conn(Connection& c) {
+    while (c.outpos < c.outbuf.size()) {
+      const ssize_t n = ::send(c.fd, c.outbuf.data() + c.outpos,
+                               c.outbuf.size() - c.outpos, MSG_NOSIGNAL);
+      if (n > 0) {
+        c.outpos += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      if (n < 0 && errno == EINTR) continue;
+      c.dead = true;  // EPIPE, ECONNRESET, ...
+      return;
+    }
+    if (c.outpos == c.outbuf.size() && c.outpos > 0) {
+      c.outbuf.clear();
+      c.outpos = 0;
+    }
+  }
+
+  void send_frame(Connection& c, const std::string& encoded_frame) {
+    if (c.dead) return;
+    c.outbuf.append(encoded_frame);
+    st_frames_out.fetch_add(1, std::memory_order_relaxed);
+    flush_conn(c);
+  }
+
+  void send_response(Connection& c, const Response& r) {
+    send_frame(c, encode_frame(r.to_json()));
+  }
+
+  /// Applies the close/interest policy after any mutation of `id`'s
+  /// connection. Safe when the id is already gone.
+  void finalize_conn(std::uint64_t id) {
+    const auto it = conns.find(id);
+    if (it == conns.end()) return;
+    Connection& c = it->second;
+    if (c.dead || (c.want_close && c.outpos >= c.outbuf.size())) {
+      close_conn(id);
+      return;
+    }
+    set_interest(id, c);
+  }
+
+  void begin_drain() {
+    if (draining) return;
+    draining = true;
+    if (listen_fd >= 0) {
+      ::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, listen_fd, nullptr);
+      ::close(listen_fd);
+      listen_fd = -1;
+    }
+    queue.close();  // workers exit once the backlog drains
+    for (auto& [id, c] : conns) set_interest(id, c);
+  }
+
+  void accept_ready() {
+    for (;;) {
+      const int fd =
+          ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) return;  // EAGAIN or transient accept failure
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      const std::uint64_t id = next_client_id++;
+      auto [it, inserted] =
+          conns.try_emplace(id, fd, options.max_frame_bytes);
+      epoll_event ev{};
+      ev.events = EPOLLIN | EPOLLRDHUP;
+      ev.data.u64 = id;
+      if (::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+        ::close(fd);
+        conns.erase(it);
+        continue;
+      }
+      it->second.events = ev.events;
+      st_accepted.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  void admit_route(Connection& c, std::uint64_t id, Request&& req) {
+    if (draining) {
+      send_response(c, make_error_response(req.id, ResponseStatus::kShuttingDown,
+                                           "server is draining"));
+      return;
+    }
+    const runtime::Deadline deadline = admission_deadline(req, options.service);
+    const auto shared = std::make_shared<const Request>(std::move(req));
+    const std::size_t count = shared->nets.size();
+    // Solve mode splits the batch into per-net items so nets stream back
+    // as they finish and the queue interleaves across clients; flow mode
+    // is one item because the STA couples the batch.
+    const std::size_t items =
+        shared->mode == RouteMode::kFlow ? 1 : count;
+    for (std::size_t k = 0; k < items; ++k) {
+      WorkItem item;
+      item.client = id;
+      item.request = shared;
+      item.net_index = shared->mode == RouteMode::kFlow ? kWholeBatch : k;
+      item.deadline = deadline;
+      switch (queue.push(id, std::move(item))) {
+        case FairQueue::Push::kOk:
+          ++c.inflight;
+          st_admitted.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case FairQueue::Push::kFull: {
+          st_overloaded.fetch_add(1, std::memory_order_relaxed);
+          Response r = make_error_response(
+              shared->id, ResponseStatus::kOverloaded, "request queue is full");
+          if (shared->mode == RouteMode::kSolve) {
+            // Per-net rejection: the client still receives exactly
+            // `count` net-indexed frames for the batch.
+            r.net_index = k;
+            r.net_count = count;
+          }
+          send_response(c, r);
+          break;
+        }
+        case FairQueue::Push::kClosed:
+          send_response(c, make_error_response(shared->id,
+                                               ResponseStatus::kShuttingDown,
+                                               "server is draining"));
+          break;
+      }
+    }
+  }
+
+  void handle_frame(Connection& c, std::uint64_t id, const std::string& payload) {
+    runtime::StatusOr<Json> doc_or = Json::parse(payload);
+    if (!doc_or.ok()) {
+      st_bad_request.fetch_add(1, std::memory_order_relaxed);
+      send_response(c, make_error_response(Json{}, ResponseStatus::kBadRequest,
+                                           doc_or.status().to_string()));
+      return;  // framing is intact; keep the connection
+    }
+    runtime::StatusOr<Request> req_or = parse_request(*doc_or);
+    if (!req_or.ok()) {
+      st_bad_request.fetch_add(1, std::memory_order_relaxed);
+      const Json* rid = doc_or->find("id");
+      send_response(c, make_error_response(rid != nullptr ? *rid : Json{},
+                                           ResponseStatus::kBadRequest,
+                                           req_or.status().to_string()));
+      return;
+    }
+    Request req = *std::move(req_or);
+    if (req.op == RequestOp::kPing) {
+      Response pong;
+      pong.id = req.id;
+      pong.kind = ResponseKind::kPong;
+      pong.status = ResponseStatus::kOk;
+      pong.code = response_code(ResponseStatus::kOk);
+      send_response(c, pong);
+      return;
+    }
+    if (req.op == RequestOp::kShutdown) {
+      Response ack;
+      ack.id = req.id;
+      ack.kind = ResponseKind::kShutdown;
+      ack.status = ResponseStatus::kOk;
+      ack.code = response_code(ResponseStatus::kOk);
+      send_response(c, ack);
+      begin_drain();
+      return;
+    }
+    admit_route(c, id, std::move(req));
+  }
+
+  /// Drains complete frames from the decoder, respecting the per-client
+  /// in-flight cap: while at the cap, buffered bytes simply wait (and
+  /// set_interest stops reading more -- TCP backpressure).
+  void process_frames(std::uint64_t id) {
+    const auto it = conns.find(id);
+    if (it == conns.end()) return;
+    Connection& c = it->second;
+    std::string payload;
+    while (!c.want_close && !c.dead &&
+           c.inflight < options.per_client_inflight) {
+      const FrameDecoder::Result res = c.decoder.next(payload);
+      if (res == FrameDecoder::Result::kNeedMore) break;
+      if (res == FrameDecoder::Result::kError) {
+        // Hostile or corrupt header: no resync is trustworthy. Answer
+        // with a typed error, then close once it flushes.
+        st_protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        send_response(c, make_error_response(Json{}, ResponseStatus::kBadRequest,
+                                             c.decoder.error().to_string()));
+        c.want_close = true;
+        break;
+      }
+      st_frames_in.fetch_add(1, std::memory_order_relaxed);
+      handle_frame(c, id, payload);
+    }
+    finalize_conn(id);
+  }
+
+  void handle_conn_event(std::uint64_t id, std::uint32_t events) {
+    const auto it = conns.find(id);
+    if (it == conns.end()) return;  // closed earlier in this batch
+    Connection& c = it->second;
+    if ((events & (EPOLLHUP | EPOLLERR | EPOLLRDHUP)) != 0) {
+      // Mid-stream disconnect: drop the connection and purge its queued
+      // work; in-flight completions will find no connection and vanish.
+      close_conn(id);
+      return;
+    }
+    if ((events & EPOLLOUT) != 0) flush_conn(c);
+    if ((events & EPOLLIN) != 0) {
+      std::array<char, 65536> buf;
+      for (;;) {
+        const ssize_t n = ::recv(c.fd, buf.data(), buf.size(), 0);
+        if (n > 0) {
+          c.decoder.feed(std::string_view(buf.data(), static_cast<std::size_t>(n)));
+          continue;
+        }
+        if (n == 0) {  // orderly EOF
+          c.dead = true;
+          break;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        if (errno == EINTR) continue;
+        c.dead = true;
+        break;
+      }
+    }
+    if (c.dead && c.inflight == 0 && c.outpos >= c.outbuf.size()) {
+      close_conn(id);
+      return;
+    }
+    process_frames(id);
+  }
+
+  void deliver_completions() {
+    std::vector<Completion> batch;
+    {
+      std::lock_guard<std::mutex> lock(completions_mutex);
+      batch.swap(completions);
+    }
+    for (Completion& comp : batch) {
+      const auto it = conns.find(comp.client);
+      if (it == conns.end()) continue;  // client disconnected meanwhile
+      Connection& c = it->second;
+      if (c.inflight > 0) --c.inflight;
+      for (const std::string& frame : comp.frames) send_frame(c, frame);
+      // Dropping below the in-flight cap resumes this client's buffered
+      // frames (and re-enables EPOLLIN via finalize).
+      process_frames(comp.client);
+    }
+  }
+
+  [[nodiscard]] bool drain_complete() {
+    if (!draining || !workers_done.load(std::memory_order_acquire)) return false;
+    {
+      std::lock_guard<std::mutex> lock(completions_mutex);
+      if (!completions.empty()) return false;
+    }
+    for (const auto& [id, c] : conns)
+      if (c.outpos < c.outbuf.size() && !c.dead) return false;
+    return true;
+  }
+
+  void event_loop() {
+    std::array<epoll_event, 64> events;
+    for (;;) {
+      if (shutdown_requested.load(std::memory_order_acquire)) begin_drain();
+      deliver_completions();
+      if (drain_complete()) break;
+      const int n = ::epoll_wait(epoll_fd, events.data(),
+                                 static_cast<int>(events.size()), -1);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;  // unrecoverable epoll failure
+      }
+      for (int i = 0; i < n; ++i) {
+        const std::uint64_t id = events[static_cast<std::size_t>(i)].data.u64;
+        const std::uint32_t ev = events[static_cast<std::size_t>(i)].events;
+        if (id == kListenId) {
+          accept_ready();
+        } else if (id == kWakeId) {
+          std::uint64_t counter = 0;
+          (void)!::read(wake_fd, &counter, sizeof counter);
+        } else {
+          handle_conn_event(id, ev);
+        }
+      }
+    }
+    // Teardown: every response a worker produced has been flushed (or its
+    // client is gone); remaining connections are closed unceremoniously.
+    while (!conns.empty()) close_conn(conns.begin()->first);
+    loop_running.store(false, std::memory_order_release);
+  }
+};
+
+Server::Server(ServerOptions options)
+    : impl_(std::make_unique<Impl>(std::move(options))) {}
+
+Server::~Server() {
+  if (impl_ == nullptr) return;
+  // Prompt teardown: cancel in-flight solves, then drain.
+  impl_->cancel.request_cancel();
+  request_shutdown();
+  wait();
+  if (impl_->epoll_fd >= 0) ::close(impl_->epoll_fd);
+  if (impl_->wake_fd >= 0) ::close(impl_->wake_fd);
+  if (impl_->listen_fd >= 0) ::close(impl_->listen_fd);
+}
+
+Status Server::start() {
+  Impl& s = *impl_;
+  s.listen_fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (s.listen_fd < 0)
+    return Status(StatusCode::kIoError, "socket: " + std::string(std::strerror(errno)));
+  const int one = 1;
+  ::setsockopt(s.listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(s.options.port);
+  if (::inet_pton(AF_INET, s.options.host.c_str(), &addr.sin_addr) != 1)
+    return Status(StatusCode::kBadInput,
+                  "unparseable host '" + s.options.host + "'");
+  if (::bind(s.listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0)
+    return Status(StatusCode::kIoError,
+                  "bind " + s.options.host + ":" + std::to_string(s.options.port) +
+                      ": " + std::string(std::strerror(errno)));
+  if (::listen(s.listen_fd, SOMAXCONN) != 0)
+    return Status(StatusCode::kIoError,
+                  "listen: " + std::string(std::strerror(errno)));
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(s.listen_fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0)
+    return Status(StatusCode::kIoError,
+                  "getsockname: " + std::string(std::strerror(errno)));
+  s.bound_port = ntohs(bound.sin_port);
+
+  s.wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (s.wake_fd < 0)
+    return Status(StatusCode::kIoError,
+                  "eventfd: " + std::string(std::strerror(errno)));
+  s.epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+  if (s.epoll_fd < 0)
+    return Status(StatusCode::kIoError,
+                  "epoll_create1: " + std::string(std::strerror(errno)));
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenId;
+  if (::epoll_ctl(s.epoll_fd, EPOLL_CTL_ADD, s.listen_fd, &ev) != 0)
+    return Status(StatusCode::kIoError,
+                  "epoll_ctl(listen): " + std::string(std::strerror(errno)));
+  ev.events = EPOLLIN;
+  ev.data.u64 = kWakeId;
+  if (::epoll_ctl(s.epoll_fd, EPOLL_CTL_ADD, s.wake_fd, &ev) != 0)
+    return Status(StatusCode::kIoError,
+                  "epoll_ctl(wake): " + std::string(std::strerror(errno)));
+
+  s.loop_running.store(true, std::memory_order_release);
+  s.pool = std::make_unique<core::ThreadPool>(
+      s.options.workers == 0 ? 1 : s.options.workers);
+  // The driver thread is the pool's lane 0; ThreadPool::run blocks it
+  // until the queue closes and drains, making it the workers' joiner.
+  s.driver_thread = std::thread([this] {
+    try {
+      impl_->pool->run([this](std::size_t) { impl_->worker_loop(); });
+    } catch (const std::exception&) {
+      // worker_loop is never-throw by construction; run() can still
+      // surface e.g. resource exhaustion spawning lanes.
+    }
+    impl_->workers_done.store(true, std::memory_order_release);
+    impl_->wake();
+  });
+  s.loop_thread = std::thread([this] { impl_->event_loop(); });
+  return Status();
+}
+
+std::uint16_t Server::port() const { return impl_->bound_port; }
+
+void Server::request_shutdown() {
+  impl_->shutdown_requested.store(true, std::memory_order_release);
+  impl_->wake();
+}
+
+void Server::wait() {
+  // ntr-blocking-in-lane(shutdown join path; lanes reach it only via a wait() name collision)
+  std::lock_guard<std::mutex> lock(impl_->join_mutex);
+  if (impl_->loop_thread.joinable()) impl_->loop_thread.join();
+  if (impl_->driver_thread.joinable()) impl_->driver_thread.join();
+}
+
+bool Server::running() const {
+  return impl_->loop_running.load(std::memory_order_acquire);
+}
+
+ServerStats Server::stats() const {
+  const Impl& s = *impl_;
+  ServerStats out;
+  out.connections_accepted = s.st_accepted.load(std::memory_order_relaxed);
+  out.connections_closed = s.st_closed.load(std::memory_order_relaxed);
+  out.frames_received = s.st_frames_in.load(std::memory_order_relaxed);
+  out.items_admitted = s.st_admitted.load(std::memory_order_relaxed);
+  out.frames_sent = s.st_frames_out.load(std::memory_order_relaxed);
+  out.rejected_overloaded = s.st_overloaded.load(std::memory_order_relaxed);
+  out.rejected_bad_request = s.st_bad_request.load(std::memory_order_relaxed);
+  out.protocol_errors = s.st_protocol_errors.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace ntr::serve

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "runtime/status.h"
+#include "serve/service.h"
+#include "serve/wire.h"
+
+/// The ntr_serve TCP server: a single epoll event loop owning every
+/// socket, a bounded client-fair queue (serve/queue.h), and worker lanes
+/// on the existing core::ThreadPool executing requests through the
+/// re-entrant service layer (serve/service.h).
+///
+/// Threading model:
+///
+///  - The **event-loop thread** owns all connection state. It accepts,
+///    reads, decodes frames, parses requests, admits work items, and
+///    writes response frames. Nothing else touches a socket.
+///  - **Worker lanes** pop items from the FairQueue, run the routing
+///    engine, and hand the serialized response frames back through a
+///    completion list + eventfd wakeup. Workers never see sockets.
+///  - Per-client **backpressure**: while a client has too many items in
+///    flight, the loop stops reading its socket (EPOLLIN off), pushing
+///    the pressure into the kernel's TCP window instead of server memory.
+///
+/// Shutdown: request_shutdown() (async-signal-safe) or a `shutdown`
+/// request stops accepting, closes the queue, lets queued work drain,
+/// flushes every outbuf, then exits the loop. The destructor additionally
+/// cancels in-flight solves so teardown is prompt.
+namespace ntr::serve {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral; read the bound port()
+  /// Worker lanes executing requests (>= 1).
+  std::size_t workers = 2;
+  /// FairQueue capacity: total queued items across clients.
+  std::size_t queue_capacity = 256;
+  /// Per-client in-flight cap (queued + executing items) before the loop
+  /// stops reading that client's socket.
+  std::size_t per_client_inflight = 32;
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  ServiceConfig service{};
+};
+
+/// Monotonic counters, snapshotted by stats().
+struct ServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_closed = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t items_admitted = 0;
+  std::uint64_t frames_sent = 0;
+  std::uint64_t rejected_overloaded = 0;
+  std::uint64_t rejected_bad_request = 0;
+  std::uint64_t protocol_errors = 0;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and starts the event-loop and worker threads.
+  /// kIoError when the address cannot be bound.
+  [[nodiscard]] runtime::Status start();
+
+  /// The bound port; valid after start() succeeded.
+  [[nodiscard]] std::uint16_t port() const;
+
+  /// Begins a graceful drain. Async-signal-safe (atomic flag + eventfd
+  /// write), callable from any thread, idempotent.
+  void request_shutdown();
+
+  /// Blocks until the event loop has exited and workers joined.
+  void wait();
+
+  /// True between a successful start() and loop exit.
+  [[nodiscard]] bool running() const;
+
+  [[nodiscard]] ServerStats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace ntr::serve

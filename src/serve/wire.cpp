@@ -1,0 +1,56 @@
+#include "serve/wire.h"
+
+namespace ntr::serve {
+
+using runtime::Status;
+using runtime::StatusCode;
+
+std::string encode_frame(std::string_view payload) {
+  const auto n = static_cast<std::uint32_t>(payload.size());
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  frame += static_cast<char>((n >> 24) & 0xFF);
+  frame += static_cast<char>((n >> 16) & 0xFF);
+  frame += static_cast<char>((n >> 8) & 0xFF);
+  frame += static_cast<char>(n & 0xFF);
+  frame.append(payload.data(), payload.size());
+  return frame;
+}
+
+void FrameDecoder::feed(std::string_view bytes) {
+  if (!error_.ok()) return;
+  // Compact the consumed prefix before it can grow without bound.
+  if (pos_ > 0 && (pos_ >= buf_.size() || pos_ > 4096)) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(bytes.data(), bytes.size());
+}
+
+FrameDecoder::Result FrameDecoder::next(std::string& payload) {
+  if (!error_.ok()) return Result::kError;
+  const std::size_t available = buf_.size() - pos_;
+  if (available < kFrameHeaderBytes) return Result::kNeedMore;
+  const auto* p = reinterpret_cast<const unsigned char*>(buf_.data() + pos_);
+  const std::size_t length = (static_cast<std::size_t>(p[0]) << 24) |
+                             (static_cast<std::size_t>(p[1]) << 16) |
+                             (static_cast<std::size_t>(p[2]) << 8) |
+                             static_cast<std::size_t>(p[3]);
+  if (length == 0) {
+    error_ = Status(StatusCode::kBadInput, "frame: empty payload");
+    return Result::kError;
+  }
+  if (length > max_frame_bytes_) {
+    error_ = Status(StatusCode::kBadInput,
+                    "frame: declared payload of " + std::to_string(length) +
+                        " bytes exceeds the " +
+                        std::to_string(max_frame_bytes_) + "-byte cap");
+    return Result::kError;
+  }
+  if (available < kFrameHeaderBytes + length) return Result::kNeedMore;
+  payload.assign(buf_, pos_ + kFrameHeaderBytes, length);
+  pos_ += kFrameHeaderBytes + length;
+  return Result::kFrame;
+}
+
+}  // namespace ntr::serve

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "runtime/status.h"
+
+/// Length-prefixed framing for the ntr_serve TCP protocol.
+///
+/// Every message -- request or response -- travels as one frame:
+///
+///   [ 4-byte big-endian payload length | payload bytes (JSON) ]
+///
+/// The length counts payload bytes only. A declared length of zero or one
+/// above the receiver's cap poisons the stream (there is no way to trust
+/// a resync after a hostile or corrupted header), so the decoder latches
+/// the error and the server closes the connection after sending a typed
+/// error response.
+namespace ntr::serve {
+
+inline constexpr std::size_t kFrameHeaderBytes = 4;
+/// Default per-frame payload cap. Large enough for a multi-thousand-pin
+/// batch, small enough that one client cannot balloon the server's
+/// buffers.
+inline constexpr std::size_t kDefaultMaxFrameBytes = 4u << 20;
+
+/// Wraps `payload` in a frame header.
+[[nodiscard]] std::string encode_frame(std::string_view payload);
+
+/// Incremental frame reassembly over an arbitrary byte stream: feed()
+/// whatever recv() produced, then drain complete frames with next().
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  /// Appends raw bytes from the stream. No-op once the stream is poisoned.
+  void feed(std::string_view bytes);
+
+  enum class Result {
+    kFrame,     ///< `payload` holds the next complete frame
+    kNeedMore,  ///< no complete frame buffered yet
+    kError,     ///< stream poisoned; see error()
+  };
+
+  /// Extracts the next complete frame payload, if any.
+  Result next(std::string& payload);
+
+  /// The latched kBadInput once a header was rejected; ok before that.
+  [[nodiscard]] const runtime::Status& error() const { return error_; }
+
+  /// Bytes currently buffered but not yet returned (partial frames).
+  [[nodiscard]] std::size_t buffered_bytes() const { return buf_.size() - pos_; }
+
+ private:
+  std::size_t max_frame_bytes_;
+  std::string buf_;
+  std::size_t pos_ = 0;  ///< consumed prefix of buf_
+  runtime::Status error_;
+};
+
+}  // namespace ntr::serve

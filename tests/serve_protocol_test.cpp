@@ -1,0 +1,338 @@
+// Wire-level tests for the ntr_serve protocol: the JSON layer, the
+// length-prefixed framing, request parsing, response round trips, and
+// the service-level validators (NaN-coordinate nets must die at the
+// door, exactly like the CLI).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "runtime/status.h"
+#include "serve/json.h"
+#include "serve/loadgen.h"
+#include "serve/protocol.h"
+#include "serve/service.h"
+#include "serve/wire.h"
+
+namespace ntr::serve {
+namespace {
+
+// ---------------------------------------------------------------------------
+// JSON layer.
+
+TEST(ServeJson, RoundTripsDocuments) {
+  const char* docs[] = {
+      R"({"a":1,"b":[true,false,null],"c":"x"})",
+      R"([])",
+      R"({"nested":{"deep":{"deeper":[1,2,3]}}})",
+      R"("just a string")",
+      R"(-12.5)",
+  };
+  for (const char* text : docs) {
+    const runtime::StatusOr<Json> doc = Json::parse(text);
+    ASSERT_TRUE(doc.ok()) << text;
+    const runtime::StatusOr<Json> again = Json::parse(doc->dump());
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(doc->dump(), again->dump()) << text;
+  }
+}
+
+TEST(ServeJson, RejectsMalformedDocuments) {
+  const char* bad[] = {
+      "",           "{",       "{\"a\":}",   "[1,2,",     "tru",
+      "{\"a\" 1}",  "1.2.3",   "\"unterminated",
+      "{\"a\":1}x", "[1] []",  "{'a':1}",    "\"\x01\"",
+  };
+  for (const char* text : bad)
+    EXPECT_FALSE(Json::parse(text).ok()) << "accepted: " << text;
+}
+
+TEST(ServeJson, RejectsNonFiniteNumbers) {
+  // The parser has no NaN/Infinity tokens, and the builder refuses to
+  // construct them -- so NaN cannot enter or leave via the wire.
+  EXPECT_FALSE(Json::parse("NaN").ok());
+  EXPECT_FALSE(Json::parse("Infinity").ok());
+  EXPECT_FALSE(Json::parse("[1,-Infinity]").ok());
+  EXPECT_THROW(Json::number(std::nan("")), runtime::NtrError);
+  EXPECT_THROW(Json::number(std::numeric_limits<double>::infinity()),
+               runtime::NtrError);
+}
+
+TEST(ServeJson, EnforcesDepthCap) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += "[";
+  for (int i = 0; i < 100; ++i) deep += "]";
+  EXPECT_FALSE(Json::parse(deep).ok());
+  std::string ok;
+  for (int i = 0; i < 30; ++i) ok += "[";
+  for (int i = 0; i < 30; ++i) ok += "]";
+  EXPECT_TRUE(Json::parse(ok).ok());
+}
+
+TEST(ServeJson, UnicodeEscapes) {
+  const runtime::StatusOr<Json> doc = Json::parse(R"("aé😀b")");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->as_string(), "a\xC3\xA9\xF0\x9F\x98\x80"
+                              "b");
+  // A lone high surrogate is invalid.
+  EXPECT_FALSE(Json::parse(R"("\ud83d")").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Framing.
+
+TEST(ServeWire, EncodeDecodeRoundTrip) {
+  const std::string payload = R"({"op":"ping"})";
+  const std::string frame = encode_frame(payload);
+  ASSERT_EQ(frame.size(), kFrameHeaderBytes + payload.size());
+  FrameDecoder decoder;
+  decoder.feed(frame);
+  std::string out;
+  EXPECT_EQ(decoder.next(out), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(out, payload);
+  EXPECT_EQ(decoder.next(out), FrameDecoder::Result::kNeedMore);
+}
+
+TEST(ServeWire, ReassemblesAcrossArbitrarySplits) {
+  const std::string a = encode_frame("first");
+  const std::string b = encode_frame("second, somewhat longer payload");
+  const std::string stream = a + b;
+  // Feed one byte at a time: worst-case fragmentation.
+  FrameDecoder decoder;
+  std::vector<std::string> got;
+  std::string out;
+  for (const char ch : stream) {
+    decoder.feed(std::string_view(&ch, 1));
+    while (decoder.next(out) == FrameDecoder::Result::kFrame) got.push_back(out);
+  }
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], "first");
+  EXPECT_EQ(got[1], "second, somewhat longer payload");
+}
+
+TEST(ServeWire, ZeroLengthFramePoisonsStream) {
+  FrameDecoder decoder;
+  decoder.feed(std::string(kFrameHeaderBytes, '\0'));  // declared length 0
+  std::string out;
+  EXPECT_EQ(decoder.next(out), FrameDecoder::Result::kError);
+  EXPECT_FALSE(decoder.error().ok());
+  // Latched: even valid bytes afterwards stay dead.
+  decoder.feed(encode_frame("valid"));
+  EXPECT_EQ(decoder.next(out), FrameDecoder::Result::kError);
+}
+
+TEST(ServeWire, OversizedFramePoisonsStream) {
+  FrameDecoder decoder(/*max_frame_bytes=*/16);
+  decoder.feed(encode_frame("this payload exceeds sixteen bytes"));
+  std::string out;
+  EXPECT_EQ(decoder.next(out), FrameDecoder::Result::kError);
+  EXPECT_FALSE(decoder.error().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Requests.
+
+TEST(ServeProtocol, ParsesFullRouteRequest) {
+  const runtime::StatusOr<Json> doc = Json::parse(R"({
+    "id": 7, "op": "route", "mode": "solve",
+    "nets": ["pin 0 0\npin 5 5\n"],
+    "strategy": "sldrg", "evaluator": "d2m",
+    "deadline_ms": 250, "on_error": "fail", "max_edges": 3
+  })");
+  ASSERT_TRUE(doc.ok());
+  const runtime::StatusOr<Request> req = parse_request(*doc);
+  ASSERT_TRUE(req.ok()) << req.status().to_string();
+  EXPECT_EQ(req->op, RequestOp::kRoute);
+  EXPECT_EQ(req->mode, RouteMode::kSolve);
+  ASSERT_EQ(req->nets.size(), 1u);
+  EXPECT_EQ(req->strategy, core::Strategy::kSldrg);
+  EXPECT_EQ(req->evaluator, "d2m");
+  EXPECT_DOUBLE_EQ(req->deadline_ms, 250.0);
+  EXPECT_EQ(req->on_error, core::OnError::kFail);
+  EXPECT_EQ(req->max_edges, 3u);
+}
+
+TEST(ServeProtocol, RejectsBadRequests) {
+  const char* bad[] = {
+      R"([1,2,3])",                                    // not an object
+      R"({"op":"explode"})",                           // unknown op
+      R"({"op":"route"})",                             // no nets
+      R"({"op":"route","nets":[]})",                   // empty nets
+      R"({"op":"route","nets":[1]})",                  // non-string net
+      R"({"op":"route","net":"pin 0 0","mode":"x"})",  // unknown mode
+      R"({"op":"route","net":"pin 0 0","strategy":"bogus"})",
+      R"({"op":"route","net":"pin 0 0","evaluator":"spice"})",
+      R"({"op":"route","net":"pin 0 0","on_error":"explode"})",
+      R"({"op":"route","net":"pin 0 0","deadline_ms":-5})",
+      R"({"op":"route","net":"pin 0 0","deadline_ms":"soon"})",
+      R"({"op":"route","net":"pin 0 0","clock_period_s":0})",
+  };
+  for (const char* text : bad) {
+    const runtime::StatusOr<Json> doc = Json::parse(text);
+    ASSERT_TRUE(doc.ok()) << text;
+    EXPECT_FALSE(parse_request(*doc).ok()) << "accepted: " << text;
+  }
+}
+
+TEST(ServeProtocol, PingNeedsNoNets) {
+  const runtime::StatusOr<Json> doc = Json::parse(R"({"op":"ping","id":"x"})");
+  ASSERT_TRUE(doc.ok());
+  const runtime::StatusOr<Request> req = parse_request(*doc);
+  ASSERT_TRUE(req.ok());
+  EXPECT_EQ(req->op, RequestOp::kPing);
+}
+
+TEST(ServeProtocol, RequestSerializerRoundTrips) {
+  Request req;
+  req.id = Json::string("r1");
+  req.mode = RouteMode::kFlow;
+  req.nets = {"pin 0 0\npin 9 9\n", "pin 1 1\npin 2 2\n"};
+  req.strategy = core::Strategy::kErtLdrg;
+  req.evaluator = "elmore";
+  req.deadline_ms = 42.0;
+  req.on_error = core::OnError::kSkip;
+  req.max_edges = 5;
+  req.clock_period_s = 1e-9;
+  const runtime::StatusOr<Request> back = parse_request(request_to_json(req));
+  ASSERT_TRUE(back.ok()) << back.status().to_string();
+  EXPECT_EQ(back->mode, RouteMode::kFlow);
+  EXPECT_EQ(back->nets, req.nets);
+  EXPECT_EQ(back->strategy, core::Strategy::kErtLdrg);
+  EXPECT_EQ(back->evaluator, "elmore");
+  EXPECT_DOUBLE_EQ(back->deadline_ms, 42.0);
+  EXPECT_EQ(back->on_error, core::OnError::kSkip);
+  EXPECT_EQ(back->max_edges, 5u);
+  EXPECT_DOUBLE_EQ(back->clock_period_s, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Responses.
+
+TEST(ServeProtocol, ResponseCodesMirrorCliExitCodes) {
+  // The taxonomy promise: shipped routings are 0 (like the CLI under
+  // --on-error=degrade), usage 2, input 3, numerical/timeout 4,
+  // server-side refusals 1.
+  EXPECT_EQ(response_code(ResponseStatus::kOk), 0);
+  EXPECT_EQ(response_code(ResponseStatus::kDegraded), 0);
+  EXPECT_EQ(response_code(ResponseStatus::kBadRequest), 2);
+  EXPECT_EQ(response_code(ResponseStatus::kBadInput), 3);
+  EXPECT_EQ(response_code(ResponseStatus::kQuarantined), 4);
+  EXPECT_EQ(response_code(ResponseStatus::kTimeout), 4);
+  EXPECT_EQ(response_code(ResponseStatus::kCancelled), 4);
+  EXPECT_EQ(response_code(ResponseStatus::kNumerical), 4);
+  EXPECT_EQ(response_code(ResponseStatus::kOverloaded), 1);
+  EXPECT_EQ(response_code(ResponseStatus::kShuttingDown), 1);
+  EXPECT_EQ(response_code(ResponseStatus::kInternal), 1);
+}
+
+TEST(ServeProtocol, ResponseRoundTripsNetFrame) {
+  Response r;
+  r.id = Json::string("r9");
+  r.kind = ResponseKind::kNet;
+  r.status = ResponseStatus::kDegraded;
+  r.code = 0;
+  r.error = "deadline exceeded";
+  r.net_index = 2;
+  r.net_count = 5;
+  r.rung = 2;
+  r.routing = "# ntr routing v1\n";
+  r.delays_s = {1e-9, 2e-9};
+  r.wirelength_um = 1234.5;
+  r.max_delay_s = 2e-9;
+  r.evaluator = "elmore-graph";
+  const runtime::StatusOr<Json> doc = Json::parse(r.to_json());
+  ASSERT_TRUE(doc.ok());
+  const runtime::StatusOr<Response> back = Response::from_json(*doc);
+  ASSERT_TRUE(back.ok()) << back.status().to_string();
+  EXPECT_EQ(back->kind, ResponseKind::kNet);
+  EXPECT_EQ(back->status, ResponseStatus::kDegraded);
+  EXPECT_EQ(back->code, 0);
+  EXPECT_EQ(back->net_index, 2u);
+  EXPECT_EQ(back->net_count, 5u);
+  EXPECT_EQ(back->rung, 2);
+  EXPECT_EQ(back->routing, r.routing);
+  EXPECT_EQ(back->delays_s, r.delays_s);
+  EXPECT_DOUBLE_EQ(back->wirelength_um, 1234.5);
+  EXPECT_EQ(back->evaluator, "elmore-graph");
+}
+
+TEST(ServeProtocol, PerNetErrorFramesCarryIndices) {
+  Response r = make_error_response(Json::string("b"), ResponseStatus::kOverloaded,
+                                   "request queue is full");
+  r.net_index = 3;
+  r.net_count = 8;
+  const runtime::StatusOr<Json> doc = Json::parse(r.to_json());
+  ASSERT_TRUE(doc.ok());
+  const runtime::StatusOr<Response> back = Response::from_json(*doc);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->kind, ResponseKind::kError);
+  EXPECT_EQ(back->status, ResponseStatus::kOverloaded);
+  EXPECT_EQ(back->code, 1);
+  EXPECT_EQ(back->net_index, 3u);
+  EXPECT_EQ(back->net_count, 8u);
+}
+
+TEST(ServeProtocol, ResponseSetCompletion) {
+  std::vector<Response> frames;
+  EXPECT_FALSE(response_set_complete(frames, RouteMode::kSolve));
+
+  Response net;
+  net.kind = ResponseKind::kNet;
+  net.net_count = 2;
+  frames.push_back(net);
+  EXPECT_FALSE(response_set_complete(frames, RouteMode::kSolve));
+  Response rejected = make_error_response(Json{}, ResponseStatus::kOverloaded, "");
+  rejected.net_count = 2;
+  rejected.net_index = 1;
+  frames.push_back(rejected);
+  EXPECT_TRUE(response_set_complete(frames, RouteMode::kSolve));
+
+  // Flow waits for the summary even with every net frame in hand.
+  EXPECT_FALSE(response_set_complete(frames, RouteMode::kFlow));
+  Response summary;
+  summary.kind = ResponseKind::kSummary;
+  frames.push_back(summary);
+  EXPECT_TRUE(response_set_complete(frames, RouteMode::kFlow));
+
+  // A request-level error terminates immediately.
+  Response fatal = make_error_response(Json{}, ResponseStatus::kBadRequest, "x");
+  EXPECT_TRUE(response_set_complete({fatal}, RouteMode::kSolve));
+}
+
+// ---------------------------------------------------------------------------
+// Service-level validation.
+
+TEST(ServeService, NanCoordinateNetIsRejected) {
+  Request req;
+  req.nets = {"pin 0 0\npin nan 5\n"};
+  const Response r = route_net(req, 0, ServiceConfig{}, {});
+  EXPECT_EQ(r.kind, ResponseKind::kNet);
+  EXPECT_EQ(r.status, ResponseStatus::kBadInput);
+  EXPECT_EQ(r.code, 3);
+  EXPECT_TRUE(r.routing.empty());
+  EXPECT_NE(r.error.find("non-finite"), std::string::npos) << r.error;
+}
+
+TEST(ServeService, MalformedNetTextIsRejected) {
+  Request req;
+  req.nets = {"pin 0 0\npin only-one-coordinate\n"};
+  const Response r = route_net(req, 0, ServiceConfig{}, {});
+  EXPECT_EQ(r.status, ResponseStatus::kBadInput);
+  EXPECT_EQ(r.code, 3);
+}
+
+TEST(ServeLoadgen, PercentileNearestRank) {
+  const std::vector<double> sample = {5, 1, 4, 2, 3};
+  EXPECT_DOUBLE_EQ(percentile(sample, 0.50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(sample, 0.95), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(sample, 0.99), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(sample, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0.99), 7.0);
+}
+
+}  // namespace
+}  // namespace ntr::serve

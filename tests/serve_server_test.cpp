@@ -1,0 +1,396 @@
+// In-process end-to-end tests for serve::Server: a real epoll server on
+// an ephemeral port driven through the blocking protocol Client. Covers
+// the bit-identity gate, deadline-driven degradation, protocol abuse
+// (malformed frames, oversized headers, mid-stream disconnects), queue
+// backpressure under a saturating client, graceful shutdown, and flow
+// mode including concurrent re-entrant batches.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/resilience.h"
+#include "core/solver.h"
+#include "delay/evaluator.h"
+#include "expt/net_generator.h"
+#include "graph/net.h"
+#include "io/net_io.h"
+#include "runtime/status.h"
+#include "serve/loadgen.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/wire.h"
+#include "spice/technology.h"
+
+namespace ntr::serve {
+namespace {
+
+std::string test_net(std::uint64_t seed, std::size_t pins = 10) {
+  expt::NetGenerator gen(seed);
+  return io::write_net(gen.random_net(pins));
+}
+
+Request route_request(std::vector<std::string> nets, const char* id) {
+  Request req;
+  req.id = Json::string(id);
+  req.nets = std::move(nets);
+  return req;
+}
+
+/// What the server must produce for `net_text` at rung 0: the library's
+/// own routing, serialized the same way (the bit-identity gate).
+std::string library_routing(const std::string& net_text) {
+  const graph::Net net = io::read_net(net_text);
+  const spice::Technology tech = spice::kTable1Technology;
+  const std::unique_ptr<delay::DelayEvaluator> evaluator =
+      delay::make_evaluator("graph-elmore", tech);
+  core::SolverConfig config;
+  config.tech = tech;
+  const core::GuardedSolution guarded = core::solve_resilient(
+      net, core::Strategy::kLdrg, *evaluator, config, {});
+  EXPECT_TRUE(guarded.solution.has_value());
+  return guarded.solution.has_value()
+             ? io::write_routing(guarded.solution->graph)
+             : std::string();
+}
+
+class ServeServerTest : public ::testing::Test {
+ protected:
+  void start(ServerOptions options = {}) {
+    options.host = "127.0.0.1";
+    options.port = 0;
+    server_ = std::make_unique<Server>(options);
+    const runtime::Status s = server_->start();
+    ASSERT_TRUE(s.ok()) << s.to_string();
+  }
+
+  void connect(Client& client) {
+    const runtime::Status s = client.connect("127.0.0.1", server_->port());
+    ASSERT_TRUE(s.ok()) << s.to_string();
+  }
+
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(ServeServerTest, PingPong) {
+  start();
+  Client client;
+  connect(client);
+  Request req;
+  req.op = RequestOp::kPing;
+  req.id = Json::string("p1");
+  const auto frames = client.call(req);
+  ASSERT_TRUE(frames.ok()) << frames.status().to_string();
+  ASSERT_EQ(frames->size(), 1u);
+  EXPECT_EQ((*frames)[0].kind, ResponseKind::kPong);
+  EXPECT_EQ((*frames)[0].status, ResponseStatus::kOk);
+  EXPECT_EQ((*frames)[0].id.as_string(), "p1");
+}
+
+TEST_F(ServeServerTest, RoutingsBitIdenticalToLibrary) {
+  start();
+  Client client;
+  connect(client);
+  const std::vector<std::string> nets = {test_net(11), test_net(12, 16),
+                                         test_net(13, 7)};
+  const auto frames = client.call(route_request(nets, "bits"));
+  ASSERT_TRUE(frames.ok()) << frames.status().to_string();
+  ASSERT_EQ(frames->size(), nets.size());
+  std::vector<bool> seen(nets.size(), false);
+  for (const Response& r : *frames) {
+    ASSERT_EQ(r.kind, ResponseKind::kNet);
+    ASSERT_EQ(r.status, ResponseStatus::kOk) << r.error;
+    EXPECT_EQ(r.code, 0);
+    EXPECT_EQ(r.rung, 0);
+    ASSERT_LT(r.net_index, nets.size());
+    EXPECT_FALSE(seen[r.net_index]);
+    seen[r.net_index] = true;
+    EXPECT_EQ(r.routing, library_routing(nets[r.net_index]))
+        << "net " << r.net_index << " differs from the library's routing";
+    EXPECT_FALSE(r.delays_s.empty());
+    EXPECT_GT(r.wirelength_um, 0.0);
+  }
+}
+
+TEST_F(ServeServerTest, DeadlineExceededDegrades) {
+  start();
+  Client client;
+  connect(client);
+  Request req = route_request({test_net(21, 24)}, "dl");
+  req.deadline_ms = 0.05;  // ~expired at admission: rung 0 cannot finish
+  const auto frames = client.call(req);
+  ASSERT_TRUE(frames.ok()) << frames.status().to_string();
+  ASSERT_EQ(frames->size(), 1u);
+  const Response& r = (*frames)[0];
+  EXPECT_EQ(r.kind, ResponseKind::kNet);
+  EXPECT_EQ(r.status, ResponseStatus::kDegraded) << r.error;
+  EXPECT_EQ(r.code, 0);           // a routing still shipped
+  EXPECT_GT(r.rung, 0);           // ...from a ladder rung, not the request
+  EXPECT_FALSE(r.routing.empty());
+}
+
+TEST_F(ServeServerTest, DeadlineUnderFailPolicyIsTimeout) {
+  start();
+  Client client;
+  connect(client);
+  Request req = route_request({test_net(22, 24)}, "dlf");
+  req.deadline_ms = 0.05;
+  req.on_error = core::OnError::kFail;
+  const auto frames = client.call(req);
+  ASSERT_TRUE(frames.ok()) << frames.status().to_string();
+  ASSERT_EQ(frames->size(), 1u);
+  const Response& r = (*frames)[0];
+  EXPECT_EQ(r.status, ResponseStatus::kTimeout) << r.error;
+  EXPECT_EQ(r.code, 4);
+  EXPECT_TRUE(r.routing.empty());
+}
+
+TEST_F(ServeServerTest, NanCoordinateNetRejectedOverWire) {
+  start();
+  Client client;
+  connect(client);
+  const auto frames =
+      client.call(route_request({"pin 0 0\npin nan 5\n"}, "nan"));
+  ASSERT_TRUE(frames.ok()) << frames.status().to_string();
+  ASSERT_EQ(frames->size(), 1u);
+  EXPECT_EQ((*frames)[0].status, ResponseStatus::kBadInput);
+  EXPECT_EQ((*frames)[0].code, 3);
+  EXPECT_TRUE((*frames)[0].routing.empty());
+}
+
+TEST_F(ServeServerTest, MalformedJsonKeepsConnectionUsable) {
+  start();
+  Client client;
+  connect(client);
+  ASSERT_TRUE(client.send_bytes(encode_frame("{this is not json")).ok());
+  const auto err = client.read_response();
+  ASSERT_TRUE(err.ok()) << err.status().to_string();
+  EXPECT_EQ(err->kind, ResponseKind::kError);
+  EXPECT_EQ(err->status, ResponseStatus::kBadRequest);
+  EXPECT_EQ(err->code, 2);
+  // The framing is intact, so the connection survives bad JSON.
+  Request ping;
+  ping.op = RequestOp::kPing;
+  const auto frames = client.call(ping);
+  ASSERT_TRUE(frames.ok()) << frames.status().to_string();
+  EXPECT_EQ((*frames)[0].kind, ResponseKind::kPong);
+}
+
+TEST_F(ServeServerTest, OversizedFrameHeaderClosesConnection) {
+  ServerOptions options;
+  options.max_frame_bytes = 1024;
+  start(options);
+  Client client;
+  connect(client);
+  // Header declaring a 1 GiB payload: untrustworthy stream, typed error
+  // then close.
+  std::string header(kFrameHeaderBytes, '\0');
+  header[0] = 0x40;
+  ASSERT_TRUE(client.send_bytes(header).ok());
+  const auto err = client.read_response();
+  ASSERT_TRUE(err.ok()) << err.status().to_string();
+  EXPECT_EQ(err->kind, ResponseKind::kError);
+  EXPECT_EQ(err->status, ResponseStatus::kBadRequest);
+  const auto eof = client.read_response();
+  EXPECT_FALSE(eof.ok());
+}
+
+TEST_F(ServeServerTest, ZeroLengthFrameClosesConnection) {
+  start();
+  Client client;
+  connect(client);
+  ASSERT_TRUE(client.send_bytes(std::string(kFrameHeaderBytes, '\0')).ok());
+  const auto err = client.read_response();
+  ASSERT_TRUE(err.ok()) << err.status().to_string();
+  EXPECT_EQ(err->status, ResponseStatus::kBadRequest);
+  const auto eof = client.read_response();
+  EXPECT_FALSE(eof.ok());
+}
+
+TEST_F(ServeServerTest, MidStreamDisconnectLeavesServerServing) {
+  start();
+  {
+    Client rude;
+    connect(rude);
+    // Half a frame: a header promising 100 bytes, then a hangup.
+    std::string header(kFrameHeaderBytes, '\0');
+    header[3] = 100;
+    ASSERT_TRUE(rude.send_bytes(header + "only a few").ok());
+    rude.close();
+  }
+  {
+    // A batch that dies mid-flight with queued work: admit, then vanish.
+    Client rude;
+    connect(rude);
+    std::vector<std::string> nets;
+    for (int i = 0; i < 8; ++i) nets.push_back(test_net(30 + i));
+    ASSERT_TRUE(
+        rude.send_document(request_to_json(route_request(nets, "gone"))).ok());
+    rude.close();
+  }
+  Client polite;
+  connect(polite);
+  const auto frames = polite.call(route_request({test_net(40)}, "ok"));
+  ASSERT_TRUE(frames.ok()) << frames.status().to_string();
+  ASSERT_EQ(frames->size(), 1u);
+  EXPECT_EQ((*frames)[0].status, ResponseStatus::kOk);
+}
+
+TEST_F(ServeServerTest, SaturatedQueueRejectsPerNetButAccountsForAll) {
+  ServerOptions options;
+  options.workers = 1;
+  options.queue_capacity = 1;
+  options.per_client_inflight = 64;
+  start(options);
+  Client client;
+  connect(client);
+  std::vector<std::string> nets;
+  for (int i = 0; i < 16; ++i) nets.push_back(test_net(50 + i, 12));
+  const auto frames = client.call(route_request(nets, "flood"));
+  ASSERT_TRUE(frames.ok()) << frames.status().to_string();
+  // Every net of the batch is answered exactly once: routed, or refused
+  // with an indexed `overloaded` frame the client can account for.
+  ASSERT_EQ(frames->size(), nets.size());
+  std::vector<bool> seen(nets.size(), false);
+  std::size_t routed = 0, overloaded = 0;
+  for (const Response& r : *frames) {
+    ASSERT_LT(r.net_index, nets.size());
+    EXPECT_FALSE(seen[r.net_index]);
+    seen[r.net_index] = true;
+    EXPECT_EQ(r.net_count, nets.size());
+    if (r.kind == ResponseKind::kNet) {
+      EXPECT_EQ(r.status, ResponseStatus::kOk) << r.error;
+      ++routed;
+    } else {
+      ASSERT_EQ(r.kind, ResponseKind::kError);
+      EXPECT_EQ(r.status, ResponseStatus::kOverloaded);
+      EXPECT_EQ(r.code, 1);
+      ++overloaded;
+    }
+  }
+  EXPECT_GT(routed, 0u);      // the queue admitted at least the first net
+  EXPECT_GT(overloaded, 0u);  // ...and refused at least one under pressure
+  EXPECT_EQ(server_->stats().rejected_overloaded, overloaded);
+
+  // Backpressure on one client must not brown out another.
+  Client other;
+  connect(other);
+  const auto ok = other.call(route_request({test_net(70)}, "other"));
+  ASSERT_TRUE(ok.ok()) << ok.status().to_string();
+  EXPECT_EQ((*ok)[0].status, ResponseStatus::kOk);
+}
+
+TEST_F(ServeServerTest, FlowModeStreamsNetsThenSummary) {
+  start();
+  Client client;
+  connect(client);
+  Request req = route_request({test_net(80), test_net(81), test_net(82)}, "fl");
+  req.mode = RouteMode::kFlow;
+  const auto frames = client.call(req);
+  ASSERT_TRUE(frames.ok()) << frames.status().to_string();
+  ASSERT_EQ(frames->size(), 4u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ((*frames)[i].kind, ResponseKind::kNet);
+    EXPECT_EQ((*frames)[i].status, ResponseStatus::kOk) << (*frames)[i].error;
+    EXPECT_FALSE((*frames)[i].routing.empty());
+  }
+  const Response& summary = frames->back();
+  EXPECT_EQ(summary.kind, ResponseKind::kSummary);
+  EXPECT_EQ(summary.net_count, 3u);
+  EXPECT_EQ(summary.status, ResponseStatus::kOk);
+}
+
+// The flow engine is shared, re-entrant library code: identical batches
+// submitted concurrently (different worker lanes, interleaved schedules)
+// must produce bit-identical routings and the same timing summary as a
+// quiet serial run.
+TEST_F(ServeServerTest, ConcurrentFlowBatchesAreBitIdentical) {
+  ServerOptions options;
+  options.workers = 3;
+  start(options);
+  const std::vector<std::string> nets = {test_net(90, 9), test_net(91, 13),
+                                         test_net(92, 11)};
+  const auto make_req = [&](const char* id) {
+    Request req = route_request(nets, id);
+    req.mode = RouteMode::kFlow;
+    return req;
+  };
+
+  Client baseline_client;
+  connect(baseline_client);
+  const auto baseline = baseline_client.call(make_req("serial"));
+  ASSERT_TRUE(baseline.ok()) << baseline.status().to_string();
+  ASSERT_EQ(baseline->size(), nets.size() + 1);
+
+  std::vector<std::vector<Response>> concurrent(3);
+  std::vector<std::thread> fleet;
+  for (std::size_t t = 0; t < concurrent.size(); ++t)
+    fleet.emplace_back([&, t] {
+      Client client;
+      if (!client.connect("127.0.0.1", server_->port()).ok()) return;
+      const auto frames = client.call(make_req("par"));
+      if (frames.ok()) concurrent[t] = *frames;
+    });
+  for (std::thread& t : fleet) t.join();
+
+  for (const std::vector<Response>& frames : concurrent) {
+    ASSERT_EQ(frames.size(), baseline->size());
+    for (std::size_t i = 0; i + 1 < frames.size(); ++i) {
+      ASSERT_EQ(frames[i].kind, ResponseKind::kNet);
+      ASSERT_LT(frames[i].net_index, nets.size());
+      EXPECT_EQ(frames[i].routing,
+                (*baseline)[frames[i].net_index].routing)
+          << "concurrent flow diverged on net " << frames[i].net_index;
+    }
+    const Response& summary = frames.back();
+    const Response& expect = baseline->back();
+    ASSERT_EQ(summary.kind, ResponseKind::kSummary);
+    EXPECT_EQ(summary.iterations, expect.iterations);
+    EXPECT_EQ(summary.nets_rerouted, expect.nets_rerouted);
+    EXPECT_EQ(summary.worst_slack_s, expect.worst_slack_s);
+  }
+}
+
+TEST_F(ServeServerTest, ShutdownAcknowledgesThenDrains) {
+  start();
+  Client client;
+  connect(client);
+  const auto before = client.call(route_request({test_net(95)}, "pre"));
+  ASSERT_TRUE(before.ok()) << before.status().to_string();
+
+  Request req;
+  req.op = RequestOp::kShutdown;
+  req.id = Json::string("bye");
+  const auto ack = client.call(req);
+  ASSERT_TRUE(ack.ok()) << ack.status().to_string();
+  ASSERT_EQ(ack->size(), 1u);
+  EXPECT_EQ((*ack)[0].kind, ResponseKind::kShutdown);
+
+  server_->wait();
+  EXPECT_FALSE(server_->running());
+  const ServerStats stats = server_->stats();
+  EXPECT_GE(stats.connections_accepted, 1u);
+  EXPECT_GE(stats.frames_received, 2u);
+  EXPECT_GE(stats.frames_sent, 2u);
+
+  // Draining servers refuse new connections outright.
+  Client late;
+  EXPECT_FALSE(late.connect("127.0.0.1", server_->port()).ok());
+}
+
+TEST_F(ServeServerTest, RequestShutdownFromAnotherThreadDrains) {
+  start();
+  Client client;
+  connect(client);
+  std::thread stopper([&] { server_->request_shutdown(); });
+  server_->wait();
+  stopper.join();
+  EXPECT_FALSE(server_->running());
+}
+
+}  // namespace
+}  // namespace ntr::serve

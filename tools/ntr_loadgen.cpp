@@ -1,0 +1,253 @@
+// ntr_loadgen: load generator and correctness prober for ntr_serve.
+//
+//   $ ntr_loadgen --port-file /tmp/ntr.port --clients 8 --requests 16
+//                 --timeout-every 5 --verify --json BENCH_serve.json
+//
+// Drives a running server with a fleet of closed- or open-loop clients,
+// aggregates throughput and p50/p95/p99 latency, optionally recomputes
+// every rung-0 routing locally to prove the service bit-identical to the
+// library (--verify), and can drain the server afterwards (--shutdown).
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/cli.h"
+#include "runtime/status.h"
+#include "serve/loadgen.h"
+#include "serve/protocol.h"
+
+namespace {
+
+const char kUsage[] = R"(ntr_loadgen -- drive ntr_serve with concurrent clients
+
+usage: ntr_loadgen [options]
+
+target:
+  --host ADDR        server address (default 127.0.0.1)
+  --port N           server port
+  --port-file PATH   read the port from PATH (waits up to 10s for it)
+
+workload:
+  --clients N        concurrent client connections (default 4)
+  --requests N       requests per client (default 8)
+  --nets N           nets per request (default 1)
+  --pins N           pins per generated net (default 12)
+  --seed N           base RNG seed (default 7)
+  --mode M           solve | flow (default solve)
+  --strategy S       routing strategy per request (default ldrg)
+  --evaluator E      transient|elmore|graph-elmore|d2m (default graph-elmore)
+  --deadline-ms X    per-request deadline (default 0 = server default)
+  --timeout-every N  every Nth request carries a ~zero deadline, forcing
+                     deadline-exceeded degradation (default 0 = never)
+  --rate X           open-loop sends per second per client (default 0 =
+                     closed loop)
+
+checks and output:
+  --verify           recompute rung-0 routings locally; fail on any
+                     bit-difference
+  --shutdown         send a shutdown request once the fleet finishes
+  --json PATH        write the bench phase report (BENCH_serve.json)
+  --help             this text
+
+exit codes: 0 ok, 1 dropped connections / verify mismatch / internal,
+2 usage error, 3 cannot reach the server.
+)";
+
+struct Options {
+  ntr::serve::LoadgenOptions load;
+  std::string port_file;
+  std::string json_path;
+  bool send_shutdown = false;
+  bool help = false;
+  bool port_set = false;
+};
+
+std::size_t parse_uint(const std::string& flag, const std::string& value) {
+  std::size_t pos = 0;
+  unsigned long long v = 0;
+  try {
+    v = std::stoull(value, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument(flag + " expects a non-negative integer");
+  }
+  if (pos != value.size())
+    throw std::invalid_argument(flag + " expects a non-negative integer");
+  return static_cast<std::size_t>(v);
+}
+
+double parse_double(const std::string& flag, const std::string& value) {
+  std::size_t pos = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(value, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument(flag + " expects a number");
+  }
+  if (pos != value.size()) throw std::invalid_argument(flag + " expects a number");
+  return v;
+}
+
+Options parse_args(const std::vector<std::string>& args) {
+  Options opts;
+  const auto next = [&](std::size_t& i, const std::string& flag) -> const std::string& {
+    if (i + 1 >= args.size())
+      throw std::invalid_argument(flag + " expects a value");
+    return args[++i];
+  };
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--help" || arg == "-h") {
+      opts.help = true;
+    } else if (arg == "--host") {
+      opts.load.host = next(i, arg);
+    } else if (arg == "--port") {
+      opts.load.port = static_cast<std::uint16_t>(parse_uint(arg, next(i, arg)));
+      opts.port_set = true;
+    } else if (arg == "--port-file") {
+      opts.port_file = next(i, arg);
+    } else if (arg == "--clients") {
+      opts.load.clients = parse_uint(arg, next(i, arg));
+    } else if (arg == "--requests") {
+      opts.load.requests_per_client = parse_uint(arg, next(i, arg));
+    } else if (arg == "--nets") {
+      opts.load.nets_per_request = parse_uint(arg, next(i, arg));
+      if (opts.load.nets_per_request == 0)
+        throw std::invalid_argument("--nets must be >= 1");
+    } else if (arg == "--pins") {
+      opts.load.pins = parse_uint(arg, next(i, arg));
+    } else if (arg == "--seed") {
+      opts.load.seed = parse_uint(arg, next(i, arg));
+    } else if (arg == "--mode") {
+      const std::string& mode = next(i, arg);
+      if (mode == "solve")
+        opts.load.mode = ntr::serve::RouteMode::kSolve;
+      else if (mode == "flow")
+        opts.load.mode = ntr::serve::RouteMode::kFlow;
+      else
+        throw std::invalid_argument("unknown --mode '" + mode + "'");
+    } else if (arg == "--strategy") {
+      opts.load.strategy = ntr::io::strategy_from_name(next(i, arg));
+    } else if (arg == "--evaluator") {
+      opts.load.evaluator = next(i, arg);
+      if (opts.load.evaluator != "transient" && opts.load.evaluator != "elmore" &&
+          opts.load.evaluator != "graph-elmore" && opts.load.evaluator != "d2m")
+        throw std::invalid_argument("unknown --evaluator '" +
+                                    opts.load.evaluator + "'");
+    } else if (arg == "--deadline-ms") {
+      opts.load.deadline_ms = parse_double(arg, next(i, arg));
+    } else if (arg == "--timeout-every") {
+      opts.load.timeout_every = parse_uint(arg, next(i, arg));
+    } else if (arg == "--rate") {
+      opts.load.open_loop_rate = parse_double(arg, next(i, arg));
+    } else if (arg == "--verify") {
+      opts.load.verify = true;
+    } else if (arg == "--shutdown") {
+      opts.send_shutdown = true;
+    } else if (arg == "--json") {
+      opts.json_path = next(i, arg);
+    } else {
+      throw std::invalid_argument("unknown flag '" + arg + "'");
+    }
+  }
+  if (!opts.help && !opts.port_set && opts.port_file.empty())
+    throw std::invalid_argument("one of --port / --port-file is required");
+  return opts;
+}
+
+/// Polls `path` (up to ~10s) until it holds a port number -- ntr_serve
+/// writes it only after its listener is live, so a successful read means
+/// the server is accepting.
+bool read_port_file(const std::string& path, std::uint16_t& port) {
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    std::ifstream in(path);
+    unsigned value = 0;
+    if (in >> value && value > 0 && value <= 65535) {
+      port = static_cast<std::uint16_t>(value);
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  Options opts;
+  try {
+    opts = parse_args(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ntr_loadgen: %s\n", e.what());
+    return ntr::io::kExitUsage;
+  }
+  if (opts.help || args.empty()) {
+    std::fputs(kUsage, stdout);
+    return ntr::io::kExitOk;
+  }
+
+  if (!opts.port_file.empty() && !opts.port_set) {
+    if (!read_port_file(opts.port_file, opts.load.port)) {
+      std::fprintf(stderr, "ntr_loadgen: no port in %s after 10s\n",
+                   opts.port_file.c_str());
+      return ntr::io::kExitInput;
+    }
+  }
+
+  const ntr::serve::LoadgenReport report = ntr::serve::run_loadgen(opts.load);
+  std::printf("ntr_loadgen: %s\n", report.summary().c_str());
+
+  if (!opts.json_path.empty()) {
+    std::ofstream out(opts.json_path);
+    out << report.to_bench_json(opts.load) << "\n";
+    if (!out) {
+      std::fprintf(stderr, "ntr_loadgen: cannot write %s\n",
+                   opts.json_path.c_str());
+      return ntr::io::kExitInternal;
+    }
+  }
+
+  if (opts.send_shutdown) {
+    ntr::serve::Client client;
+    const ntr::runtime::Status s = client.connect(opts.load.host, opts.load.port);
+    if (s.ok()) {
+      ntr::serve::Request req;
+      req.op = ntr::serve::RequestOp::kShutdown;
+      req.id = ntr::serve::Json::string("loadgen-shutdown");
+      const auto ack = client.call(req);
+      if (!ack.ok())
+        std::fprintf(stderr, "ntr_loadgen: shutdown ack lost: %s\n",
+                     ack.status().to_string().c_str());
+    } else {
+      std::fprintf(stderr, "ntr_loadgen: shutdown connect failed: %s\n",
+                   s.to_string().c_str());
+    }
+  }
+
+  if (report.connect_failures > 0) {
+    std::fprintf(stderr, "ntr_loadgen: %zu clients failed to connect\n",
+                 report.connect_failures);
+    return ntr::io::kExitInput;
+  }
+  if (report.dropped_connections > 0) {
+    std::fprintf(stderr, "ntr_loadgen: %zu connections dropped mid-run\n",
+                 report.dropped_connections);
+    return ntr::io::kExitInternal;
+  }
+  if (report.verify_mismatches > 0) {
+    std::fprintf(stderr,
+                 "ntr_loadgen: %zu routings differ from the library's\n",
+                 report.verify_mismatches);
+    return ntr::io::kExitInternal;
+  }
+  if (opts.load.verify && report.verified == 0 && report.ok > 0) {
+    std::fprintf(stderr, "ntr_loadgen: --verify collected nothing to check\n");
+    return ntr::io::kExitInternal;
+  }
+  return ntr::io::kExitOk;
+}

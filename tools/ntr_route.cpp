@@ -34,20 +34,6 @@
 
 namespace {
 
-std::unique_ptr<ntr::delay::DelayEvaluator> make_evaluator(
-    const std::string& name, const ntr::spice::Technology& tech,
-    const ntr::runtime::StopToken& stop) {
-  if (name == "elmore")
-    return std::make_unique<ntr::delay::ElmoreTreeEvaluator>(tech);
-  if (name == "graph-elmore")
-    return std::make_unique<ntr::delay::GraphElmoreEvaluator>(tech);
-  if (name == "d2m") return std::make_unique<ntr::delay::TwoPoleEvaluator>(tech);
-  ntr::sim::TransientOptions transient;
-  transient.stop = stop;
-  return std::make_unique<ntr::delay::TransientEvaluator>(
-      tech, ntr::spice::NetlistOptions{}, transient);
-}
-
 void write_report_json(const std::string& path,
                        const ntr::core::NetOutcome& outcome) {
   std::ofstream out(path);
@@ -86,7 +72,12 @@ int main(int argc, char** argv) {
     }
 
     const std::unique_ptr<ntr::delay::DelayEvaluator> evaluator =
-        make_evaluator(opts.evaluator, tech, stop);
+        ntr::delay::make_evaluator(opts.evaluator, tech, stop);
+    if (evaluator == nullptr) {  // parse_cli validates; belt and suspenders
+      std::fprintf(stderr, "ntr_route: unknown evaluator '%s'\n",
+                   opts.evaluator.c_str());
+      return ntr::io::kExitUsage;
+    }
 
     ntr::core::NetOutcome outcome;
     outcome.net_name = opts.net_file.empty() ? "random" : opts.net_file;
