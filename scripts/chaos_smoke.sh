@@ -1,0 +1,127 @@
+#!/usr/bin/env bash
+# Chaos smoke: drive ntr_serve THROUGH ntr_chaosproxy with a fixed seeded
+# fault spec -- torn frames, delayed writes, slow-loris trickle streams,
+# mid-request disconnects, EINTR storms -- and require that the service
+# survives: zero crashes, zero hung clients, every `ok` routing still
+# bit-identical to the library (--verify), and a clean drain afterwards.
+#
+# The run happens TWICE with the same spec; the proxy's printed
+# chaos-digest (a pure function of the spec) must match across runs,
+# which is the reproducibility certificate: a failing seed can always be
+# replayed from the spec string alone (docs/robustness.md).
+#
+# usage: chaos_smoke.sh <ntr_serve> <ntr_loadgen> <ntr_chaosproxy> [spec]
+set -u
+
+SERVE_BIN="$1"
+LOADGEN_BIN="$2"
+PROXY_BIN="$3"
+CHAOS_SPEC="${4:-seed=20260808,tear=0.6,tear-chunk=9,delay=0.15,delay-ms=1,trickle=0.2,trickle-bytes=3,disconnect=0.04,eintr=0.05}"
+
+WORK_DIR="$(mktemp -d)"
+
+cleanup() {
+  for pid in "${SERVER_PID:-}" "${PROXY_PID:-}"; do
+    if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+      kill "$pid" 2>/dev/null
+      wait "$pid" 2>/dev/null
+    fi
+  done
+  rm -rf "$WORK_DIR"
+}
+trap cleanup EXIT
+
+run_once() {
+  local tag="$1"
+  local port_file="$WORK_DIR/$tag.server.port"
+  local proxy_port_file="$WORK_DIR/$tag.proxy.port"
+  local server_log="$WORK_DIR/$tag.server.log"
+  local proxy_log="$WORK_DIR/$tag.proxy.log"
+
+  # EINTR storms hit the server's own recv/send via NTR_CHAOS_SPEC; the
+  # byte-level chaos happens in the proxy.
+  NTR_CHAOS_SPEC="$CHAOS_SPEC" "$SERVE_BIN" --port 0 --port-file "$port_file" \
+    --threads 2 --queue-depth 64 --watchdog-interval-ms 50 \
+    > "$server_log" 2>&1 &
+  SERVER_PID=$!
+
+  "$PROXY_BIN" --port 0 --port-file "$proxy_port_file" \
+    --upstream-port-file "$port_file" --spec "$CHAOS_SPEC" \
+    > "$proxy_log" 2>&1 &
+  PROXY_PID=$!
+
+  # The client fleet talks to the proxy and must absorb everything the
+  # chaos schedule throws with retries; --tolerate-drops accepts lost
+  # requests but a verify mismatch still fails.
+  "$LOADGEN_BIN" --port-file "$proxy_port_file" --clients 4 --requests 5 \
+    --pins 8 --seed 20260808 --retries 6 --backoff-ms 5 --backoff-max-ms 80 \
+    --verify --tolerate-drops
+  local loadgen_rc=$?
+  if [[ $loadgen_rc -ne 0 ]]; then
+    echo "chaos_smoke[$tag]: loadgen failed (exit $loadgen_rc)" >&2
+    cat "$server_log" "$proxy_log" >&2
+    return 1
+  fi
+
+  # Drain the server DIRECTLY (not through the proxy): the shutdown
+  # request must not be a casualty of an injected disconnect.
+  "$LOADGEN_BIN" --port-file "$port_file" --clients 0 --requests 0 \
+    --shutdown > /dev/null 2>&1
+
+  local server_rc=
+  for _ in $(seq 1 150); do
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+      wait "$SERVER_PID"
+      server_rc=$?
+      break
+    fi
+    sleep 0.1
+  done
+  if [[ -z "$server_rc" ]]; then
+    echo "chaos_smoke[$tag]: server hung 15s after shutdown" >&2
+    cat "$server_log" "$proxy_log" >&2
+    return 1
+  fi
+  SERVER_PID=
+  if [[ $server_rc -ne 0 ]]; then
+    echo "chaos_smoke[$tag]: server died under chaos (exit $server_rc)" >&2
+    cat "$server_log" "$proxy_log" >&2
+    return 1
+  fi
+  grep -q "drained" "$server_log" || {
+    echo "chaos_smoke[$tag]: server log missing drain report" >&2
+    cat "$server_log" >&2
+    return 1
+  }
+
+  kill -TERM "$PROXY_PID" 2>/dev/null
+  wait "$PROXY_PID" 2>/dev/null
+  local proxy_rc=$?
+  PROXY_PID=
+  if [[ $proxy_rc -ne 0 ]]; then
+    echo "chaos_smoke[$tag]: proxy exited $proxy_rc" >&2
+    cat "$proxy_log" >&2
+    return 1
+  fi
+
+  local digest
+  digest=$(grep -o 'chaos-digest=[0-9a-f]*' "$proxy_log" | head -1)
+  if [[ -z "$digest" ]]; then
+    echo "chaos_smoke[$tag]: proxy printed no chaos-digest" >&2
+    cat "$proxy_log" >&2
+    return 1
+  fi
+  echo "$digest" > "$WORK_DIR/$tag.digest"
+}
+
+run_once first || exit 1
+run_once second || exit 1
+
+# Same spec => same seeded schedule. This is the reproduction recipe.
+if ! cmp -s "$WORK_DIR/first.digest" "$WORK_DIR/second.digest"; then
+  echo "chaos_smoke: digests differ across identical specs:" >&2
+  cat "$WORK_DIR/first.digest" "$WORK_DIR/second.digest" >&2
+  exit 1
+fi
+
+echo "chaos_smoke: ok ($(cat "$WORK_DIR/first.digest"), spec \"$CHAOS_SPEC\")"

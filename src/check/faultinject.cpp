@@ -23,6 +23,15 @@ constexpr std::array<SiteInfo, kFaultSiteCount> kSiteInfos{{
     {FaultSite::kLdrgDeadline, "ldrg-deadline", runtime::StatusCode::kTimeout},
     {FaultSite::kTransientDeadline, "transient-deadline",
      runtime::StatusCode::kTimeout},
+    {FaultSite::kServeQueuePush, "serve-queue-push",
+     runtime::StatusCode::kResourceExhausted},
+    {FaultSite::kServeJsonParse, "serve-json-parse",
+     runtime::StatusCode::kBadInput},
+    {FaultSite::kServeFrameDecode, "serve-frame-decode",
+     runtime::StatusCode::kBadInput},
+    {FaultSite::kServeWorkerDispatch, "serve-worker-dispatch",
+     runtime::StatusCode::kInternal},
+    {FaultSite::kIoNetParse, "io-net-parse", runtime::StatusCode::kBadInput},
 }};
 
 struct SiteState {

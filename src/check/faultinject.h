@@ -39,8 +39,13 @@ enum class FaultSite : std::uint8_t {
   kLdrgAllocation,       ///< candidate-buffer allocation failure in LDRG
   kLdrgDeadline,         ///< deadline trip at an LDRG round boundary
   kTransientDeadline,    ///< deadline trip inside the transient march
+  kServeQueuePush,       ///< admission failure pushing into the FairQueue
+  kServeJsonParse,       ///< request-document JSON parse failure
+  kServeFrameDecode,     ///< frame-header decode failure (stream poison)
+  kServeWorkerDispatch,  ///< worker-lane dispatch failure in ntr_serve
+  kIoNetParse,           ///< net-text parse failure in io::try_read_net
 };
-inline constexpr std::size_t kFaultSiteCount = 7;
+inline constexpr std::size_t kFaultSiteCount = 12;
 
 struct SiteInfo {
   FaultSite site;

@@ -73,6 +73,8 @@ int exit_code_for(const runtime::Status& status) {
       return kExitOk;
     case runtime::StatusCode::kBadInput:
     case runtime::StatusCode::kIoError:
+    case runtime::StatusCode::kUnavailable:
+    case runtime::StatusCode::kConnectionReset:
       return kExitInput;
     case runtime::StatusCode::kSingular:
     case runtime::StatusCode::kNonFinite:

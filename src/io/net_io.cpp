@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "check/faultinject.h"
 #include "geom/point.h"
 #include "runtime/status.h"
 
@@ -175,6 +176,7 @@ void write_routing_file(const std::string& path, const graph::RoutingGraph& g) {
 
 runtime::StatusOr<graph::Net> try_read_net(std::string_view text) {
   try {
+    NTR_FAULT_POINT(kIoNetParse);
     return read_net(text);
   } catch (const std::exception& e) {
     return runtime::exception_to_status(e);

@@ -14,6 +14,8 @@ const char* status_code_name(StatusCode code) {
     case StatusCode::kTimeout: return "timeout";
     case StatusCode::kCancelled: return "cancelled";
     case StatusCode::kResourceExhausted: return "resource-exhausted";
+    case StatusCode::kUnavailable: return "unavailable";
+    case StatusCode::kConnectionReset: return "connection-reset";
     case StatusCode::kInternal: return "internal";
   }
   return "unknown";

@@ -26,6 +26,8 @@ enum class StatusCode {
   kTimeout,            ///< a Deadline expired before the work finished
   kCancelled,          ///< a CancelToken was triggered
   kResourceExhausted,  ///< allocation or capacity failure
+  kUnavailable,        ///< peer refused / unreachable (retry may succeed)
+  kConnectionReset,    ///< established connection reset or closed by peer
   kInternal,           ///< contract violation or unclassified failure
 };
 

@@ -1,0 +1,270 @@
+#include "serve/chaos.h"
+
+#include <sys/socket.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+namespace ntr::serve::chaos {
+
+using runtime::Status;
+using runtime::StatusCode;
+
+// ---------------------------------------------------------------------------
+// Spec.
+
+std::string ChaosSpec::to_string() const {
+  std::ostringstream out;
+  out << "seed=" << seed;
+  const auto knob = [&out](const char* name, double v) {
+    if (v > 0.0) out << ',' << name << '=' << v;
+  };
+  knob("tear", tear);
+  if (tear > 0.0) out << ",tear-chunk=" << tear_chunk;
+  knob("delay", delay);
+  if (delay > 0.0) out << ",delay-ms=" << delay_ms;
+  knob("trickle", trickle);
+  if (trickle > 0.0) out << ",trickle-bytes=" << trickle_bytes;
+  knob("disconnect", disconnect);
+  knob("eintr", eintr);
+  return out.str();
+}
+
+runtime::StatusOr<ChaosSpec> ChaosSpec::parse(std::string_view text) {
+  ChaosSpec spec;
+  std::stringstream stream{std::string(text)};
+  std::string entry;
+  while (std::getline(stream, entry, ',')) {
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos)
+      return Status(StatusCode::kBadInput,
+                    "chaos spec: entry '" + entry + "' is not key=value");
+    const std::string key = entry.substr(0, eq);
+    const std::string value = entry.substr(eq + 1);
+    char* end = nullptr;
+    const double num = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0')
+      return Status(StatusCode::kBadInput,
+                    "chaos spec: '" + key + "' has a malformed value '" +
+                        value + "'");
+    const auto probability = [&](double& out) -> Status {
+      if (num < 0.0 || num > 1.0)
+        return Status(StatusCode::kBadInput,
+                      "chaos spec: '" + key + "' must be in [0,1]");
+      out = num;
+      return Status();
+    };
+    const auto count = [&](std::size_t& out) -> Status {
+      if (num < 1.0)
+        return Status(StatusCode::kBadInput,
+                      "chaos spec: '" + key + "' must be >= 1");
+      out = static_cast<std::size_t>(num);
+      return Status();
+    };
+    Status s;
+    if (key == "seed") {
+      spec.seed = static_cast<std::uint64_t>(num);
+    } else if (key == "tear") {
+      s = probability(spec.tear);
+    } else if (key == "tear-chunk") {
+      s = count(spec.tear_chunk);
+    } else if (key == "delay") {
+      s = probability(spec.delay);
+    } else if (key == "delay-ms") {
+      if (num < 0.0)
+        s = Status(StatusCode::kBadInput, "chaos spec: delay-ms must be >= 0");
+      else
+        spec.delay_ms = num;
+    } else if (key == "trickle") {
+      s = probability(spec.trickle);
+    } else if (key == "trickle-bytes") {
+      s = count(spec.trickle_bytes);
+    } else if (key == "disconnect") {
+      s = probability(spec.disconnect);
+    } else if (key == "eintr") {
+      s = probability(spec.eintr);
+    } else {
+      s = Status(StatusCode::kBadInput,
+                 "chaos spec: unknown knob '" + key + "'");
+    }
+    if (!s.ok()) return s;
+  }
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// RNG.
+
+std::uint64_t ChaosRng::next_u64() {
+  // SplitMix64 (Steele, Lea, Flood 2014): passes BigCrush, two lines.
+  std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+double ChaosRng::next_unit() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool ChaosRng::chance(double p) {
+  if (p <= 0.0) return false;
+  return next_unit() < p;
+}
+
+std::size_t ChaosRng::below(std::size_t n) {
+  return n <= 1 ? 0 : static_cast<std::size_t>(next_u64() % n);
+}
+
+// ---------------------------------------------------------------------------
+// Stream.
+
+namespace {
+
+/// Distinct streams from one seed: mix the stream id into the seed so
+/// neighboring ids do not produce correlated SplitMix64 sequences.
+std::uint64_t stream_seed(std::uint64_t seed, std::uint64_t stream_id) {
+  std::uint64_t z = seed ^ (0x6C62272E07BB0142ULL * (stream_id + 1));
+  z ^= z >> 33;
+  z *= 0xFF51AFD7ED558CCDULL;
+  z ^= z >> 33;
+  return z;
+}
+
+}  // namespace
+
+ChaosStream::ChaosStream(const ChaosSpec& spec, std::uint64_t stream_id)
+    : spec_(spec), rng_(stream_seed(spec.seed, stream_id)) {
+  trickling_ = rng_.chance(spec_.trickle);
+}
+
+ChaosOp ChaosStream::plan(std::size_t available) {
+  ChaosOp op;
+  if (rng_.chance(spec_.disconnect)) {
+    op.disconnect = true;
+    return op;
+  }
+  if (rng_.chance(spec_.delay)) op.delay_ms = rng_.next_unit() * spec_.delay_ms;
+  op.bytes = available;
+  if (trickling_) {
+    op.bytes = std::min(op.bytes, spec_.trickle_bytes);
+  } else if (rng_.chance(spec_.tear)) {
+    op.bytes = std::min(op.bytes, 1 + rng_.below(spec_.tear_chunk));
+  }
+  return op;
+}
+
+std::string schedule_digest(const ChaosSpec& spec, std::size_t streams,
+                            std::size_t ops) {
+  std::uint64_t hash = 0xCBF29CE484222325ULL;  // FNV-1a offset basis
+  const auto mix = [&hash](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      hash ^= (v >> (8 * i)) & 0xFF;
+      hash *= 0x100000001B3ULL;
+    }
+  };
+  for (std::uint64_t sid = 0; sid < streams; ++sid) {
+    ChaosStream stream(spec, sid);
+    mix(stream.trickling() ? 1 : 0);
+    for (std::size_t k = 0; k < ops; ++k) {
+      const ChaosOp op = stream.plan(64 * 1024);
+      mix(op.disconnect ? 1 : 0);
+      mix(static_cast<std::uint64_t>(op.delay_ms * 1e6));
+      mix(op.bytes);
+    }
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(hash));
+  return std::string(buf);
+}
+
+// ---------------------------------------------------------------------------
+// Process-wide syscall chaos.
+
+namespace {
+
+ChaosSpec load_env_spec() {
+  const char* env = std::getenv("NTR_CHAOS_SPEC");
+  if (env == nullptr || *env == '\0') return ChaosSpec{};
+  runtime::StatusOr<ChaosSpec> spec = ChaosSpec::parse(env);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "ntr chaos: ignoring NTR_CHAOS_SPEC: %s\n",
+                 spec.status().to_string().c_str());
+    return ChaosSpec{};
+  }
+  return *spec;
+}
+
+struct ProcessChaos {
+  ChaosSpec env_spec = load_env_spec();
+  const ChaosSpec* override_spec = nullptr;
+  /// Fast-path gate for the syscall wrappers.
+  std::atomic<bool> eintr_armed{env_spec.eintr > 0.0};
+  /// Deterministic across the process: each wrapped call consumes one
+  /// counter slot, hashed with the seed. (The interleaving of threads
+  /// onto slots varies, but the injected-EINTR *rate* and the stream of
+  /// decisions per slot are seed-reproducible.)
+  std::atomic<std::uint64_t> counter{0};
+  std::atomic<std::uint64_t> injected{0};
+
+  [[nodiscard]] const ChaosSpec& active() const {
+    return override_spec != nullptr ? *override_spec : env_spec;
+  }
+};
+
+ProcessChaos& process_chaos() {
+  static ProcessChaos chaos;
+  return chaos;
+}
+
+/// One EINTR decision: hash the call index with the seed.
+bool should_inject_eintr() {
+  ProcessChaos& chaos = process_chaos();
+  if (!chaos.eintr_armed.load(std::memory_order_relaxed)) return false;
+  const ChaosSpec& spec = chaos.active();
+  const std::uint64_t slot =
+      chaos.counter.fetch_add(1, std::memory_order_relaxed);
+  ChaosRng rng(stream_seed(spec.seed ^ 0xE1217ULL, slot));
+  if (!rng.chance(spec.eintr)) return false;
+  chaos.injected.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace
+
+const ChaosSpec& process_spec() { return process_chaos().active(); }
+
+void set_process_spec_for_test(const ChaosSpec* spec) {
+  ProcessChaos& chaos = process_chaos();
+  chaos.override_spec = spec;
+  chaos.eintr_armed.store(chaos.active().eintr > 0.0,
+                          std::memory_order_relaxed);
+}
+
+long chaos_send(int fd, const void* buf, std::size_t n, int flags) {
+  if (should_inject_eintr()) {
+    errno = EINTR;
+    return -1;
+  }
+  return ::send(fd, buf, n, flags);
+}
+
+long chaos_recv(int fd, void* buf, std::size_t n, int flags) {
+  if (should_inject_eintr()) {
+    errno = EINTR;
+    return -1;
+  }
+  return ::recv(fd, buf, n, flags);
+}
+
+std::uint64_t injected_eintr_count() {
+  return process_chaos().injected.load(std::memory_order_relaxed);
+}
+
+}  // namespace ntr::serve::chaos

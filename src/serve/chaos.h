@@ -1,0 +1,144 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "runtime/status.h"
+
+/// Deterministic, seeded network-fault injection for the serving stack.
+///
+/// The solver tree injects faults with NTR_FAULT_POINT sites; the wire
+/// needs a different shape of chaos -- torn frames, trickled bytes,
+/// delayed and partial writes, mid-request disconnects, EINTR storms --
+/// and it needs the same discipline: every decision derives from one
+/// seed, so a failing run is reproducible from its spec string alone.
+///
+/// A ChaosSpec is parsed from `NTR_CHAOS_SPEC` (or `--spec`):
+///
+///   seed=42,tear=0.5,tear-chunk=9,delay=0.2,delay-ms=2,trickle=0.25,
+///   trickle-bytes=1,disconnect=0.02,eintr=0.3
+///
+/// All probabilities live in [0,1]; omitted knobs default to "off".
+/// Consumers:
+///
+///  - ChaosStream: one seeded decision stream per connection direction.
+///    The chaos proxy (serve/chaosproxy.h) drives one per direction; the
+///    schedule of stream N is a pure function of (spec, N), which is
+///    what schedule_digest() certifies across runs.
+///  - chaos_send/chaos_recv: drop-in socket-call wrappers that inject
+///    EINTR returns with probability `eintr` before performing the real
+///    call. Gated on the process spec: one relaxed atomic load when
+///    NTR_CHAOS_SPEC is unset, so production paths pay nothing.
+namespace ntr::serve::chaos {
+
+struct ChaosSpec {
+  std::uint64_t seed = 0;
+  /// P(a forwarded chunk is torn at a random boundary <= tear_chunk).
+  double tear = 0.0;
+  std::size_t tear_chunk = 16;
+  /// P(sleep up to delay_ms before forwarding a chunk) -- slow writes.
+  double delay = 0.0;
+  double delay_ms = 2.0;
+  /// P(a whole connection direction trickles trickle_bytes at a time) --
+  /// the slow-loris read/write pattern. Decided once per stream.
+  double trickle = 0.0;
+  std::size_t trickle_bytes = 1;
+  /// P(the connection is killed before a chunk) -- mid-request drops.
+  double disconnect = 0.0;
+  /// P(a wrapped socket call returns EINTR instead of running).
+  double eintr = 0.0;
+
+  /// True when any knob can fire.
+  [[nodiscard]] bool enabled() const {
+    return tear > 0.0 || delay > 0.0 || trickle > 0.0 || disconnect > 0.0 ||
+           eintr > 0.0;
+  }
+
+  /// Canonical spec string (parse(to_string()) round-trips).
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parses "key=value,..." -- kBadInput on unknown keys, malformed
+  /// numbers, or probabilities outside [0,1]. The empty string is a
+  /// valid, fully-disabled spec.
+  [[nodiscard]] static runtime::StatusOr<ChaosSpec> parse(std::string_view text);
+};
+
+/// SplitMix64: tiny, seedable, and plenty for fault scheduling.
+class ChaosRng {
+ public:
+  explicit ChaosRng(std::uint64_t seed) : state_(seed) {}
+
+  [[nodiscard]] std::uint64_t next_u64();
+  /// Uniform in [0,1).
+  [[nodiscard]] double next_unit();
+  /// True with probability p (deterministically consumes one draw iff
+  /// p > 0, so disabled knobs do not shift the schedule).
+  [[nodiscard]] bool chance(double p);
+  /// Uniform in [0, n); n must be >= 1.
+  [[nodiscard]] std::size_t below(std::size_t n);
+
+ private:
+  std::uint64_t state_;
+};
+
+/// What a ChaosStream decided to do with the next stretch of bytes.
+struct ChaosOp {
+  /// Kill the connection before forwarding anything.
+  bool disconnect = false;
+  /// Sleep this long before forwarding (0 = no delay).
+  double delay_ms = 0.0;
+  /// Forward at most this many bytes as one write.
+  std::size_t bytes = 0;
+};
+
+/// The seeded per-connection-direction decision stream. Deterministic:
+/// the same (spec, stream_id) and the same sequence of plan() sizes
+/// yield the same ops on every run.
+class ChaosStream {
+ public:
+  ChaosStream(const ChaosSpec& spec, std::uint64_t stream_id);
+
+  /// Plans the next op for `available` pending bytes (>= 1).
+  [[nodiscard]] ChaosOp plan(std::size_t available);
+
+  /// True when this stream drew the slow-loris trickle mode.
+  [[nodiscard]] bool trickling() const { return trickling_; }
+
+ private:
+  ChaosSpec spec_;
+  ChaosRng rng_;
+  bool trickling_ = false;
+};
+
+/// FNV-1a digest of the first `streams` decision streams, `ops` ops
+/// each, planned over fixed 64 KiB chunks: a pure function of the spec.
+/// Two runs of the same spec must print the same digest -- this is the
+/// reproducibility certificate scripts/chaos_smoke.sh compares.
+[[nodiscard]] std::string schedule_digest(const ChaosSpec& spec,
+                                          std::size_t streams = 16,
+                                          std::size_t ops = 64);
+
+// ---------------------------------------------------------------------------
+// Process-wide syscall chaos (the EINTR storm knob).
+
+/// The spec parsed from NTR_CHAOS_SPEC, once, lazily. A malformed env
+/// spec is reported on stderr and treated as disabled.
+[[nodiscard]] const ChaosSpec& process_spec();
+
+/// Test hook: replaces the process spec (nullptr restores the
+/// environment-derived one). Not thread-safe against concurrent
+/// chaos_send/chaos_recv callers; tests install it before serving.
+void set_process_spec_for_test(const ChaosSpec* spec);
+
+/// ::send / ::recv with deterministic, seeded EINTR injection in front.
+/// With the process spec disabled these are the plain syscalls plus one
+/// relaxed atomic load.
+[[nodiscard]] long chaos_send(int fd, const void* buf, std::size_t n, int flags);
+[[nodiscard]] long chaos_recv(int fd, void* buf, std::size_t n, int flags);
+
+/// How many EINTRs were injected process-wide (tests assert > 0).
+[[nodiscard]] std::uint64_t injected_eintr_count();
+
+}  // namespace ntr::serve::chaos

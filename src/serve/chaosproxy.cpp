@@ -1,0 +1,266 @@
+#include "serve/chaosproxy.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace ntr::serve {
+
+using runtime::Status;
+using runtime::StatusCode;
+
+namespace {
+
+/// recv that retries EINTR; returns <= 0 on EOF/error.
+ssize_t recv_retry(int fd, char* buf, std::size_t n) {
+  for (;;) {
+    const ssize_t got = ::recv(fd, buf, n, 0);
+    if (got < 0 && errno == EINTR) continue;
+    return got;
+  }
+}
+
+/// Sends exactly [data, data+n) unless the peer dies; false on error.
+bool send_all(int fd, const char* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t sent = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
+    if (sent > 0) {
+      off += static_cast<std::size_t>(sent);
+      continue;
+    }
+    if (sent < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+struct ChaosProxy::Impl {
+  explicit Impl(ChaosProxyOptions opts) : options(std::move(opts)) {}
+
+  ChaosProxyOptions options;
+  int listen_fd = -1;
+  std::uint16_t bound_port = 0;
+  std::atomic<bool> stopping{false};
+
+  std::thread accept_thread;
+  /// Forwarder threads, appended by the accept thread, joined by wait().
+  std::mutex threads_mutex;
+  std::vector<std::thread> forwarders;
+
+  /// Live connection fds so stop() can kick blocking recv/send calls.
+  std::mutex fds_mutex;
+  std::vector<int> live_fds;
+
+  std::atomic<std::uint64_t> st_connections{0}, st_bytes{0}, st_chunks{0},
+      st_disconnects{0}, st_delays{0}, st_trickles{0};
+
+  void track_fd(int fd) {
+    std::lock_guard<std::mutex> lock(fds_mutex);
+    live_fds.push_back(fd);
+  }
+
+  void untrack_and_close(int fd) {
+    {
+      std::lock_guard<std::mutex> lock(fds_mutex);
+      for (std::size_t i = 0; i < live_fds.size(); ++i) {
+        if (live_fds[i] == fd) {
+          live_fds.erase(live_fds.begin() + static_cast<std::ptrdiff_t>(i));
+          break;
+        }
+      }
+    }
+    ::close(fd);
+  }
+
+  /// One direction of one connection: pull from `from`, replay the chaos
+  /// schedule, push to `to`. Owns neither fd; close/half-close is
+  /// coordinated through shutdown() so both directions see it.
+  void forward(int from, int to, chaos::ChaosStream stream) {
+    if (stream.trickling()) st_trickles.fetch_add(1, std::memory_order_relaxed);
+    std::array<char, 65536> buf;
+    for (;;) {
+      const ssize_t n = recv_retry(from, buf.data(), buf.size());
+      if (n <= 0) break;  // EOF, peer reset, or stop() shutdown
+      std::size_t off = 0;
+      auto remaining = static_cast<std::size_t>(n);
+      while (remaining > 0) {
+        const chaos::ChaosOp op = stream.plan(remaining);
+        if (op.disconnect) {
+          // Mid-request kill: both peers observe an abrupt close.
+          st_disconnects.fetch_add(1, std::memory_order_relaxed);
+          ::shutdown(from, SHUT_RDWR);
+          ::shutdown(to, SHUT_RDWR);
+          return;
+        }
+        if (op.delay_ms > 0.0 && !stopping.load(std::memory_order_relaxed)) {
+          st_delays.fetch_add(1, std::memory_order_relaxed);
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(op.delay_ms));
+        }
+        const std::size_t chunk = op.bytes < remaining ? op.bytes : remaining;
+        if (!send_all(to, buf.data() + off, chunk)) return;
+        st_bytes.fetch_add(chunk, std::memory_order_relaxed);
+        st_chunks.fetch_add(1, std::memory_order_relaxed);
+        off += chunk;
+        remaining -= chunk;
+      }
+    }
+    // Propagate the half-close so the receiver sees EOF once the last
+    // forwarded byte lands (the other direction may still be live).
+    ::shutdown(to, SHUT_WR);
+    ::shutdown(from, SHUT_RD);
+  }
+
+  void handle_connection(int client_fd, std::uint64_t conn_index) {
+    const int upstream_fd = connect_upstream();
+    if (upstream_fd < 0) {
+      untrack_and_close(client_fd);
+      return;
+    }
+    track_fd(upstream_fd);
+    st_connections.fetch_add(1, std::memory_order_relaxed);
+    // Two seeded directions; joined here so the fds outlive both.
+    std::thread up([this, client_fd, upstream_fd, conn_index] {
+      forward(client_fd, upstream_fd,
+              chaos::ChaosStream(options.spec, 2 * conn_index));
+    });
+    forward(upstream_fd, client_fd,
+            chaos::ChaosStream(options.spec, 2 * conn_index + 1));
+    up.join();
+    untrack_and_close(upstream_fd);
+    untrack_and_close(client_fd);
+  }
+
+  [[nodiscard]] int connect_upstream() const {
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(options.upstream_port);
+    if (::inet_pton(AF_INET, options.upstream_host.c_str(), &addr.sin_addr) != 1 ||
+        ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+      ::close(fd);
+      return -1;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    return fd;
+  }
+
+  void accept_loop() {
+    std::uint64_t conn_index = 0;
+    while (!stopping.load(std::memory_order_acquire)) {
+      const int fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        break;  // listen_fd shut down by stop()
+      }
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      track_fd(fd);
+      const std::uint64_t index = conn_index++;
+      std::lock_guard<std::mutex> lock(threads_mutex);
+      forwarders.emplace_back(
+          [this, fd, index] { handle_connection(fd, index); });
+    }
+  }
+};
+
+ChaosProxy::ChaosProxy(ChaosProxyOptions options)
+    : impl_(std::make_unique<Impl>(std::move(options))) {}
+
+ChaosProxy::~ChaosProxy() {
+  wait();
+  if (impl_->listen_fd >= 0) ::close(impl_->listen_fd);
+}
+
+Status ChaosProxy::start() {
+  Impl& s = *impl_;
+  s.listen_fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (s.listen_fd < 0)
+    return Status(StatusCode::kIoError,
+                  "socket: " + std::string(std::strerror(errno)));
+  const int one = 1;
+  ::setsockopt(s.listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(s.options.port);
+  if (::inet_pton(AF_INET, s.options.host.c_str(), &addr.sin_addr) != 1)
+    return Status(StatusCode::kBadInput,
+                  "unparseable host '" + s.options.host + "'");
+  if (::bind(s.listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0)
+    return Status(StatusCode::kIoError,
+                  "bind " + s.options.host + ":" +
+                      std::to_string(s.options.port) + ": " +
+                      std::string(std::strerror(errno)));
+  if (::listen(s.listen_fd, SOMAXCONN) != 0)
+    return Status(StatusCode::kIoError,
+                  "listen: " + std::string(std::strerror(errno)));
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(s.listen_fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0)
+    return Status(StatusCode::kIoError,
+                  "getsockname: " + std::string(std::strerror(errno)));
+  s.bound_port = ntohs(bound.sin_port);
+
+  s.accept_thread = std::thread([this] { impl_->accept_loop(); });
+  return Status();
+}
+
+std::uint16_t ChaosProxy::port() const { return impl_->bound_port; }
+
+void ChaosProxy::stop() {
+  Impl& s = *impl_;
+  if (s.stopping.exchange(true, std::memory_order_acq_rel)) return;
+  if (s.listen_fd >= 0) ::shutdown(s.listen_fd, SHUT_RDWR);
+  // ntr-blocking-in-lane(proxy teardown path; lanes reach it only via a stop() name collision)
+  std::lock_guard<std::mutex> lock(s.fds_mutex);
+  for (const int fd : s.live_fds) ::shutdown(fd, SHUT_RDWR);
+}
+
+void ChaosProxy::wait() {
+  stop();
+  Impl& s = *impl_;
+  if (s.accept_thread.joinable()) s.accept_thread.join();
+  // The accept thread is joined, so no new forwarders can appear.
+  std::vector<std::thread> threads;
+  {
+    // ntr-blocking-in-lane(proxy join path; lanes reach it only via a wait() name collision)
+    std::lock_guard<std::mutex> lock(s.threads_mutex);
+    threads.swap(s.forwarders);
+  }
+  for (std::thread& t : threads)
+    if (t.joinable()) t.join();
+}
+
+ChaosProxyStats ChaosProxy::stats() const {
+  const Impl& s = *impl_;
+  ChaosProxyStats out;
+  out.connections = s.st_connections.load(std::memory_order_relaxed);
+  out.bytes_forwarded = s.st_bytes.load(std::memory_order_relaxed);
+  out.chunks_forwarded = s.st_chunks.load(std::memory_order_relaxed);
+  out.injected_disconnects = s.st_disconnects.load(std::memory_order_relaxed);
+  out.injected_delays = s.st_delays.load(std::memory_order_relaxed);
+  out.trickle_streams = s.st_trickles.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace ntr::serve

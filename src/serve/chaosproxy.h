@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "runtime/status.h"
+#include "serve/chaos.h"
+
+/// A deterministic chaos TCP proxy for ntr_serve (tools/ntr_chaosproxy).
+///
+/// The proxy sits between a loadgen and a server and replays a seeded
+/// fault schedule on every byte it forwards: frames torn at arbitrary
+/// boundaries, delayed and partial writes, slow-loris trickle streams,
+/// and mid-request disconnects. Connection `k` uses chaos streams `2k`
+/// (client -> upstream) and `2k+1` (upstream -> client), so the full
+/// schedule is a pure function of (spec, connection order) -- the same
+/// spec prints the same schedule_digest() on every run, which is the
+/// reproduction recipe: rerun with the printed spec string.
+///
+/// Unlike the epoll server this is plain blocking threads -- two
+/// forwarders per connection -- because the proxy exists to be slow and
+/// rude, not fast.
+namespace ntr::serve {
+
+struct ChaosProxyOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral
+  std::string upstream_host = "127.0.0.1";
+  std::uint16_t upstream_port = 0;
+  chaos::ChaosSpec spec;
+};
+
+struct ChaosProxyStats {
+  std::uint64_t connections = 0;
+  std::uint64_t bytes_forwarded = 0;
+  std::uint64_t chunks_forwarded = 0;
+  std::uint64_t injected_disconnects = 0;
+  std::uint64_t injected_delays = 0;
+  std::uint64_t trickle_streams = 0;
+};
+
+class ChaosProxy {
+ public:
+  explicit ChaosProxy(ChaosProxyOptions options);
+  ~ChaosProxy();
+
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  /// Binds and starts accepting. kIoError on socket failures.
+  [[nodiscard]] runtime::Status start();
+
+  /// The bound listen port (valid after start()).
+  [[nodiscard]] std::uint16_t port() const;
+
+  /// Stops accepting and tears down every live connection. Idempotent.
+  void stop();
+
+  /// Joins all proxy threads (implies stop()).
+  void wait();
+
+  [[nodiscard]] ChaosProxyStats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace ntr::serve

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <utility>
 
+#include "check/faultinject.h"
+
 namespace ntr::serve {
 
 namespace {
@@ -433,6 +435,13 @@ std::string Json::dump() const {
 }
 
 runtime::StatusOr<Json> Json::parse(std::string_view text) {
+  try {
+    NTR_FAULT_POINT(kServeJsonParse);
+  } catch (const NtrError& e) {
+    // Injected parse failure surfaces exactly like malformed JSON: a
+    // typed Status the caller maps to a bad-request response.
+    return Status(e.code(), e.what());
+  }
   Parser parser(text);
   Json doc;
   Status status = parser.parse_document(doc);

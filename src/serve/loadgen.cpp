@@ -23,6 +23,7 @@
 #include "expt/net_generator.h"
 #include "graph/net.h"
 #include "io/net_io.h"
+#include "serve/chaos.h"
 #include "serve/wire.h"
 #include "spice/technology.h"
 
@@ -30,6 +31,31 @@ namespace ntr::serve {
 
 using runtime::Status;
 using runtime::StatusCode;
+
+namespace {
+
+/// Types a socket-level errno into the retryability taxonomy: refused /
+/// unreachable peers are kUnavailable (the server may come back), torn
+/// connections are kConnectionReset (reconnect and resend), stalls are
+/// kTimeout. Anything else stays kIoError.
+StatusCode socket_errno_code(int err) {
+  switch (err) {
+    case ECONNREFUSED:
+    case ENETUNREACH:
+    case EHOSTUNREACH:
+      return StatusCode::kUnavailable;
+    case ECONNRESET:
+    case ECONNABORTED:
+    case EPIPE:
+      return StatusCode::kConnectionReset;
+    case ETIMEDOUT:
+      return StatusCode::kTimeout;
+    default:
+      return StatusCode::kIoError;
+  }
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Client.
@@ -57,7 +83,7 @@ Status Client::connect(const std::string& host, std::uint16_t port) {
     return Status(StatusCode::kBadInput, "unparseable host '" + host + "'");
   }
   if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
-    const Status s(StatusCode::kIoError,
+    const Status s(socket_errno_code(errno),
                    "connect " + host + ":" + std::to_string(port) + ": " +
                        std::string(std::strerror(errno)));
     close();
@@ -72,14 +98,14 @@ Status Client::send_bytes(std::string_view bytes) {
   if (fd_ < 0) return Status(StatusCode::kIoError, "client not connected");
   std::size_t off = 0;
   while (off < bytes.size()) {
-    const ssize_t n =
-        ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    const ssize_t n = chaos::chaos_send(fd_, bytes.data() + off,
+                                        bytes.size() - off, MSG_NOSIGNAL);
     if (n > 0) {
       off += static_cast<std::size_t>(n);
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
-    return Status(StatusCode::kIoError,
+    return Status(socket_errno_code(errno),
                   "send: " + std::string(std::strerror(errno)));
   }
   return Status();
@@ -92,15 +118,16 @@ Status Client::send_document(const Json& doc) {
 Status Client::read_exact(char* buf, std::size_t n) {
   std::size_t off = 0;
   while (off < n) {
-    const ssize_t got = ::recv(fd_, buf + off, n - off, 0);
+    const ssize_t got = chaos::chaos_recv(fd_, buf + off, n - off, 0);
     if (got > 0) {
       off += static_cast<std::size_t>(got);
       continue;
     }
     if (got == 0)
-      return Status(StatusCode::kIoError, "connection closed by server");
+      return Status(StatusCode::kConnectionReset,
+                    "connection closed by server");
     if (errno == EINTR) continue;
-    return Status(StatusCode::kIoError,
+    return Status(socket_errno_code(errno),
                   "recv: " + std::string(std::strerror(errno)));
   }
   return Status();
@@ -130,7 +157,8 @@ bool response_set_complete(const std::vector<Response>& frames, RouteMode mode) 
   std::size_t expected = 0;
   std::size_t counted = 0;
   for (const Response& f : frames) {
-    if (f.kind == ResponseKind::kPong || f.kind == ResponseKind::kShutdown)
+    if (f.kind == ResponseKind::kPong || f.kind == ResponseKind::kStats ||
+        f.kind == ResponseKind::kShutdown)
       return true;
     if (f.kind == ResponseKind::kSummary) return true;  // flow terminal frame
     if (f.kind == ResponseKind::kError && f.net_count == 0)
@@ -160,6 +188,18 @@ runtime::StatusOr<std::vector<Response>> Client::call(const Request& req) {
 
 // ---------------------------------------------------------------------------
 // Load generator.
+
+double backoff_delay_ms(const RetryPolicy& policy, std::size_t attempt,
+                        std::uint64_t salt) {
+  double step = policy.backoff_ms;
+  for (std::size_t i = 0; i < attempt && step < policy.backoff_max_ms; ++i)
+    step *= 2.0;
+  step = std::min(step, policy.backoff_max_ms);
+  // Seeded jitter, not rand(): the same (policy, attempt, salt) always
+  // waits the same time, so a failing chaos run replays exactly.
+  chaos::ChaosRng rng(salt ^ (0xB0FFULL + attempt));
+  return step * (0.5 + 0.5 * rng.next_unit());
+}
 
 double percentile(std::vector<double> sample, double q) {
   if (sample.empty()) return 0.0;
@@ -265,31 +305,103 @@ struct Aggregator {
   }
 };
 
+void count_connect_failure(Aggregator& agg, const Status& s) {
+  agg.count(&LoadgenReport::connect_failures);
+  if (s.code() == StatusCode::kUnavailable)
+    agg.count(&LoadgenReport::connect_refused);
+  else if (s.code() == StatusCode::kConnectionReset)
+    agg.count(&LoadgenReport::connect_reset);
+  else if (s.code() == StatusCode::kTimeout)
+    agg.count(&LoadgenReport::connect_timeout);
+}
+
+void backoff_sleep(const RetryPolicy& policy, std::size_t attempt,
+                   std::uint64_t salt) {
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+      backoff_delay_ms(policy, attempt, salt)));
+}
+
+/// Connects with the retry policy. `ever_connected` distinguishes a
+/// first connect from a reconnect in the report.
+bool connect_with_retry(Client& client, const LoadgenOptions& o,
+                        Aggregator& agg, std::uint64_t salt,
+                        bool& ever_connected) {
+  for (std::size_t attempt = 0;; ++attempt) {
+    const Status s = client.connect(o.host, o.port);
+    if (s.ok()) {
+      if (ever_connected) agg.count(&LoadgenReport::reconnects);
+      ever_connected = true;
+      return true;
+    }
+    count_connect_failure(agg, s);
+    if (attempt >= o.retry.max_retries) return false;
+    agg.count(&LoadgenReport::retries);
+    backoff_sleep(o.retry, attempt, salt);
+  }
+}
+
+/// True when every frame of a complete set is a retryable refusal --
+/// the whole request was turned away, so a resend cannot duplicate
+/// delivered results.
+bool all_refused(const std::vector<Response>& frames) {
+  if (frames.empty()) return false;
+  for (const Response& f : frames) {
+    if (f.kind != ResponseKind::kError) return false;
+    if (f.status != ResponseStatus::kOverloaded &&
+        f.status != ResponseStatus::kShuttingDown)
+      return false;
+  }
+  return true;
+}
+
 void closed_loop_client(std::size_t ci, const LoadgenOptions& o, Aggregator& agg) {
   Client client;
-  if (!client.connect(o.host, o.port).ok()) {
-    agg.count(&LoadgenReport::connect_failures);
+  bool ever_connected = false;
+  if (!connect_with_retry(client, o, agg, request_seed(o, ci, 0),
+                          ever_connected))
     return;
-  }
   for (std::size_t k = 0; k < o.requests_per_client; ++k) {
     const Request req = build_request(o, ci, k);
     agg.count(&LoadgenReport::requests_sent);
-    const Clock::time_point t0 = Clock::now();
-    const runtime::StatusOr<std::vector<Response>> frames = client.call(req);
-    if (!frames.ok()) {
-      agg.count(&LoadgenReport::dropped_connections);
-      return;
+    const std::uint64_t salt = request_seed(o, ci, k);
+    bool recorded = false;
+    for (std::size_t attempt = 0; attempt <= o.retry.max_retries; ++attempt) {
+      if (attempt > 0) {
+        agg.count(&LoadgenReport::retries);
+        backoff_sleep(o.retry, attempt - 1, salt);
+      }
+      if (!client.connected() &&
+          !connect_with_retry(client, o, agg, salt, ever_connected))
+        break;
+      const Clock::time_point t0 = Clock::now();
+      const runtime::StatusOr<std::vector<Response>> frames = client.call(req);
+      if (!frames.ok()) {
+        // Mid-call drop (reset, torn frame, chaos disconnect): reconnect
+        // and resend on the next attempt. Routing is idempotent, and the
+        // dead socket cannot deliver partial results twice.
+        agg.count(&LoadgenReport::dropped_connections);
+        client.close();
+        continue;
+      }
+      if (all_refused(*frames) && attempt < o.retry.max_retries)
+        continue;  // overloaded/shutting-down: back off, resend
+      agg.record_set(ci, k, *frames, ms_between(t0, Clock::now()));
+      recorded = true;
+      break;
     }
-    agg.record_set(ci, k, *frames, ms_between(t0, Clock::now()));
+    if (!recorded) {
+      agg.count(&LoadgenReport::unrecovered);
+      if (!client.connected()) return;  // peer hard-down: stop this client
+    }
   }
 }
 
 void open_loop_client(std::size_t ci, const LoadgenOptions& o, Aggregator& agg) {
   Client client;
-  if (!client.connect(o.host, o.port).ok()) {
-    agg.count(&LoadgenReport::connect_failures);
+  bool ever_connected = false;
+  if (!connect_with_retry(client, o, agg, request_seed(o, ci, 0),
+                          ever_connected))
     return;
-  }
 
   struct Pending {
     Clock::time_point t0;
@@ -465,8 +577,16 @@ std::string LoadgenReport::to_bench_json(const LoadgenOptions& options) const {
   metrics.set("errors", Json::number(static_cast<double>(errors)));
   metrics.set("connect_failures",
               Json::number(static_cast<double>(connect_failures)));
+  metrics.set("connect_refused",
+              Json::number(static_cast<double>(connect_refused)));
+  metrics.set("connect_reset", Json::number(static_cast<double>(connect_reset)));
+  metrics.set("connect_timeout",
+              Json::number(static_cast<double>(connect_timeout)));
   metrics.set("dropped_connections",
               Json::number(static_cast<double>(dropped_connections)));
+  metrics.set("retries", Json::number(static_cast<double>(retries)));
+  metrics.set("reconnects", Json::number(static_cast<double>(reconnects)));
+  metrics.set("unrecovered", Json::number(static_cast<double>(unrecovered)));
   metrics.set("verified", Json::number(static_cast<double>(verified)));
   metrics.set("verify_mismatches",
               Json::number(static_cast<double>(verify_mismatches)));
@@ -491,17 +611,17 @@ std::string LoadgenReport::to_bench_json(const LoadgenOptions& options) const {
 }
 
 std::string LoadgenReport::summary() const {
-  char buf[512];
+  char buf[640];
   std::snprintf(buf, sizeof buf,
                 "%zu requests (%zu answered, %zu net frames: %zu ok, %zu "
                 "degraded, %zu quarantined, %zu overloaded, %zu errors) in "
                 "%.3fs; %.1f req/s; latency ms p50 %.2f p95 %.2f p99 %.2f "
-                "max %.2f; %zu dropped connections; verified %zu (%zu "
-                "mismatches)",
+                "max %.2f; %zu dropped connections; %zu retries, %zu "
+                "reconnects, %zu unrecovered; verified %zu (%zu mismatches)",
                 requests_sent, response_sets, net_frames, ok, degraded,
                 quarantined, overloaded, errors, wall_s, throughput_rps,
-                p50_ms, p95_ms, p99_ms, max_ms, dropped_connections, verified,
-                verify_mismatches);
+                p50_ms, p95_ms, p99_ms, max_ms, dropped_connections, retries,
+                reconnects, unrecovered, verified, verify_mismatches);
   return std::string(buf);
 }
 

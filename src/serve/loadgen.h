@@ -56,6 +56,24 @@ class Client {
 [[nodiscard]] bool response_set_complete(const std::vector<Response>& frames,
                                          RouteMode mode);
 
+/// Client-side resilience: how hard a closed-loop client fights for each
+/// request before giving up. With max_retries == 0 every failure is
+/// terminal (the pre-chaos behavior).
+struct RetryPolicy {
+  /// Extra attempts per request after the first (covers reconnects after
+  /// a mid-call drop and resends after `overloaded`/`shutting-down`).
+  std::size_t max_retries = 0;
+  double backoff_ms = 10.0;       ///< base backoff before attempt 1
+  double backoff_max_ms = 1000.0; ///< exponential growth cap
+};
+
+/// The deterministic backoff before retry `attempt` (0-based): the base
+/// doubled per attempt, capped, with seeded jitter in [1/2, 1) of the
+/// step so a fleet of clients does not retry in lockstep. Pure function
+/// of (policy, attempt, salt) -- chaos runs replay identical schedules.
+[[nodiscard]] double backoff_delay_ms(const RetryPolicy& policy,
+                                      std::size_t attempt, std::uint64_t salt);
+
 struct LoadgenOptions {
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;
@@ -78,6 +96,9 @@ struct LoadgenOptions {
   /// Recompute every rung-0 routing locally and bit-compare against the
   /// server's (the bit-identity gate).
   bool verify = false;
+  /// Closed-loop retry/reconnect policy (ignored by open-loop clients,
+  /// whose pipelined sends cannot be replayed without duplicating ids).
+  RetryPolicy retry{};
 };
 
 struct LoadgenReport {
@@ -89,8 +110,14 @@ struct LoadgenReport {
   std::size_t quarantined = 0;
   std::size_t overloaded = 0;
   std::size_t errors = 0;          ///< other error frames
-  std::size_t connect_failures = 0;
+  std::size_t connect_failures = 0;     ///< failed connect attempts (all kinds)
+  std::size_t connect_refused = 0;      ///< ... of which kUnavailable
+  std::size_t connect_reset = 0;        ///< ... of which kConnectionReset
+  std::size_t connect_timeout = 0;      ///< ... of which kTimeout
   std::size_t dropped_connections = 0;  ///< sockets that died mid-run
+  std::size_t retries = 0;              ///< retry attempts (drops + refusals)
+  std::size_t reconnects = 0;           ///< successful reconnections
+  std::size_t unrecovered = 0;          ///< requests lost after all retries
   std::size_t verified = 0;
   std::size_t verify_mismatches = 0;
   double wall_s = 0.0;

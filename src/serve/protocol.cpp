@@ -43,6 +43,8 @@ runtime::StatusOr<Request> parse_request(const Json& doc) {
       req.op = RequestOp::kRoute;
     else if (name == "ping")
       req.op = RequestOp::kPing;
+    else if (name == "stats" || name == "health")
+      req.op = RequestOp::kStats;
     else if (name == "shutdown")
       req.op = RequestOp::kShutdown;
     else
@@ -113,6 +115,11 @@ runtime::StatusOr<Request> parse_request(const Json& doc) {
   if (req.clock_period_s <= 0.0)
     return bad_request("clock_period_s must be > 0");
 
+  s = get_number(doc, "debug_wedge_ms", 0.0, req.debug_wedge_ms);
+  if (!s.ok()) return s;
+  if (req.debug_wedge_ms < 0.0)
+    return bad_request("debug_wedge_ms must be >= 0");
+
   return req;
 }
 
@@ -182,6 +189,11 @@ ResponseStatus status_from_error(const runtime::Status& error) {
     case StatusCode::kSingular:
     case StatusCode::kNonFinite:
       return ResponseStatus::kNumerical;
+    case StatusCode::kUnavailable:
+    case StatusCode::kConnectionReset:
+      // Transport-level failures surfacing through a handler: the peer
+      // can retry, which is exactly what `overloaded` promises.
+      return ResponseStatus::kOverloaded;
     case StatusCode::kResourceExhausted:
     case StatusCode::kInternal:
       return ResponseStatus::kInternal;
@@ -206,6 +218,7 @@ const char* response_kind_name(ResponseKind k) {
     case ResponseKind::kNet: return "net";
     case ResponseKind::kSummary: return "summary";
     case ResponseKind::kPong: return "pong";
+    case ResponseKind::kStats: return "stats";
     case ResponseKind::kShutdown: return "shutdown";
     case ResponseKind::kError: return "error";
   }
@@ -215,7 +228,7 @@ const char* response_kind_name(ResponseKind k) {
 std::optional<ResponseKind> response_kind_from_name(std::string_view name) {
   for (const ResponseKind k :
        {ResponseKind::kNet, ResponseKind::kSummary, ResponseKind::kPong,
-        ResponseKind::kShutdown, ResponseKind::kError}) {
+        ResponseKind::kStats, ResponseKind::kShutdown, ResponseKind::kError}) {
     if (name == response_kind_name(k)) return k;
   }
   return std::nullopt;
@@ -245,6 +258,8 @@ std::string Response::to_json() const {
     doc.set("nets_rerouted", Json::number(static_cast<double>(nets_rerouted)));
     doc.set("initial_worst_slack_s", Json::number(initial_worst_slack_s));
     doc.set("worst_slack_s", Json::number(worst_slack_s));
+  } else if (kind == ResponseKind::kStats) {
+    doc.set("stats", stats);
   } else if (kind == ResponseKind::kError && net_count > 0) {
     // A per-net rejection (e.g. `overloaded` for one net of a batch):
     // indexed so the client can still account for every net it sent.
@@ -314,6 +329,7 @@ runtime::StatusOr<Response> Response::from_json(const Json& doc) {
     r.initial_worst_slack_s = v->as_number();
   if (const Json* v = doc.find("worst_slack_s"); v != nullptr && v->is_number())
     r.worst_slack_s = v->as_number();
+  if (const Json* v = doc.find("stats")) r.stats = *v;
   return r;
 }
 
@@ -340,6 +356,7 @@ Json request_to_json(const Request& req) {
   switch (req.op) {
     case RequestOp::kRoute: doc.set("op", Json::string("route")); break;
     case RequestOp::kPing: doc.set("op", Json::string("ping")); break;
+    case RequestOp::kStats: doc.set("op", Json::string("stats")); break;
     case RequestOp::kShutdown: doc.set("op", Json::string("shutdown")); break;
   }
   if (req.op != RequestOp::kRoute) return doc;
@@ -355,6 +372,8 @@ Json request_to_json(const Request& req) {
     doc.set("max_edges", Json::number(static_cast<double>(req.max_edges)));
   if (req.mode == RouteMode::kFlow)
     doc.set("clock_period_s", Json::number(req.clock_period_s));
+  if (req.debug_wedge_ms > 0.0)
+    doc.set("debug_wedge_ms", Json::number(req.debug_wedge_ms));
   return doc;
 }
 

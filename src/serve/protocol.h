@@ -25,6 +25,7 @@ namespace ntr::serve {
 enum class RequestOp : std::uint8_t {
   kRoute,     ///< route a batch of nets (the workload)
   kPing,      ///< liveness probe; answered inline by the event loop
+  kStats,     ///< health/stats snapshot; answered inline by the event loop
   kShutdown,  ///< graceful drain: finish queued work, flush, exit
 };
 
@@ -52,6 +53,11 @@ struct Request {
   std::size_t max_edges = static_cast<std::size_t>(-1);
   /// Flow mode: clock period for the synthetic STA design.
   double clock_period_s = 5e-9;
+  /// Test hook (honored only under ServiceConfig::enable_test_hooks):
+  /// the worker busy-waits this long before solving, ignoring its
+  /// deadline but honoring cancel -- a deliberately wedged lane for the
+  /// watchdog tests. 0 = off; rejected as kBadRequest when hooks are off.
+  double debug_wedge_ms = 0.0;
 };
 
 /// Parses a request document. kBadInput with a user-readable message on
@@ -103,6 +109,7 @@ enum class ResponseKind : std::uint8_t {
   kNet,       ///< one routed (or failed) net of a batch
   kSummary,   ///< flow-mode batch summary (timing report)
   kPong,      ///< answer to kPing
+  kStats,     ///< answer to kStats (the `stats` document)
   kShutdown,  ///< acknowledgment of kShutdown
   kError,     ///< request-level failure (bad request, overloaded, ...)
 };
@@ -135,6 +142,9 @@ struct Response {
   std::size_t nets_rerouted = 0;
   double initial_worst_slack_s = 0.0;
   double worst_slack_s = 0.0;
+
+  // kStats field: the server's counter snapshot as a JSON object.
+  Json stats;
 
   [[nodiscard]] std::string to_json() const;
   /// Client-side parse; kBadInput on structurally invalid documents.

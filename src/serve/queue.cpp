@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "check/faultinject.h"
+
 namespace ntr::serve {
 
 FairQueue::FairQueue(std::size_t capacity)
@@ -14,6 +16,9 @@ std::size_t FairQueue::find_client(std::uint64_t client) const {
 }
 
 FairQueue::Push FairQueue::push(std::uint64_t client, WorkItem item) {
+  // Models an allocation/capacity failure at the admission boundary; the
+  // server catches the typed throw and refuses the item as overloaded.
+  NTR_FAULT_POINT(kServeQueuePush);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (closed_) return Push::kClosed;

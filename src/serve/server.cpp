@@ -9,10 +9,15 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
 #include <cstring>
+#include <limits>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -23,6 +28,7 @@
 
 #include "core/parallel.h"
 #include "runtime/stop.h"
+#include "serve/chaos.h"
 #include "serve/json.h"
 #include "serve/protocol.h"
 #include "serve/queue.h"
@@ -82,6 +88,25 @@ struct Server::Impl {
   std::atomic<bool> workers_done{false};
   std::atomic<bool> loop_running{false};
 
+  /// What each worker lane is doing right now, for the watchdog. One
+  /// CancelSource per in-flight item so an escalation cancels exactly
+  /// the wedged solve, not its lane-mates.
+  struct LaneSlot {
+    bool busy = false;
+    runtime::CancelSource item_cancel;
+    runtime::Deadline escalate_at;  ///< unbounded = never escalate
+    bool escalated = false;
+  };
+  std::mutex lanes_mutex;
+  std::vector<LaneSlot> lanes;
+
+  std::thread watchdog_thread;
+  std::mutex watchdog_mutex;
+  std::condition_variable watchdog_cv;
+  bool watchdog_stop = false;  ///< guarded by watchdog_mutex
+
+  std::chrono::steady_clock::time_point started{};
+
   /// Response frames for one completed work item, already serialized and
   /// frame-encoded by the worker so the loop only memcpys.
   struct Completion {
@@ -99,7 +124,7 @@ struct Server::Impl {
   // ---- stats ----
   std::atomic<std::uint64_t> st_accepted{0}, st_closed{0}, st_frames_in{0},
       st_admitted{0}, st_frames_out{0}, st_overloaded{0}, st_bad_request{0},
-      st_protocol_errors{0};
+      st_protocol_errors{0}, st_watchdog_scans{0}, st_watchdog_cancels{0};
 
   // ---------------------------------------------------------------------
   // Cross-thread plumbing.
@@ -112,13 +137,39 @@ struct Server::Impl {
     (void)!::write(wake_fd, &one, sizeof one);
   }
 
-  void worker_loop() {
+  /// The watchdog escalation point for one item: its admission deadline
+  /// plus the grace window, capped by the absolute stall ceiling.
+  /// Unbounded when neither applies (an unbounded-deadline item with no
+  /// stall ceiling is allowed to run forever).
+  [[nodiscard]] runtime::Deadline escalate_deadline(
+      const runtime::Deadline& admission) const {
+    double s = std::numeric_limits<double>::infinity();
+    if (!admission.unbounded())
+      s = admission.remaining_s() + options.watchdog_grace_ms / 1e3;
+    if (options.watchdog_stall_ms > 0.0)
+      s = std::min(s, options.watchdog_stall_ms / 1e3);
+    if (!std::isfinite(s)) return runtime::Deadline{};
+    return runtime::Deadline::after_s(s);
+  }
+
+  void worker_loop(std::size_t lane) {
     while (std::optional<WorkItem> item = queue.pop()) {
+      runtime::CancelSource item_cancel;
+      {
+        std::lock_guard<std::mutex> lock(lanes_mutex);
+        LaneSlot& slot = lanes[lane];
+        slot.busy = true;
+        slot.item_cancel = item_cancel;
+        slot.escalate_at = escalate_deadline(item->deadline);
+        slot.escalated = false;
+      }
+      // A forced shutdown that raced the install still reaches this item.
+      if (cancel.cancel_requested()) item_cancel.request_cancel();
       Completion comp;
       comp.client = item->client;
       try {
         for (const Response& r :
-             execute_work_item(*item, options.service, cancel.token()))
+             execute_work_item(*item, options.service, item_cancel.token()))
           comp.frames.push_back(encode_frame(r.to_json()));
       } catch (const std::exception& e) {
         // Serialization failure (e.g. a non-finite delay the JSON layer
@@ -130,10 +181,43 @@ struct Server::Impl {
                                 .to_json()));
       }
       {
+        std::lock_guard<std::mutex> lock(lanes_mutex);
+        lanes[lane].busy = false;
+      }
+      {
         std::lock_guard<std::mutex> lock(completions_mutex);
         completions.push_back(std::move(comp));
       }
       wake();
+    }
+  }
+
+  /// Forced shutdown: the sticky global flag plus every in-flight item.
+  void cancel_all() {
+    cancel.request_cancel();
+    std::lock_guard<std::mutex> lock(lanes_mutex);
+    for (LaneSlot& slot : lanes)
+      if (slot.busy) slot.item_cancel.request_cancel();
+  }
+
+  void watchdog_loop() {
+    const auto interval = std::chrono::duration<double, std::milli>(
+        options.watchdog_interval_ms);
+    std::unique_lock<std::mutex> lock(watchdog_mutex);
+    while (!watchdog_stop) {
+      watchdog_cv.wait_for(lock, interval);
+      if (watchdog_stop) break;
+      st_watchdog_scans.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lanes_lock(lanes_mutex);
+      for (LaneSlot& slot : lanes) {
+        if (!slot.busy || slot.escalated || !slot.escalate_at.expired())
+          continue;
+        // Cooperative escalation: the solve unwinds at its next StopToken
+        // poll and the lane reports kCancelled; the lane itself survives.
+        slot.item_cancel.request_cancel();
+        slot.escalated = true;
+        st_watchdog_cancels.fetch_add(1, std::memory_order_relaxed);
+      }
     }
   }
 
@@ -168,8 +252,9 @@ struct Server::Impl {
   /// the connection dead (reaped by finalize_conn).
   void flush_conn(Connection& c) {
     while (c.outpos < c.outbuf.size()) {
-      const ssize_t n = ::send(c.fd, c.outbuf.data() + c.outpos,
-                               c.outbuf.size() - c.outpos, MSG_NOSIGNAL);
+      const ssize_t n = chaos::chaos_send(c.fd, c.outbuf.data() + c.outpos,
+                                          c.outbuf.size() - c.outpos,
+                                          MSG_NOSIGNAL);
       if (n > 0) {
         c.outpos += static_cast<std::size_t>(n);
         continue;
@@ -264,7 +349,24 @@ struct Server::Impl {
       item.request = shared;
       item.net_index = shared->mode == RouteMode::kFlow ? kWholeBatch : k;
       item.deadline = deadline;
-      switch (queue.push(id, std::move(item))) {
+      FairQueue::Push pushed;
+      try {
+        pushed = queue.push(id, std::move(item));
+      } catch (const runtime::NtrError& e) {
+        // The kServeQueuePush fault site (or a real allocation failure)
+        // at the admission boundary: refuse this item as overloaded --
+        // the client's retry path handles it like a full queue.
+        st_overloaded.fetch_add(1, std::memory_order_relaxed);
+        Response r = make_error_response(shared->id,
+                                         ResponseStatus::kOverloaded, e.what());
+        if (shared->mode == RouteMode::kSolve) {
+          r.net_index = k;
+          r.net_count = count;
+        }
+        send_response(c, r);
+        continue;
+      }
+      switch (pushed) {
         case FairQueue::Push::kOk:
           ++c.inflight;
           st_admitted.fetch_add(1, std::memory_order_relaxed);
@@ -289,6 +391,35 @@ struct Server::Impl {
           break;
       }
     }
+  }
+
+  /// The `stats` wire document. Loop thread only (reads conns/draining).
+  [[nodiscard]] Json stats_json() {
+    const auto count = [](const std::atomic<std::uint64_t>& a) {
+      return Json::number(
+          static_cast<double>(a.load(std::memory_order_relaxed)));
+    };
+    Json doc = Json::object();
+    doc.set("connections_accepted", count(st_accepted));
+    doc.set("connections_closed", count(st_closed));
+    doc.set("connections_open",
+            Json::number(static_cast<double>(conns.size())));
+    doc.set("frames_received", count(st_frames_in));
+    doc.set("frames_sent", count(st_frames_out));
+    doc.set("items_admitted", count(st_admitted));
+    doc.set("rejected_overloaded", count(st_overloaded));
+    doc.set("rejected_bad_request", count(st_bad_request));
+    doc.set("protocol_errors", count(st_protocol_errors));
+    doc.set("watchdog_scans", count(st_watchdog_scans));
+    doc.set("watchdog_cancels", count(st_watchdog_cancels));
+    doc.set("queue_depth", Json::number(static_cast<double>(queue.size())));
+    doc.set("workers", Json::number(static_cast<double>(options.workers)));
+    doc.set("draining", Json::boolean(draining));
+    doc.set("uptime_s",
+            Json::number(std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - started)
+                             .count()));
+    return doc;
   }
 
   void handle_frame(Connection& c, std::uint64_t id, const std::string& payload) {
@@ -316,6 +447,16 @@ struct Server::Impl {
       pong.status = ResponseStatus::kOk;
       pong.code = response_code(ResponseStatus::kOk);
       send_response(c, pong);
+      return;
+    }
+    if (req.op == RequestOp::kStats) {
+      Response r;
+      r.id = req.id;
+      r.kind = ResponseKind::kStats;
+      r.status = ResponseStatus::kOk;
+      r.code = response_code(ResponseStatus::kOk);
+      r.stats = stats_json();
+      send_response(c, r);
       return;
     }
     if (req.op == RequestOp::kShutdown) {
@@ -372,7 +513,7 @@ struct Server::Impl {
     if ((events & EPOLLIN) != 0) {
       std::array<char, 65536> buf;
       for (;;) {
-        const ssize_t n = ::recv(c.fd, buf.data(), buf.size(), 0);
+        const ssize_t n = chaos::chaos_recv(c.fd, buf.data(), buf.size(), 0);
         if (n > 0) {
           c.decoder.feed(std::string_view(buf.data(), static_cast<std::size_t>(n)));
           continue;
@@ -461,7 +602,7 @@ Server::Server(ServerOptions options)
 Server::~Server() {
   if (impl_ == nullptr) return;
   // Prompt teardown: cancel in-flight solves, then drain.
-  impl_->cancel.request_cancel();
+  impl_->cancel_all();
   request_shutdown();
   wait();
   if (impl_->epoll_fd >= 0) ::close(impl_->epoll_fd);
@@ -521,13 +662,15 @@ Status Server::start() {
                   "epoll_ctl(wake): " + std::string(std::strerror(errno)));
 
   s.loop_running.store(true, std::memory_order_release);
-  s.pool = std::make_unique<core::ThreadPool>(
-      s.options.workers == 0 ? 1 : s.options.workers);
+  s.started = std::chrono::steady_clock::now();
+  const std::size_t workers = s.options.workers == 0 ? 1 : s.options.workers;
+  s.lanes.assign(workers, Impl::LaneSlot{});
+  s.pool = std::make_unique<core::ThreadPool>(workers);
   // The driver thread is the pool's lane 0; ThreadPool::run blocks it
   // until the queue closes and drains, making it the workers' joiner.
   s.driver_thread = std::thread([this] {
     try {
-      impl_->pool->run([this](std::size_t) { impl_->worker_loop(); });
+      impl_->pool->run([this](std::size_t lane) { impl_->worker_loop(lane); });
     } catch (const std::exception&) {
       // worker_loop is never-throw by construction; run() can still
       // surface e.g. resource exhaustion spawning lanes.
@@ -536,6 +679,8 @@ Status Server::start() {
     impl_->wake();
   });
   s.loop_thread = std::thread([this] { impl_->event_loop(); });
+  if (s.options.watchdog_interval_ms > 0.0)
+    s.watchdog_thread = std::thread([this] { impl_->watchdog_loop(); });
   return Status();
 }
 
@@ -551,6 +696,13 @@ void Server::wait() {
   std::lock_guard<std::mutex> lock(impl_->join_mutex);
   if (impl_->loop_thread.joinable()) impl_->loop_thread.join();
   if (impl_->driver_thread.joinable()) impl_->driver_thread.join();
+  {
+    // ntr-blocking-in-lane(watchdog stop flag; lanes reach it only via a wait() name collision)
+    std::lock_guard<std::mutex> watchdog_lock(impl_->watchdog_mutex);
+    impl_->watchdog_stop = true;
+  }
+  impl_->watchdog_cv.notify_all();
+  if (impl_->watchdog_thread.joinable()) impl_->watchdog_thread.join();
 }
 
 bool Server::running() const {
@@ -568,6 +720,8 @@ ServerStats Server::stats() const {
   out.rejected_overloaded = s.st_overloaded.load(std::memory_order_relaxed);
   out.rejected_bad_request = s.st_bad_request.load(std::memory_order_relaxed);
   out.protocol_errors = s.st_protocol_errors.load(std::memory_order_relaxed);
+  out.watchdog_scans = s.st_watchdog_scans.load(std::memory_order_relaxed);
+  out.watchdog_cancels = s.st_watchdog_cancels.load(std::memory_order_relaxed);
   return out;
 }
 

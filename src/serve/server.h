@@ -25,6 +25,11 @@
 ///  - Per-client **backpressure**: while a client has too many items in
 ///    flight, the loop stops reading its socket (EPOLLIN off), pushing
 ///    the pressure into the kernel's TCP window instead of server memory.
+///  - A **watchdog thread** samples each lane's in-flight item against
+///    its admission deadline and cooperatively cancels (per-item
+///    CancelSource) work wedged past deadline + grace, so one stuck
+///    solve cannot pin a lane forever. Escalations are counted in
+///    ServerStats and visible through the `stats` wire request.
 ///
 /// Shutdown: request_shutdown() (async-signal-safe) or a `shutdown`
 /// request stops accepting, closes the queue, lets queued work drain,
@@ -43,6 +48,14 @@ struct ServerOptions {
   /// stops reading that client's socket.
   std::size_t per_client_inflight = 32;
   std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Watchdog scan period. 0 disables the watchdog thread entirely.
+  double watchdog_interval_ms = 100.0;
+  /// Grace past an item's admission deadline before the watchdog
+  /// escalates (cancels) it. Only meaningful for bounded deadlines.
+  double watchdog_grace_ms = 1000.0;
+  /// Absolute wall ceiling for one item regardless of deadline -- the
+  /// backstop for unbounded requests. 0 = no ceiling.
+  double watchdog_stall_ms = 0.0;
   ServiceConfig service{};
 };
 
@@ -56,6 +69,8 @@ struct ServerStats {
   std::uint64_t rejected_overloaded = 0;
   std::uint64_t rejected_bad_request = 0;
   std::uint64_t protocol_errors = 0;
+  std::uint64_t watchdog_scans = 0;
+  std::uint64_t watchdog_cancels = 0;
 };
 
 class Server {

@@ -1,10 +1,13 @@
 #include "serve/service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 #include <string>
+#include <thread>
 #include <utility>
 
+#include "check/faultinject.h"
 #include "core/resilience.h"
 #include "core/solver.h"
 #include "delay/evaluator.h"
@@ -241,6 +244,24 @@ std::vector<Response> execute_work_item(const WorkItem& item,
   stop.cancel = cancel;
   const Request& request = *item.request;
   try {
+    NTR_FAULT_POINT(kServeWorkerDispatch);
+    if (request.debug_wedge_ms > 0.0) {
+      if (!config.enable_test_hooks)
+        return {make_error_response(request.id, ResponseStatus::kBadRequest,
+                                    "debug_wedge_ms requires --enable-test-hooks")};
+      // The deliberately wedged lane: spin past the deadline, honoring
+      // only cancel -- exactly the stuck worker the watchdog exists for.
+      const auto until =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double, std::milli>(request.debug_wedge_ms));
+      while (std::chrono::steady_clock::now() < until) {
+        if (cancel.cancelled())
+          return {make_error_response(request.id, ResponseStatus::kCancelled,
+                                      "wedged worker cancelled")};
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
     if (item.net_index == kWholeBatch)
       return route_flow(request, config, stop);
     return {route_net(request, item.net_index, config, stop)};

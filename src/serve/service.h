@@ -32,6 +32,10 @@ struct ServiceConfig {
   /// service's parallelism is across requests (worker lanes), and nested
   /// pools would oversubscribe the host.
   core::ParallelConfig parallel{};
+  /// Honors Request::debug_wedge_ms (a deliberately wedged lane for the
+  /// watchdog tests). Off by default; requests carrying the field are
+  /// rejected as kBadRequest so production servers cannot be wedged.
+  bool enable_test_hooks = false;
 };
 
 /// net_index value marking a flow-mode item that carries its whole batch.

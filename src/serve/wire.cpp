@@ -1,5 +1,7 @@
 #include "serve/wire.h"
 
+#include "check/faultinject.h"
+
 namespace ntr::serve {
 
 using runtime::Status;
@@ -29,6 +31,14 @@ void FrameDecoder::feed(std::string_view bytes) {
 
 FrameDecoder::Result FrameDecoder::next(std::string& payload) {
   if (!error_.ok()) return Result::kError;
+  try {
+    NTR_FAULT_POINT(kServeFrameDecode);
+  } catch (const runtime::NtrError& e) {
+    // An injected header failure poisons the stream exactly like a real
+    // hostile header would: latched, no resync.
+    error_ = Status(e.code(), e.what());
+    return Result::kError;
+  }
   const std::size_t available = buf_.size() - pos_;
   if (available < kFrameHeaderBytes) return Result::kNeedMore;
   const auto* p = reinterpret_cast<const unsigned char*>(buf_.data() + pos_);

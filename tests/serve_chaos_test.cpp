@@ -1,0 +1,683 @@
+// Chaos-hardening tests for the serving stack: the seeded fault-spec
+// grammar and its reproducibility digest, per-stream chaos schedules,
+// deterministic client retry backoff, typed connect errors, EINTR
+// injection through the chaos_send/chaos_recv wrappers, the in-process
+// chaos proxy end-to-end (retries must recover every request and the
+// answers must stay bit-identical to the library), the worker watchdog
+// cancelling a deliberately wedged lane, and the stats/health wire op.
+//
+// Every suite here is named Chaos* so the TSan CI shard picks the whole
+// file up via its suite regex.
+
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "check/faultinject.h"
+#include "runtime/status.h"
+#include "serve/chaos.h"
+#include "serve/chaosproxy.h"
+#include "serve/json.h"
+#include "serve/loadgen.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+namespace ntr::serve {
+namespace {
+
+using runtime::StatusCode;
+
+// ---------------------------------------------------------------- spec
+
+TEST(ChaosSpec, ParsesEveryKnob) {
+  const auto spec = chaos::ChaosSpec::parse(
+      "seed=42,tear=0.5,tear-chunk=9,delay=0.2,delay-ms=2,trickle=0.25,"
+      "trickle-bytes=3,disconnect=0.02,eintr=0.3");
+  ASSERT_TRUE(spec.ok()) << spec.status().to_string();
+  EXPECT_EQ(spec->seed, 42u);
+  EXPECT_DOUBLE_EQ(spec->tear, 0.5);
+  EXPECT_EQ(spec->tear_chunk, 9u);
+  EXPECT_DOUBLE_EQ(spec->delay, 0.2);
+  EXPECT_DOUBLE_EQ(spec->delay_ms, 2.0);
+  EXPECT_DOUBLE_EQ(spec->trickle, 0.25);
+  EXPECT_EQ(spec->trickle_bytes, 3u);
+  EXPECT_DOUBLE_EQ(spec->disconnect, 0.02);
+  EXPECT_DOUBLE_EQ(spec->eintr, 0.3);
+  EXPECT_TRUE(spec->enabled());
+}
+
+TEST(ChaosSpec, EmptySpecIsValidAndDisabled) {
+  const auto spec = chaos::ChaosSpec::parse("");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_FALSE(spec->enabled());
+}
+
+TEST(ChaosSpec, RoundTripsThroughToString) {
+  const auto spec = chaos::ChaosSpec::parse(
+      "seed=7,tear=0.5,tear-chunk=4,disconnect=0.1");
+  ASSERT_TRUE(spec.ok());
+  const auto again = chaos::ChaosSpec::parse(spec->to_string());
+  ASSERT_TRUE(again.ok()) << spec->to_string();
+  EXPECT_EQ(again->to_string(), spec->to_string());
+  EXPECT_EQ(chaos::schedule_digest(*again), chaos::schedule_digest(*spec));
+}
+
+TEST(ChaosSpec, RejectsMalformedSpecs) {
+  for (const char* text :
+       {"tear=7", "tear=-0.1", "bogus=1", "tear=abc", "tear", "delay-ms=-2",
+        "tear-chunk=0", "trickle-bytes=0.5"}) {
+    const auto spec = chaos::ChaosSpec::parse(text);
+    ASSERT_FALSE(spec.ok()) << text;
+    EXPECT_EQ(spec.status().code(), StatusCode::kBadInput) << text;
+  }
+}
+
+// -------------------------------------------------------------- stream
+
+chaos::ChaosSpec noisy_spec() {
+  const auto spec = chaos::ChaosSpec::parse(
+      "seed=5,tear=0.7,tear-chunk=8,delay=0.3,delay-ms=1.5,trickle=0.4,"
+      "trickle-bytes=2,disconnect=0.1");
+  EXPECT_TRUE(spec.ok());
+  return *spec;
+}
+
+std::string op_trace(chaos::ChaosStream& stream,
+                     const std::vector<std::size_t>& sizes) {
+  std::string trace;
+  for (const std::size_t n : sizes) {
+    const chaos::ChaosOp op = stream.plan(n);
+    trace += op.disconnect ? "D" : "-";
+    trace += ":" + std::to_string(op.bytes) + ":" +
+             std::to_string(static_cast<long long>(op.delay_ms * 1e6)) + ";";
+  }
+  return trace;
+}
+
+TEST(ChaosStream, SameSpecAndIdReplayIdentically) {
+  const chaos::ChaosSpec spec = noisy_spec();
+  const std::vector<std::size_t> sizes = {100, 1,  65536, 17, 5,
+                                          1000, 64, 3,    2,  900};
+  chaos::ChaosStream a(spec, 3);
+  chaos::ChaosStream b(spec, 3);
+  EXPECT_EQ(a.trickling(), b.trickling());
+  EXPECT_EQ(op_trace(a, sizes), op_trace(b, sizes));
+}
+
+TEST(ChaosStream, DistinctStreamIdsDecorrelate) {
+  const chaos::ChaosSpec spec = noisy_spec();
+  const std::vector<std::size_t> sizes(64, 65536);
+  chaos::ChaosStream a(spec, 0);
+  chaos::ChaosStream b(spec, 1);
+  EXPECT_NE(op_trace(a, sizes), op_trace(b, sizes));
+}
+
+TEST(ChaosStream, DisabledSpecForwardsEverythingUntouched) {
+  chaos::ChaosStream stream(chaos::ChaosSpec{}, 0);
+  EXPECT_FALSE(stream.trickling());
+  for (const std::size_t n : {1u, 100u, 65536u}) {
+    const chaos::ChaosOp op = stream.plan(n);
+    EXPECT_FALSE(op.disconnect);
+    EXPECT_DOUBLE_EQ(op.delay_ms, 0.0);
+    EXPECT_EQ(op.bytes, n);
+  }
+}
+
+TEST(ChaosStream, TrickleModeCapsEveryChunk) {
+  chaos::ChaosSpec spec;
+  spec.seed = 11;
+  spec.trickle = 1.0;
+  spec.trickle_bytes = 3;
+  chaos::ChaosStream stream(spec, 0);
+  ASSERT_TRUE(stream.trickling());
+  EXPECT_EQ(stream.plan(1000).bytes, 3u);
+  EXPECT_EQ(stream.plan(2).bytes, 2u);  // never more than is available
+}
+
+TEST(ChaosStream, TearBoundsRespectChunkKnob) {
+  chaos::ChaosSpec spec;
+  spec.seed = 13;
+  spec.tear = 1.0;
+  spec.tear_chunk = 4;
+  chaos::ChaosStream stream(spec, 2);
+  for (int i = 0; i < 64; ++i) {
+    const chaos::ChaosOp op = stream.plan(1000);
+    EXPECT_GE(op.bytes, 1u);
+    EXPECT_LE(op.bytes, 4u);
+  }
+}
+
+// -------------------------------------------------------------- digest
+
+TEST(ChaosDigest, IsAPureFunctionOfTheSpec) {
+  const chaos::ChaosSpec spec = noisy_spec();
+  const std::string digest = chaos::schedule_digest(spec);
+  EXPECT_EQ(digest.size(), 16u);
+  EXPECT_EQ(digest.find_first_not_of("0123456789abcdef"), std::string::npos);
+  EXPECT_EQ(chaos::schedule_digest(spec), digest);
+}
+
+TEST(ChaosDigest, DistinguishesSeedsAndKnobs) {
+  chaos::ChaosSpec spec = noisy_spec();
+  const std::string base = chaos::schedule_digest(spec);
+  spec.seed ^= 1;
+  EXPECT_NE(chaos::schedule_digest(spec), base);
+  spec.seed ^= 1;
+  spec.disconnect += 0.05;
+  EXPECT_NE(chaos::schedule_digest(spec), base);
+}
+
+// ------------------------------------------------------------- backoff
+
+TEST(ChaosBackoff, IsDeterministicPerAttemptAndSalt) {
+  RetryPolicy policy;
+  policy.backoff_ms = 10.0;
+  policy.backoff_max_ms = 100.0;
+  for (std::size_t attempt = 0; attempt < 6; ++attempt)
+    EXPECT_DOUBLE_EQ(backoff_delay_ms(policy, attempt, 42),
+                     backoff_delay_ms(policy, attempt, 42));
+  // Different salts (different clients) must not retry in lockstep.
+  EXPECT_NE(backoff_delay_ms(policy, 0, 1), backoff_delay_ms(policy, 0, 2));
+}
+
+TEST(ChaosBackoff, DoublesWithJitterThenCaps) {
+  RetryPolicy policy;
+  policy.backoff_ms = 10.0;
+  policy.backoff_max_ms = 100.0;
+  for (std::size_t attempt = 0; attempt < 8; ++attempt) {
+    const double step =
+        std::min(10.0 * std::pow(2.0, static_cast<double>(attempt)), 100.0);
+    const double d = backoff_delay_ms(policy, attempt, 7);
+    EXPECT_GE(d, 0.5 * step) << "attempt " << attempt;
+    EXPECT_LT(d, step) << "attempt " << attempt;
+  }
+}
+
+TEST(ChaosBackoff, ZeroBaseMeansNoDelay) {
+  RetryPolicy policy;
+  policy.backoff_ms = 0.0;
+  EXPECT_DOUBLE_EQ(backoff_delay_ms(policy, 3, 9), 0.0);
+}
+
+// ------------------------------------------------- EINTR storm wrappers
+
+/// Installs a process chaos spec for the test body, restoring the
+/// environment-derived spec on every exit path.
+struct ProcessSpecGuard {
+  explicit ProcessSpecGuard(const chaos::ChaosSpec* spec) {
+    chaos::set_process_spec_for_test(spec);
+  }
+  ~ProcessSpecGuard() { chaos::set_process_spec_for_test(nullptr); }
+};
+
+TEST(ChaosEintr, InjectsAndDataStillFlows) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  chaos::ChaosSpec spec;
+  spec.seed = 2026;
+  spec.eintr = 0.5;
+  const ProcessSpecGuard guard(&spec);
+  const std::uint64_t before = chaos::injected_eintr_count();
+  for (int i = 0; i < 64; ++i) {
+    const char byte = static_cast<char>('a' + i % 26);
+    long n;
+    do {
+      n = chaos::chaos_send(fds[0], &byte, 1, 0);
+    } while (n < 0 && errno == EINTR);
+    ASSERT_EQ(n, 1);
+    char got = 0;
+    do {
+      n = chaos::chaos_recv(fds[1], &got, 1, 0);
+    } while (n < 0 && errno == EINTR);
+    ASSERT_EQ(n, 1);
+    EXPECT_EQ(got, byte);  // injection never corrupts the stream
+  }
+  EXPECT_GT(chaos::injected_eintr_count(), before);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(ChaosEintr, DisabledSpecIsAPassThrough) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const chaos::ChaosSpec disabled;
+  const ProcessSpecGuard guard(&disabled);
+  const std::uint64_t before = chaos::injected_eintr_count();
+  const char byte = 'x';
+  EXPECT_EQ(chaos::chaos_send(fds[0], &byte, 1, 0), 1);
+  char got = 0;
+  EXPECT_EQ(chaos::chaos_recv(fds[1], &got, 1, 0), 1);
+  EXPECT_EQ(got, 'x');
+  EXPECT_EQ(chaos::injected_eintr_count(), before);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+// ------------------------------------------------- typed connect errors
+
+/// An ephemeral port with nothing listening: bind, read the number,
+/// close. Connecting to it gets ECONNREFUSED (racing reuse is
+/// astronomically unlikely within one test).
+std::uint16_t closed_port() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  socklen_t len = sizeof addr;
+  EXPECT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  ::close(fd);
+  return ntohs(addr.sin_port);
+}
+
+TEST(ChaosConnectErrors, RefusedConnectIsUnavailable) {
+  Client client;
+  const runtime::Status s = client.connect("127.0.0.1", closed_port());
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable) << s.to_string();
+}
+
+TEST(ChaosConnectErrors, PeerCloseDuringReadIsConnectionReset) {
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+            0);
+  ASSERT_EQ(::listen(listener, 1), 0);
+  socklen_t len = sizeof addr;
+  ASSERT_EQ(::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &len),
+            0);
+
+  Client client;
+  ASSERT_TRUE(client.connect("127.0.0.1", ntohs(addr.sin_port)).ok());
+  const int accepted = ::accept(listener, nullptr, nullptr);
+  ASSERT_GE(accepted, 0);
+  ::close(accepted);  // hang up before answering anything
+
+  const auto response = client.read_response();
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kConnectionReset)
+      << response.status().to_string();
+  ::close(listener);
+}
+
+// ------------------------------------------------------ proxy + retries
+
+std::string chaos_test_net() { return "pin 0 0\npin 3000 0\npin 0 3000\n"; }
+
+TEST(ChaosProxyEndToEnd, RetriesRecoverEveryRequestBitIdentically) {
+  ServerOptions server_options;
+  server_options.host = "127.0.0.1";
+  server_options.port = 0;
+  server_options.workers = 2;
+  Server server(server_options);
+  ASSERT_TRUE(server.start().ok());
+
+  ChaosProxyOptions proxy_options;
+  proxy_options.upstream_port = server.port();
+  const auto spec = chaos::ChaosSpec::parse(
+      "seed=7,tear=0.8,tear-chunk=5,delay=0.1,delay-ms=0.5,trickle=0.3,"
+      "trickle-bytes=2,disconnect=0.05");
+  ASSERT_TRUE(spec.ok());
+  proxy_options.spec = *spec;
+  ChaosProxy proxy(proxy_options);
+  ASSERT_TRUE(proxy.start().ok());
+
+  LoadgenOptions load;
+  load.port = proxy.port();
+  load.clients = 3;
+  load.requests_per_client = 4;
+  load.pins = 8;
+  load.retry.max_retries = 10;
+  load.retry.backoff_ms = 1.0;
+  load.retry.backoff_max_ms = 10.0;
+  load.verify = true;
+  const LoadgenReport report = run_loadgen(load);
+
+  // Chaos may drop connections, but with retries no request is lost and
+  // every delivered routing is the library's, bit for bit.
+  EXPECT_EQ(report.unrecovered, 0u) << report.summary();
+  EXPECT_EQ(report.ok, 12u) << report.summary();
+  EXPECT_EQ(report.verified, 12u) << report.summary();
+  EXPECT_EQ(report.verify_mismatches, 0u) << report.summary();
+  if (report.dropped_connections > 0) {
+    EXPECT_GT(report.retries, 0u);
+    EXPECT_GT(report.reconnects, 0u);
+  }
+
+  const ChaosProxyStats stats = proxy.stats();
+  EXPECT_GE(stats.connections, 3u);
+  EXPECT_GT(stats.chunks_forwarded, 0u);
+  EXPECT_GT(stats.bytes_forwarded, 0u);
+
+  proxy.wait();
+  server.request_shutdown();
+  server.wait();
+}
+
+TEST(ChaosProxyEndToEnd, HeavyDisconnectsStillDrainCleanly) {
+  ServerOptions server_options;
+  server_options.host = "127.0.0.1";
+  server_options.port = 0;
+  Server server(server_options);
+  ASSERT_TRUE(server.start().ok());
+
+  ChaosProxyOptions proxy_options;
+  proxy_options.upstream_port = server.port();
+  const auto spec = chaos::ChaosSpec::parse("seed=3,disconnect=0.25");
+  ASSERT_TRUE(spec.ok());
+  proxy_options.spec = *spec;
+  ChaosProxy proxy(proxy_options);
+  ASSERT_TRUE(proxy.start().ok());
+
+  LoadgenOptions load;
+  load.port = proxy.port();
+  load.clients = 1;
+  load.requests_per_client = 3;
+  load.pins = 6;
+  load.retry.max_retries = 40;
+  load.retry.backoff_ms = 0.5;
+  load.retry.backoff_max_ms = 4.0;
+  const LoadgenReport report = run_loadgen(load);
+  EXPECT_EQ(report.unrecovered, 0u) << report.summary();
+  EXPECT_EQ(report.ok, 3u) << report.summary();
+
+  proxy.wait();
+  // The server must come through a disconnect storm fully healthy.
+  Client direct;
+  ASSERT_TRUE(direct.connect("127.0.0.1", server.port()).ok());
+  Request req;
+  req.nets = {chaos_test_net()};
+  req.id = Json::string("after-chaos");
+  const auto frames = direct.call(req);
+  ASSERT_TRUE(frames.ok()) << frames.status().to_string();
+  EXPECT_EQ(frames->front().status, ResponseStatus::kOk);
+
+  server.request_shutdown();
+  server.wait();
+}
+
+// ------------------------------------------------------------ watchdog
+
+TEST(ChaosWatchdog, CancelsWedgedWorkerWithoutKillingTheServer) {
+  ServerOptions options;
+  options.host = "127.0.0.1";
+  options.port = 0;
+  options.workers = 1;
+  options.watchdog_interval_ms = 5.0;
+  options.watchdog_stall_ms = 60.0;  // absolute wall ceiling per item
+  options.service.enable_test_hooks = true;
+  Server server(options);
+  ASSERT_TRUE(server.start().ok());
+
+  Client client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port()).ok());
+  Request wedge;
+  wedge.nets = {chaos_test_net()};
+  wedge.id = Json::string("wedge");
+  wedge.debug_wedge_ms = 60'000.0;  // a minute: only the watchdog saves us
+  const auto frames = client.call(wedge);
+  ASSERT_TRUE(frames.ok()) << frames.status().to_string();
+  ASSERT_EQ(frames->size(), 1u);
+  EXPECT_EQ(frames->front().kind, ResponseKind::kError);
+  EXPECT_EQ(frames->front().status, ResponseStatus::kCancelled)
+      << frames->front().error;
+
+  const ServerStats stats = server.stats();
+  EXPECT_GE(stats.watchdog_cancels, 1u);
+  EXPECT_GE(stats.watchdog_scans, 1u);
+
+  // The lane is free again: the same server keeps routing.
+  Request after;
+  after.nets = {chaos_test_net()};
+  after.id = Json::string("after-wedge");
+  const auto ok = client.call(after);
+  ASSERT_TRUE(ok.ok()) << ok.status().to_string();
+  EXPECT_EQ(ok->front().status, ResponseStatus::kOk);
+
+  server.request_shutdown();
+  server.wait();
+}
+
+TEST(ChaosWatchdog, GracePastDeadlineCancelsDeadlinedItem) {
+  ServerOptions options;
+  options.host = "127.0.0.1";
+  options.port = 0;
+  options.workers = 1;
+  options.watchdog_interval_ms = 5.0;
+  options.watchdog_grace_ms = 40.0;  // deadline + grace, no stall ceiling
+  options.service.enable_test_hooks = true;
+  Server server(options);
+  ASSERT_TRUE(server.start().ok());
+
+  Client client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port()).ok());
+  Request wedge;
+  wedge.nets = {chaos_test_net()};
+  wedge.id = Json::string("wedge-deadline");
+  wedge.deadline_ms = 10.0;
+  wedge.debug_wedge_ms = 60'000.0;
+  const auto frames = client.call(wedge);
+  ASSERT_TRUE(frames.ok()) << frames.status().to_string();
+  EXPECT_EQ(frames->front().status, ResponseStatus::kCancelled)
+      << frames->front().error;
+  EXPECT_GE(server.stats().watchdog_cancels, 1u);
+
+  server.request_shutdown();
+  server.wait();
+}
+
+TEST(ChaosWatchdog, WedgeHookRejectedUnlessEnabled) {
+  ServerOptions options;
+  options.host = "127.0.0.1";
+  options.port = 0;
+  Server server(options);  // test hooks off: the production default
+  ASSERT_TRUE(server.start().ok());
+
+  Client client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port()).ok());
+  Request wedge;
+  wedge.nets = {chaos_test_net()};
+  wedge.id = Json::string("no-hooks");
+  wedge.debug_wedge_ms = 5.0;
+  const auto frames = client.call(wedge);
+  ASSERT_TRUE(frames.ok()) << frames.status().to_string();
+  EXPECT_EQ(frames->front().status, ResponseStatus::kBadRequest);
+
+  server.request_shutdown();
+  server.wait();
+}
+
+// ------------------------------------------------------- stats request
+
+TEST(ChaosStats, StatsOpReportsLiveCounters) {
+  ServerOptions options;
+  options.host = "127.0.0.1";
+  options.port = 0;
+  options.workers = 3;
+  Server server(options);
+  ASSERT_TRUE(server.start().ok());
+
+  Client client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port()).ok());
+  Request route;
+  route.nets = {chaos_test_net()};
+  route.id = Json::string("warm");
+  ASSERT_TRUE(client.call(route).ok());
+
+  Request stats_req;
+  stats_req.op = RequestOp::kStats;
+  stats_req.id = Json::string("stats");
+  const auto frames = client.call(stats_req);
+  ASSERT_TRUE(frames.ok()) << frames.status().to_string();
+  ASSERT_EQ(frames->size(), 1u);
+  const Response& r = frames->front();
+  EXPECT_EQ(r.kind, ResponseKind::kStats);
+  EXPECT_EQ(r.status, ResponseStatus::kOk);
+  ASSERT_TRUE(r.stats.is_object());
+  const auto number = [&](const char* key) {
+    const Json* v = r.stats.find(key);
+    EXPECT_NE(v, nullptr) << key;
+    return v != nullptr && v->is_number() ? v->as_number() : -1.0;
+  };
+  EXPECT_DOUBLE_EQ(number("workers"), 3.0);
+  EXPECT_GE(number("connections_accepted"), 1.0);
+  EXPECT_GE(number("frames_received"), 2.0);
+  EXPECT_GE(number("items_admitted"), 1.0);
+  EXPECT_GE(number("uptime_s"), 0.0);
+  EXPECT_GE(number("watchdog_scans"), 0.0);
+  const Json* draining = r.stats.find("draining");
+  ASSERT_NE(draining, nullptr);
+  EXPECT_FALSE(draining->as_bool());
+
+  server.request_shutdown();
+  server.wait();
+}
+
+TEST(ChaosStats, HealthIsAnAliasForStats) {
+  Json doc = Json::object();
+  doc.set("op", Json::string("health"));
+  const auto req = parse_request(doc);
+  ASSERT_TRUE(req.ok()) << req.status().to_string();
+  EXPECT_EQ(req->op, RequestOp::kStats);
+}
+
+// --------------------------------------- fault-injection serve sites
+
+#if defined(NTR_FAULT_INJECTION)
+
+class ChaosFaultSites : public ::testing::Test {
+ protected:
+  void SetUp() override { check::fault::reset(); }
+  void TearDown() override { check::fault::reset(); }
+};
+
+TEST_F(ChaosFaultSites, InjectedQueuePushRefusesAsOverloaded) {
+  ServerOptions options;
+  options.host = "127.0.0.1";
+  options.port = 0;
+  Server server(options);
+  ASSERT_TRUE(server.start().ok());
+  Client client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port()).ok());
+
+  check::fault::arm(check::fault::FaultSite::kServeQueuePush, 1);
+  Request req;
+  req.nets = {chaos_test_net()};
+  req.id = Json::string("inject-push");
+  const auto refused = client.call(req);
+  ASSERT_TRUE(refused.ok()) << refused.status().to_string();
+  EXPECT_EQ(refused->front().status, ResponseStatus::kOverloaded);
+  EXPECT_EQ(check::fault::fired_count(check::fault::FaultSite::kServeQueuePush),
+            1u);
+
+  // One-shot: the very next admission succeeds on the same connection.
+  req.id = Json::string("after-push");
+  const auto ok = client.call(req);
+  ASSERT_TRUE(ok.ok()) << ok.status().to_string();
+  EXPECT_EQ(ok->front().status, ResponseStatus::kOk);
+
+  server.request_shutdown();
+  server.wait();
+}
+
+TEST_F(ChaosFaultSites, InjectedJsonParseIsBadRequestNotPoison) {
+  ServerOptions options;
+  options.host = "127.0.0.1";
+  options.port = 0;
+  Server server(options);
+  ASSERT_TRUE(server.start().ok());
+  Client client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port()).ok());
+
+  check::fault::arm(check::fault::FaultSite::kServeJsonParse, 1);
+  Request ping;
+  ping.op = RequestOp::kPing;
+  ping.id = Json::string("inject-json");
+  const auto err = client.call(ping);
+  ASSERT_TRUE(err.ok()) << err.status().to_string();
+  EXPECT_EQ(err->front().status, ResponseStatus::kBadRequest);
+
+  // The framing was fine, so the connection stays usable.
+  ping.id = Json::string("after-json");
+  const auto pong = client.call(ping);
+  ASSERT_TRUE(pong.ok()) << pong.status().to_string();
+  EXPECT_EQ(pong->front().kind, ResponseKind::kPong);
+
+  server.request_shutdown();
+  server.wait();
+}
+
+TEST_F(ChaosFaultSites, InjectedFrameDecodePoisonsTheStream) {
+  ServerOptions options;
+  options.host = "127.0.0.1";
+  options.port = 0;
+  Server server(options);
+  ASSERT_TRUE(server.start().ok());
+  Client client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port()).ok());
+
+  check::fault::arm(check::fault::FaultSite::kServeFrameDecode, 1);
+  Request ping;
+  ping.op = RequestOp::kPing;
+  ping.id = Json::string("inject-frame");
+  ASSERT_TRUE(client.send_document(request_to_json(ping)).ok());
+  const auto err = client.read_response();
+  ASSERT_TRUE(err.ok()) << err.status().to_string();
+  EXPECT_EQ(err->status, ResponseStatus::kBadRequest);
+  // A poisoned stream cannot be trusted again: typed error, then close.
+  EXPECT_FALSE(client.read_response().ok());
+
+  // ...but only that connection died; the server keeps serving.
+  Client fresh;
+  ASSERT_TRUE(fresh.connect("127.0.0.1", server.port()).ok());
+  const auto pong = fresh.call(ping);
+  ASSERT_TRUE(pong.ok()) << pong.status().to_string();
+  EXPECT_EQ(pong->front().kind, ResponseKind::kPong);
+
+  server.request_shutdown();
+  server.wait();
+}
+
+TEST_F(ChaosFaultSites, InjectedWorkerDispatchIsInternalError) {
+  ServerOptions options;
+  options.host = "127.0.0.1";
+  options.port = 0;
+  Server server(options);
+  ASSERT_TRUE(server.start().ok());
+  Client client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port()).ok());
+
+  check::fault::arm(check::fault::FaultSite::kServeWorkerDispatch, 1);
+  Request req;
+  req.nets = {chaos_test_net()};
+  req.id = Json::string("inject-dispatch");
+  const auto frames = client.call(req);
+  ASSERT_TRUE(frames.ok()) << frames.status().to_string();
+  EXPECT_EQ(frames->front().status, ResponseStatus::kInternal);
+
+  req.id = Json::string("after-dispatch");
+  const auto ok = client.call(req);
+  ASSERT_TRUE(ok.ok()) << ok.status().to_string();
+  EXPECT_EQ(ok->front().status, ResponseStatus::kOk);
+
+  server.request_shutdown();
+  server.wait();
+}
+
+#endif  // NTR_FAULT_INJECTION
+
+}  // namespace
+}  // namespace ntr::serve

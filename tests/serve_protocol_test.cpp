@@ -132,6 +132,24 @@ TEST(ServeWire, OversizedFramePoisonsStream) {
   EXPECT_FALSE(decoder.error().ok());
 }
 
+TEST(ServeWire, OversizedHeaderAfterPartialHeaderPoisonsExactlyOnCompletion) {
+  // A hostile length can only be judged once all four header bytes are
+  // in. Torn right inside the header, the decoder must keep waiting --
+  // and must still reject the moment the last byte lands.
+  FrameDecoder decoder(/*max_frame_bytes=*/1024);
+  const std::string frame = encode_frame(std::string(2048, 'x'));
+  std::string out;
+  for (std::size_t i = 0; i < kFrameHeaderBytes - 1; ++i) {
+    decoder.feed(std::string_view(frame.data() + i, 1));
+    EXPECT_EQ(decoder.next(out), FrameDecoder::Result::kNeedMore)
+        << "judged an incomplete header at byte " << i;
+    EXPECT_TRUE(decoder.error().ok());
+  }
+  decoder.feed(std::string_view(frame.data() + kFrameHeaderBytes - 1, 1));
+  EXPECT_EQ(decoder.next(out), FrameDecoder::Result::kError);
+  EXPECT_FALSE(decoder.error().ok());
+}
+
 // ---------------------------------------------------------------------------
 // Requests.
 

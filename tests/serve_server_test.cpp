@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -209,6 +210,72 @@ TEST_F(ServeServerTest, ZeroLengthFrameClosesConnection) {
   EXPECT_EQ(err->status, ResponseStatus::kBadRequest);
   const auto eof = client.read_response();
   EXPECT_FALSE(eof.ok());
+}
+
+TEST_F(ServeServerTest, ByteAtATimeFramesAreServed) {
+  // The slow-loris shape the chaos proxy's trickle mode produces: every
+  // recv() on the server delivers one byte. The event loop must
+  // reassemble and answer normally.
+  start();
+  Client client;
+  connect(client);
+  Request ping;
+  ping.op = RequestOp::kPing;
+  ping.id = Json::string("trickle");
+  const std::string frame = encode_frame(request_to_json(ping).dump());
+  for (const char ch : frame)
+    ASSERT_TRUE(client.send_bytes(std::string_view(&ch, 1)).ok());
+  const auto pong = client.read_response();
+  ASSERT_TRUE(pong.ok()) << pong.status().to_string();
+  EXPECT_EQ(pong->kind, ResponseKind::kPong);
+  EXPECT_EQ(pong->id.as_string(), "trickle");
+}
+
+TEST_F(ServeServerTest, OversizedHeaderAfterPartialHeaderClosesConnection) {
+  ServerOptions options;
+  options.max_frame_bytes = 1024;
+  start(options);
+  Client client;
+  connect(client);
+  // The hostile header arrives torn: two innocent-looking bytes first,
+  // then the rest. The server may only judge (and must reject) the
+  // declared length once the header completes.
+  std::string header(kFrameHeaderBytes, '\0');
+  header[0] = 0x40;  // 1 GiB declared payload
+  ASSERT_TRUE(client.send_bytes(std::string_view(header.data(), 2)).ok());
+  ASSERT_TRUE(
+      client.send_bytes(std::string_view(header.data() + 2, 2)).ok());
+  const auto err = client.read_response();
+  ASSERT_TRUE(err.ok()) << err.status().to_string();
+  EXPECT_EQ(err->kind, ResponseKind::kError);
+  EXPECT_EQ(err->status, ResponseStatus::kBadRequest);
+  const auto eof = client.read_response();
+  EXPECT_FALSE(eof.ok());
+}
+
+TEST_F(ServeServerTest, PeerDisconnectDuringResponseStreamLeavesServerServing) {
+  // The peer vanishes while the server is mid-write on its responses:
+  // the flush hits a dead socket (EPIPE/reset), which must cost only
+  // that connection.
+  start();
+  {
+    Client rude;
+    connect(rude);
+    std::vector<std::string> nets;
+    for (int i = 0; i < 6; ++i) nets.push_back(test_net(60 + i, 14));
+    ASSERT_TRUE(
+        rude.send_document(request_to_json(route_request(nets, "vanish"))).ok());
+    // Wait for the first response frame so workers are provably mid-batch
+    // with five more frames to stream, then hang up.
+    const auto first = rude.read_response();
+    ASSERT_TRUE(first.ok()) << first.status().to_string();
+    rude.close();
+  }
+  Client polite;
+  connect(polite);
+  const auto frames = polite.call(route_request({test_net(41)}, "still-up"));
+  ASSERT_TRUE(frames.ok()) << frames.status().to_string();
+  EXPECT_EQ((*frames)[0].status, ResponseStatus::kOk);
 }
 
 TEST_F(ServeServerTest, MidStreamDisconnectLeavesServerServing) {

@@ -47,9 +47,20 @@ workload:
   --rate X           open-loop sends per second per client (default 0 =
                      closed loop)
 
+resilience (closed loop):
+  --retries N        extra attempts per request: reconnect + resend after
+                     drops and overloaded/shutting-down refusals (default 0)
+  --backoff-ms X     base retry backoff; doubles per attempt with seeded
+                     jitter (default 10)
+  --backoff-max-ms X exponential backoff cap (default 1000)
+
 checks and output:
   --verify           recompute rung-0 routings locally; fail on any
                      bit-difference
+  --tolerate-drops   exit 0 despite dropped connections / unrecovered
+                     requests (chaos runs); verify mismatches still fail
+  --stats            fetch and print the server's stats document after the
+                     fleet finishes
   --shutdown         send a shutdown request once the fleet finishes
   --json PATH        write the bench phase report (BENCH_serve.json)
   --help             this text
@@ -63,6 +74,8 @@ struct Options {
   std::string port_file;
   std::string json_path;
   bool send_shutdown = false;
+  bool tolerate_drops = false;
+  bool print_stats = false;
   bool help = false;
   bool port_set = false;
 };
@@ -144,8 +157,22 @@ Options parse_args(const std::vector<std::string>& args) {
       opts.load.timeout_every = parse_uint(arg, next(i, arg));
     } else if (arg == "--rate") {
       opts.load.open_loop_rate = parse_double(arg, next(i, arg));
+    } else if (arg == "--retries") {
+      opts.load.retry.max_retries = parse_uint(arg, next(i, arg));
+    } else if (arg == "--backoff-ms") {
+      opts.load.retry.backoff_ms = parse_double(arg, next(i, arg));
+      if (opts.load.retry.backoff_ms < 0.0)
+        throw std::invalid_argument("--backoff-ms must be >= 0");
+    } else if (arg == "--backoff-max-ms") {
+      opts.load.retry.backoff_max_ms = parse_double(arg, next(i, arg));
+      if (opts.load.retry.backoff_max_ms < 0.0)
+        throw std::invalid_argument("--backoff-max-ms must be >= 0");
     } else if (arg == "--verify") {
       opts.load.verify = true;
+    } else if (arg == "--tolerate-drops") {
+      opts.tolerate_drops = true;
+    } else if (arg == "--stats") {
+      opts.print_stats = true;
     } else if (arg == "--shutdown") {
       opts.send_shutdown = true;
     } else if (arg == "--json") {
@@ -212,6 +239,25 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (opts.print_stats) {
+    ntr::serve::Client client;
+    const ntr::runtime::Status s = client.connect(opts.load.host, opts.load.port);
+    if (s.ok()) {
+      ntr::serve::Request req;
+      req.op = ntr::serve::RequestOp::kStats;
+      req.id = ntr::serve::Json::string("loadgen-stats");
+      const auto frames = client.call(req);
+      if (frames.ok() && !frames->empty())
+        std::printf("ntr_loadgen: stats %s\n",
+                    frames->front().stats.dump().c_str());
+      else
+        std::fprintf(stderr, "ntr_loadgen: stats request failed\n");
+    } else {
+      std::fprintf(stderr, "ntr_loadgen: stats connect failed: %s\n",
+                   s.to_string().c_str());
+    }
+  }
+
   if (opts.send_shutdown) {
     ntr::serve::Client client;
     const ntr::runtime::Status s = client.connect(opts.load.host, opts.load.port);
@@ -229,15 +275,24 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (report.connect_failures > 0) {
-    std::fprintf(stderr, "ntr_loadgen: %zu clients failed to connect\n",
-                 report.connect_failures);
-    return ntr::io::kExitInput;
-  }
-  if (report.dropped_connections > 0) {
-    std::fprintf(stderr, "ntr_loadgen: %zu connections dropped mid-run\n",
-                 report.dropped_connections);
-    return ntr::io::kExitInternal;
+  // Verify failures are never tolerated: a chaos run may drop requests,
+  // but every answer that did arrive must still be bit-identical.
+  if (!opts.tolerate_drops) {
+    if (report.connect_failures > 0) {
+      std::fprintf(stderr, "ntr_loadgen: %zu connect attempts failed\n",
+                   report.connect_failures);
+      return ntr::io::kExitInput;
+    }
+    if (report.dropped_connections > 0) {
+      std::fprintf(stderr, "ntr_loadgen: %zu connections dropped mid-run\n",
+                   report.dropped_connections);
+      return ntr::io::kExitInternal;
+    }
+    if (report.unrecovered > 0) {
+      std::fprintf(stderr, "ntr_loadgen: %zu requests unrecovered\n",
+                   report.unrecovered);
+      return ntr::io::kExitInternal;
+    }
   }
   if (report.verify_mismatches > 0) {
     std::fprintf(stderr,

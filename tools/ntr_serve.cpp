@@ -46,6 +46,13 @@ options:
   --max-frame-bytes N     per-frame payload cap (default 4194304)
   --default-deadline-ms X deadline for requests that carry none (0 = unbounded)
   --max-deadline-ms X     hard cap on any request's deadline (0 = no cap)
+  --watchdog-interval-ms X  watchdog scan period; 0 disables (default 100)
+  --watchdog-grace-ms X   grace past an item's deadline before the watchdog
+                          cancels it (default 1000)
+  --watchdog-stall-ms X   absolute wall ceiling per item, deadline or not
+                          (default 0 = none)
+  --enable-test-hooks     honor debug_wedge_ms requests (tests only; never
+                          enable on a shared server)
   --help                  this text
 
 protocol: length-prefixed JSON frames; see docs/serving.md. Response
@@ -119,6 +126,14 @@ Options parse_args(const std::vector<std::string>& args) {
       opts.server.service.default_deadline_ms = parse_double(arg, next(i, arg));
     } else if (arg == "--max-deadline-ms") {
       opts.server.service.max_deadline_ms = parse_double(arg, next(i, arg));
+    } else if (arg == "--watchdog-interval-ms") {
+      opts.server.watchdog_interval_ms = parse_double(arg, next(i, arg));
+    } else if (arg == "--watchdog-grace-ms") {
+      opts.server.watchdog_grace_ms = parse_double(arg, next(i, arg));
+    } else if (arg == "--watchdog-stall-ms") {
+      opts.server.watchdog_stall_ms = parse_double(arg, next(i, arg));
+    } else if (arg == "--enable-test-hooks") {
+      opts.server.service.enable_test_hooks = true;
     } else {
       throw std::invalid_argument("unknown flag '" + arg + "'");
     }
@@ -175,13 +190,14 @@ int main(int argc, char** argv) {
   const ntr::serve::ServerStats stats = server.stats();
   std::printf("ntr_serve: drained: %llu connections, %llu frames in, "
               "%llu frames out, %llu items, %llu overloaded, %llu bad "
-              "requests, %llu protocol errors\n",
+              "requests, %llu protocol errors, %llu watchdog cancels\n",
               static_cast<unsigned long long>(stats.connections_accepted),
               static_cast<unsigned long long>(stats.frames_received),
               static_cast<unsigned long long>(stats.frames_sent),
               static_cast<unsigned long long>(stats.items_admitted),
               static_cast<unsigned long long>(stats.rejected_overloaded),
               static_cast<unsigned long long>(stats.rejected_bad_request),
-              static_cast<unsigned long long>(stats.protocol_errors));
+              static_cast<unsigned long long>(stats.protocol_errors),
+              static_cast<unsigned long long>(stats.watchdog_cancels));
   return ntr::io::kExitOk;
 }
