@@ -4,6 +4,7 @@
 #include <chrono>
 #include <map>
 #include <set>
+#include <string_view>
 #include <tuple>
 
 #include "analyze/concurrency.h"
@@ -32,8 +33,36 @@ const std::map<std::string, std::string, std::less<>>& rule_passes() {
       {"global-mutable-state", "reentrancy"},
       {"alloc-in-hot-path", "reentrancy"},
       {"blocking-in-lane", "reentrancy"},
+      {"lock-order-inversion", "locks"},
+      {"blocking-under-lock", "locks"},
+      {"unguarded-member-access", "locks"},
   };
   return kMap;
+}
+
+/// Minimal JSON string escaping for the SARIF writer.
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* kHex = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xf];
+          out += kHex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
 }
 
 }  // namespace
@@ -48,6 +77,7 @@ AnalyzeResult analyze(const AnalyzeOptions& options) {
   bool include_hygiene = options.include_hygiene;
   bool dataflow = options.dataflow;
   bool reentrancy = options.reentrancy;
+  bool locks = options.locks;
   if (!options.only_rules.empty()) {
     std::set<std::string, std::less<>> passes;
     for (const std::string& rule : options.only_rules) {
@@ -64,6 +94,7 @@ AnalyzeResult analyze(const AnalyzeOptions& options) {
     include_hygiene = passes.contains("include_hygiene");
     dataflow = passes.contains("dataflow");
     reentrancy = passes.contains("reentrancy");
+    locks = passes.contains("locks");
   }
 
   std::filesystem::path conf = options.layer_config_path;
@@ -88,6 +119,13 @@ AnalyzeResult analyze(const AnalyzeOptions& options) {
   if (dataflow) append(check_dataflow(result.project));
   if (reentrancy)
     append(check_reentrancy(result.project, result.callgraph, options.entries));
+  // The lock model always runs so --lockgraph-dot renders without a
+  // re-scan; its findings only count when the pass is enabled.
+  {
+    std::vector<check::LintDiagnostic> lock_findings =
+        check_locks(result.project, result.callgraph, &result.lockgraph);
+    if (locks) append(std::move(lock_findings));
+  }
 
   // --only keeps exactly the named rules: a pass that owns several rules
   // still runs whole, so the filter is on the findings.
@@ -120,6 +158,62 @@ AnalyzeResult analyze(const AnalyzeOptions& options) {
                        std::chrono::steady_clock::now() - started)
                        .count();
   return result;
+}
+
+std::string sarif_report(const AnalyzeResult& result) {
+  // One rule descriptor per distinct rule, sorted, then one result per
+  // finding in report order -- both deterministic by construction.
+  std::set<std::string> rules;
+  for (const check::LintDiagnostic& d : result.findings) rules.insert(d.rule);
+
+  std::string out;
+  out += "{\n";
+  out +=
+      "  \"$schema\": "
+      "\"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  out += "  \"version\": \"2.1.0\",\n";
+  out += "  \"runs\": [\n";
+  out += "    {\n";
+  out += "      \"tool\": {\n";
+  out += "        \"driver\": {\n";
+  out += "          \"name\": \"ntr_analyze\",\n";
+  out += "          \"rules\": [\n";
+  bool first = true;
+  for (const std::string& rule : rules) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "            {\"id\": \"" + json_escape(rule) + "\"}";
+  }
+  out += "\n          ]\n";
+  out += "        }\n";
+  out += "      },\n";
+  out += "      \"results\": [\n";
+  first = true;
+  for (const check::LintDiagnostic& d : result.findings) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "        {\n";
+    out += "          \"ruleId\": \"" + json_escape(d.rule) + "\",\n";
+    out += "          \"level\": \"error\",\n";
+    out += "          \"message\": {\"text\": \"" + json_escape(d.message) +
+           "\"},\n";
+    out += "          \"locations\": [\n";
+    out += "            {\n";
+    out += "              \"physicalLocation\": {\n";
+    out += "                \"artifactLocation\": {\"uri\": \"" +
+           json_escape(d.file) + "\"},\n";
+    out += "                \"region\": {\"startLine\": " +
+           std::to_string(d.line == 0 ? 1 : d.line) + "}\n";
+    out += "              }\n";
+    out += "            }\n";
+    out += "          ]\n";
+    out += "        }";
+  }
+  out += "\n      ]\n";
+  out += "    }\n";
+  out += "  ]\n";
+  out += "}\n";
+  return out;
 }
 
 }  // namespace ntr::analyze

@@ -7,6 +7,7 @@
 #include "analyze/callgraph.h"
 #include "analyze/include_graph.h"
 #include "analyze/layering.h"
+#include "analyze/locks.h"
 #include "analyze/source_model.h"
 #include "check/lint.h"
 
@@ -30,6 +31,9 @@ struct AnalyzeOptions {
   /// The interprocedural reachability passes (global-mutable-state,
   /// alloc-in-hot-path, blocking-in-lane); see analyze/reentrancy.h.
   bool reentrancy = true;
+  /// The lock-discipline pass (lock-order-inversion, blocking-under-lock,
+  /// unguarded-member-access); see analyze/locks.h.
+  bool locks = true;
   /// Non-empty: run only the passes owning these rule names and keep only
   /// their findings. An unknown rule name is a fatal `error` (exit 2).
   std::vector<std::string> only_rules;
@@ -50,6 +54,9 @@ struct AnalyzeResult {
   /// The whole-project call graph (always built; the CLI renders it with
   /// --callgraph-dot without re-scanning).
   CallGraph callgraph;
+  /// The lock-order graph (always built; the CLI renders it with
+  /// --lockgraph-dot without re-scanning).
+  LockGraph lockgraph;
   /// Wall-clock time of the full run, load through passes, milliseconds.
   double wall_ms = 0.0;
   std::string error;
@@ -57,5 +64,9 @@ struct AnalyzeResult {
 
 /// Runs every enabled pass over the project under `options.root`.
 [[nodiscard]] AnalyzeResult analyze(const AnalyzeOptions& options);
+
+/// Renders the result's findings as a SARIF 2.1.0 log (one run, one
+/// driver, one result per finding), for CI upload. Deterministic.
+[[nodiscard]] std::string sarif_report(const AnalyzeResult& result);
 
 }  // namespace ntr::analyze

@@ -441,8 +441,12 @@ ParsedSource parse_source(const LexedSource& lexed) {
     if (!has_body && !is_decl_end) continue;
 
     // Return type: tokens between the previous hard boundary and the
-    // (possibly qualified) name chain. Attribute groups are dropped.
+    // (possibly qualified) name chain. Attribute groups are dropped. A
+    // '~' belongs to the chain (`ThreadPool::~ThreadPool`), so the
+    // qualifier walk steps over it and the destructor keeps its class.
     std::size_t head_begin = i;
+    const bool is_dtor = head_begin >= 1 && is_punct(toks[head_begin - 1], "~");
+    if (is_dtor) --head_begin;
     while (head_begin >= 2 && is_punct(toks[head_begin - 1], "::") &&
            is_ident(toks[head_begin - 2]))
       head_begin -= 2;  // Foo::Bar::name
@@ -493,8 +497,9 @@ ParsedSource parse_source(const LexedSource& lexed) {
     }
 
     ParsedFunction fn;
-    fn.name = toks[i].text;
-    for (std::size_t q = head_begin; q < i; q += 2) {
+    fn.name = is_dtor ? "~" + toks[i].text : toks[i].text;
+    for (std::size_t q = head_begin; q < i; ++q) {
+      if (!is_ident(toks[q])) continue;  // the :: / ~ of the chain
       if (!fn.qualifier.empty()) fn.qualifier += "::";
       fn.qualifier += toks[q].text;  // Foo::Bar:: chain walked above
     }
@@ -595,16 +600,23 @@ ParsedSource parse_source(const LexedSource& lexed) {
         continue;
       }
       if (kw < toks.size() && kw + 1 < sc.begin && is_ident(toks[kw + 1])) {
+        // Qualified nested definitions (`struct Server::Impl {`) carry the
+        // declared class's own name in the last segment; the qualifier is
+        // an out-of-line detail, exactly as for functions.
+        std::size_t name_at = kw + 1;
+        while (name_at + 2 < sc.begin && is_punct(toks[name_at + 1], "::") &&
+               is_ident(toks[name_at + 2]))
+          name_at += 2;
         // The name must head straight into the body or a base clause, so
         // `template <class T>` parameters never classify as a class.
-        const std::size_t after = kw + 2;
+        const std::size_t after = name_at + 1;
         const bool heads_body =
             after == sc.begin || is_punct(toks[after], ":") ||
             (is_ident(toks[after]) && toks[after].text == "final");
         if (heads_body &&
-            !in_set(kNotAName, std::string_view(toks[kw + 1].text))) {
+            !in_set(kNotAName, std::string_view(toks[name_at].text))) {
           sc.kind = ParsedScope::Kind::kClass;
-          sc.name = toks[kw + 1].text;
+          sc.name = toks[name_at].text;
           // Base clause: one base per top-level ','-segment, named by its
           // last identifier (`public std::logic_error` -> "logic_error",
           // `Base<T>` -> "Base").
@@ -662,6 +674,9 @@ ParsedSource parse_source(const LexedSource& lexed) {
     while (k < toks.size()) {
       const Token& t = toks[k];
       if (is_ident(t)) {
+        // A trailing NTR_GUARDED_BY(...) annotation is not part of the
+        // declarator; stop so the identifier before it stays the name.
+        if (t.text == "NTR_GUARDED_BY") break;
         // Two identifiers in a row with no '::' between them: the second
         // may be the declared name; remember the first as type material.
         last_type_ident = k;
@@ -696,6 +711,17 @@ ParsedSource parse_source(const LexedSource& lexed) {
     // the loop having consumed them as type tokens.
     if (k != name_at + 1) continue;
     if (k >= toks.size()) continue;
+    // `NTR_GUARDED_BY(<mutex-expr>)` between the name and the terminator:
+    // record the guarding expression and resume at the real terminator.
+    std::string guarded_by;
+    if (is_ident(toks[k]) && toks[k].text == "NTR_GUARDED_BY" &&
+        k + 1 < toks.size() && is_punct(toks[k + 1], "(")) {
+      const std::size_t close = match_forward(toks, k + 1);
+      if (close >= toks.size()) continue;
+      for (std::size_t h = k + 2; h < close; ++h) guarded_by += toks[h].text;
+      k = close + 1;
+      if (k >= toks.size()) continue;
+    }
     static constexpr std::array<std::string_view, 7> kTerm = {
         "=", ";", ",", "{", "[", ":", ")"};
     // Direct-initialization `T x(3);` -- but only when the name is not
@@ -722,6 +748,32 @@ ParsedSource parse_source(const LexedSource& lexed) {
     d.name_index = name_at;
     d.line = toks[name_at].line;
     d.scope = out.scope_at(name_at);
+    d.guarded_by = std::move(guarded_by);
+    if (ctor_init) {
+      // Top-level comma segments of `T x(a, b, ...)`, tokens concatenated;
+      // this is the multi-mutex scoped_lock / tagged unique_lock surface
+      // the lock-discipline pass consumes.
+      const std::size_t close = match_forward(toks, k);
+      if (close < toks.size()) {
+        std::size_t depth = 0;
+        std::string arg;
+        for (std::size_t h = k + 1; h < close; ++h) {
+          const Token& t = toks[h];
+          if (t.kind == TokenKind::kPunct) {
+            if (t.text == "(" || t.text == "[" || t.text == "{") ++depth;
+            if (t.text == ")" || t.text == "]" || t.text == "}")
+              depth = depth == 0 ? 0 : depth - 1;
+            if (t.text == "," && depth == 0) {
+              if (!arg.empty()) d.init_args.push_back(arg);
+              arg.clear();
+              continue;
+            }
+          }
+          arg += t.text;
+        }
+        if (!arg.empty()) d.init_args.push_back(std::move(arg));
+      }
+    }
     out.decls.push_back(std::move(d));
 
     // Multi-declarator `int a, b = 0;`: record the trailing names too.

@@ -57,6 +57,18 @@ struct ParsedDecl {
   std::size_t line = 0;
   int scope = -1;                        ///< scope the name is visible in
   bool is_param = false;                 ///< function/lambda parameter
+  /// Constructor arguments of a direct-initialized declaration
+  /// `T x(a, b);`, one entry per top-level comma segment with the tokens
+  /// concatenated ("m1", "impl_->mutex", "std::defer_lock"). This is how
+  /// the lock-discipline pass reads the mutexes out of a multi-mutex
+  /// `std::scoped_lock l(m1, m2);` and the defer/adopt tag out of a
+  /// `std::unique_lock l(m, std::defer_lock);`. Empty for `=`/brace
+  /// initializers and plain declarations.
+  std::vector<std::string> init_args;
+  /// Argument of a trailing `NTR_GUARDED_BY(<mutex-expr>)` annotation on
+  /// a member declaration (tokens concatenated, e.g. "mutex_"); "" when
+  /// the declaration is unannotated. See core/annotations.h.
+  std::string guarded_by;
 };
 
 /// True when `ident` appears as a whole token in the declaration's type.

@@ -34,6 +34,27 @@ bool has_token(std::string_view code, std::string_view name, bool require_call) 
   return false;
 }
 
+/// True iff `name` occurs as a member call on this line: preceded by
+/// `.` or `->` and followed by an argument list. `try_lock`, bare
+/// `lock(...)` calls, and guard declarations named `lock` never match.
+bool has_member_call(std::string_view code, std::string_view name) {
+  std::size_t pos = 0;
+  while ((pos = code.find(name, pos)) != std::string_view::npos) {
+    const std::size_t end = pos + name.size();
+    const bool member =
+        (pos >= 1 && code[pos - 1] == '.') ||
+        (pos >= 2 && code[pos - 2] == '-' && code[pos - 1] == '>');
+    const bool rb = end == code.size() || !is_ident(code[end]);
+    if (member && rb) {
+      std::size_t next = end;
+      while (next < code.size() && code[next] == ' ') ++next;
+      if (next < code.size() && code[next] == '(') return true;
+    }
+    pos = end;
+  }
+  return false;
+}
+
 /// Default-constructed standard RNG engine: `mt19937 gen;`-style
 /// declarations (or brace forms with an empty initializer).
 bool has_unseeded_engine(std::string_view code) {
@@ -147,6 +168,14 @@ std::vector<LintDiagnostic> lint_source(std::string_view path,
       report(raw, line_no, "cout-in-library",
              "library code must not print to stdout; return data or take an "
              "std::ostream&");
+    }
+
+    if (library_scope && (has_member_call(code, "lock") ||
+                          has_member_call(code, "unlock"))) {
+      report(raw, line_no, "raw-mutex-lock",
+             "raw .lock()/.unlock() in library code; hold mutexes through "
+             "RAII guards (std::lock_guard/std::scoped_lock, or a deferred "
+             "std::unique_lock)");
     }
 
     if (typed_throw_scope && has_token(code, "throw", /*require_call=*/false) &&

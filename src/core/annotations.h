@@ -19,3 +19,21 @@
 /// inherit hotness through the call graph, so inner helpers stay
 /// unannotated.
 #define NTR_HOT
+
+/// NTR_GUARDED_BY(m) marks a data member as protected by the mutex
+/// member (or global) `m`: every read or write of the member must happen
+/// while `m` is held, either lexically (a guard on `m` in scope at the
+/// access) or via the caller (the lock-discipline pass propagates
+/// held-at-entry sets over the call graph, so a private helper that is
+/// only ever called under the lock needs no annotation gymnastics). The
+/// `unguarded-member-access` pass enforces this; deliberate exceptions
+/// (single-threaded setup before any thread exists) carry an
+/// `ntr-unguarded-member-access(<why>)` justification.
+///
+/// Placement: between the member's name and the ';', e.g.
+///   std::size_t total_ NTR_GUARDED_BY(mutex_) = 0;
+/// The argument is a mutex expression resolved like any other mutex
+/// identity: a member name of the same class, `impl_->mutex`, or a
+/// namespace-scope mutex. Atomics need no annotation -- they are their
+/// own discipline. See docs/static_analysis.md ("Lock discipline").
+#define NTR_GUARDED_BY(m)

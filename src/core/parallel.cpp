@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "check/contracts.h"
+#include "core/annotations.h"
 
 namespace ntr::core {
 
@@ -30,13 +31,15 @@ struct ThreadPool::Impl {
   std::mutex mutex;
   std::condition_variable work_cv;   // workers wait here for a new job
   std::condition_variable done_cv;   // run() waits here for completion
-  const std::function<void(std::size_t)>* job = nullptr;
-  std::uint64_t generation = 0;  // bumped per job; wakes the workers
-  std::size_t pending = 0;       // workers still running the current job
-  bool shutdown = false;
+  const std::function<void(std::size_t)>* job NTR_GUARDED_BY(mutex) = nullptr;
+  // bumped per job; wakes the workers
+  std::uint64_t generation NTR_GUARDED_BY(mutex) = 0;
+  // workers still running the current job
+  std::size_t pending NTR_GUARDED_BY(mutex) = 0;
+  bool shutdown NTR_GUARDED_BY(mutex) = false;
   // First failing lane's exception, by lane order so reruns agree.
-  std::size_t failed_lane = 0;
-  std::exception_ptr failure;
+  std::size_t failed_lane NTR_GUARDED_BY(mutex) = 0;
+  std::exception_ptr failure NTR_GUARDED_BY(mutex);
   std::vector<std::thread> workers;
 
   void worker_loop(std::size_t lane) {
@@ -62,6 +65,7 @@ struct ThreadPool::Impl {
     try {
       fn(lane);
     } catch (...) {
+      // ntr-blocking-in-lane(failure capture on the lane's exception path)
       std::lock_guard<std::mutex> lock(mutex);
       if (!failure || lane < failed_lane) {
         failure = std::current_exception();

@@ -8,6 +8,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/annotations.h"
 #include "serve/service.h"
 
 /// The bounded, client-fair request queue between the event loop and the
@@ -72,10 +73,10 @@ class FairQueue {
   /// Per-client FIFOs in round-robin order: pop() serves queues_[rr_]
   /// and advances. Empty client queues are removed eagerly, so every
   /// entry here holds at least one item.
-  std::vector<ClientQueue> queues_;
-  std::size_t rr_ = 0;
-  std::size_t total_ = 0;
-  bool closed_ = false;
+  std::vector<ClientQueue> queues_ NTR_GUARDED_BY(mutex_);
+  std::size_t rr_ NTR_GUARDED_BY(mutex_) = 0;
+  std::size_t total_ NTR_GUARDED_BY(mutex_) = 0;
+  bool closed_ NTR_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace ntr::serve

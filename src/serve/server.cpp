@@ -26,6 +26,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/annotations.h"
 #include "core/parallel.h"
 #include "runtime/stop.h"
 #include "serve/chaos.h"
@@ -98,12 +99,12 @@ struct Server::Impl {
     bool escalated = false;
   };
   std::mutex lanes_mutex;
-  std::vector<LaneSlot> lanes;
+  std::vector<LaneSlot> lanes NTR_GUARDED_BY(lanes_mutex);
 
   std::thread watchdog_thread;
   std::mutex watchdog_mutex;
   std::condition_variable watchdog_cv;
-  bool watchdog_stop = false;  ///< guarded by watchdog_mutex
+  bool watchdog_stop NTR_GUARDED_BY(watchdog_mutex) = false;
 
   std::chrono::steady_clock::time_point started{};
 
@@ -114,7 +115,7 @@ struct Server::Impl {
     std::vector<std::string> frames;
   };
   std::mutex completions_mutex;
-  std::vector<Completion> completions;
+  std::vector<Completion> completions NTR_GUARDED_BY(completions_mutex);
 
   std::unique_ptr<core::ThreadPool> pool;
   std::thread loop_thread;
@@ -664,6 +665,7 @@ Status Server::start() {
   s.loop_running.store(true, std::memory_order_release);
   s.started = std::chrono::steady_clock::now();
   const std::size_t workers = s.options.workers == 0 ? 1 : s.options.workers;
+  // ntr-unguarded-member-access(worker/watchdog threads not launched yet)
   s.lanes.assign(workers, Impl::LaneSlot{});
   s.pool = std::make_unique<core::ThreadPool>(workers);
   // The driver thread is the pool's lane 0; ThreadPool::run blocks it

@@ -1,0 +1,19 @@
+#pragma once
+
+// A two-lock structure whose methods live in different translation
+// units (lockchain_a.cpp / lockchain_b.cpp): the lock-order graph must
+// key mutexes by their declaration, so the inversion is visible only
+// across files.
+
+namespace fix::engine {
+
+struct Chain {
+  void push_front();
+  void steal_back();
+
+  std::mutex front;
+  std::mutex back;
+  int depth = 0;
+};
+
+}  // namespace fix::engine

@@ -1,0 +1,15 @@
+// Half of the cross-file inversion seeded with lockchain_b.cpp: this
+// translation unit nests front -> back (lock-order-inversion, one of
+// the two findings for the cycle).
+
+#include "engine/lockchain.h"
+
+namespace fix::engine {
+
+void Chain::push_front() {
+  std::lock_guard<std::mutex> gf(front);
+  std::lock_guard<std::mutex> gb(back);
+  ++depth;
+}
+
+}  // namespace fix::engine

@@ -1,0 +1,15 @@
+// Half of the cross-file inversion seeded with lockchain_a.cpp: this
+// translation unit nests back -> front (lock-order-inversion, one of
+// the two findings for the cycle).
+
+#include "engine/lockchain.h"
+
+namespace fix::engine {
+
+void Chain::steal_back() {
+  std::lock_guard<std::mutex> gb(back);
+  std::lock_guard<std::mutex> gf(front);
+  --depth;
+}
+
+}  // namespace fix::engine

@@ -1,0 +1,27 @@
+// Seeded violations: a lock held across blocking operations -- a
+// network syscall and a sleep directly under the guard, and a callee
+// that sleeps reached with the lock still held (blocking-under-lock,
+// three findings).
+
+namespace fix::engine {
+
+std::mutex io_mu;
+int io_backlog = 0;
+
+void flush_wire(int fd) {
+  std::lock_guard<std::mutex> guard(io_mu);
+  send(fd, nullptr, 0, 0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
+
+void settle() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
+
+void drain_backlog() {
+  std::lock_guard<std::mutex> guard(io_mu);
+  --io_backlog;
+  settle();
+}
+
+}  // namespace fix::engine

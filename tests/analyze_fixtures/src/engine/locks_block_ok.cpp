@@ -1,0 +1,34 @@
+// The same shapes made safe: a condition_variable wait releases its own
+// lock while sleeping (the one sanctioned block-under-lock), work is
+// finished under the guard and the sleep happens after the scope closes,
+// and a deliberate one-time handshake is justified. Must produce zero
+// findings.
+
+namespace fix::engine {
+
+std::mutex ok_mu;
+std::condition_variable ok_cv;
+bool ok_ready = false;
+int ok_count = 0;
+
+void wait_for_ready() {
+  std::unique_lock<std::mutex> lk(ok_mu);
+  ok_cv.wait(lk, [] { return ok_ready; });
+  ++ok_count;
+}
+
+void bump_then_sleep() {
+  {
+    std::lock_guard<std::mutex> guard(ok_mu);
+    ++ok_count;
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
+
+void startup_handshake() {
+  std::lock_guard<std::mutex> guard(ok_mu);
+  // ntr-blocking-under-lock(one-time startup handshake, nothing contends)
+  std::this_thread::sleep_for(std::chrono::milliseconds(0));
+}
+
+}  // namespace fix::engine

@@ -1,0 +1,29 @@
+// Seeded violation: the inversion hides behind a call. `forward` holds
+// the outer mutex and calls a helper that takes the inner one (edge
+// recorded interprocedurally); `backward` nests the same pair the other
+// way around lexically. Both edges of the cycle are reported
+// (lock-order-inversion, two findings).
+
+namespace fix::engine {
+
+std::mutex callee_mu_outer;
+std::mutex callee_mu_inner;
+int callee_payload = 0;
+
+void grab_inner() {
+  std::lock_guard<std::mutex> gi(callee_mu_inner);
+  ++callee_payload;
+}
+
+void forward() {
+  std::lock_guard<std::mutex> go(callee_mu_outer);
+  grab_inner();
+}
+
+void backward() {
+  std::lock_guard<std::mutex> gi(callee_mu_inner);
+  std::lock_guard<std::mutex> go(callee_mu_outer);
+  --callee_payload;
+}
+
+}  // namespace fix::engine

@@ -1,0 +1,26 @@
+// Seeded violation: a member annotated NTR_GUARDED_BY is read without
+// its mutex held -- the racy "fast path" read. The locked writer is
+// fine (unguarded-member-access, one finding).
+
+namespace fix::engine {
+
+class Tally {
+ public:
+  void add(int v);
+  int read_racy() const;
+
+ private:
+  mutable std::mutex tally_mu_;
+  int total_ NTR_GUARDED_BY(tally_mu_) = 0;
+};
+
+void Tally::add(int v) {
+  std::lock_guard<std::mutex> lock(tally_mu_);
+  total_ += v;
+}
+
+int Tally::read_racy() const {
+  return total_;
+}
+
+}  // namespace fix::engine

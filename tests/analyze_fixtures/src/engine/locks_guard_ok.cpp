@@ -1,0 +1,33 @@
+// The same shapes made safe: every touch of the annotated member is
+// either directly under the guard or inside a helper only ever called
+// with the lock held (the held-at-entry propagation). Must produce zero
+// findings.
+
+namespace fix::engine {
+
+class Ledger {
+ public:
+  void record(int v);
+  int snapshot() const;
+
+ private:
+  void bump_locked(int v);
+  mutable std::mutex ledger_mu_;
+  int entries_ NTR_GUARDED_BY(ledger_mu_) = 0;
+};
+
+void Ledger::record(int v) {
+  std::lock_guard<std::mutex> lock(ledger_mu_);
+  bump_locked(v);
+}
+
+void Ledger::bump_locked(int v) {
+  entries_ += v;
+}
+
+int Ledger::snapshot() const {
+  std::lock_guard<std::mutex> lock(ledger_mu_);
+  return entries_;
+}
+
+}  // namespace fix::engine

@@ -1,0 +1,23 @@
+// Seeded violation: two functions take the same pair of mutexes in
+// opposite orders -- the classic ABBA deadlock. Both edges of the cycle
+// are reported (lock-order-inversion, two findings).
+
+namespace fix::engine {
+
+std::mutex order_mu_a;
+std::mutex order_mu_b;
+int order_payload = 0;
+
+void take_a_then_b() {
+  std::lock_guard<std::mutex> ga(order_mu_a);
+  std::lock_guard<std::mutex> gb(order_mu_b);
+  ++order_payload;
+}
+
+void take_b_then_a() {
+  std::lock_guard<std::mutex> gb(order_mu_b);
+  std::lock_guard<std::mutex> ga(order_mu_a);
+  --order_payload;
+}
+
+}  // namespace fix::engine

@@ -1,0 +1,37 @@
+// The same shapes made safe: every path takes the pair in one global
+// order, and the "both at once" path uses std::scoped_lock, whose
+// deadlock-avoiding acquisition imposes no order. A deferred
+// unique_lock pair resolved by std::lock is equally order-free. Must
+// produce zero findings.
+
+namespace fix::engine {
+
+std::mutex safe_mu_c;
+std::mutex safe_mu_d;
+int safe_payload = 0;
+
+void nest_c_then_d() {
+  std::lock_guard<std::mutex> gc(safe_mu_c);
+  std::lock_guard<std::mutex> gd(safe_mu_d);
+  ++safe_payload;
+}
+
+void nest_c_then_d_again() {
+  std::lock_guard<std::mutex> gc(safe_mu_c);
+  std::lock_guard<std::mutex> gd(safe_mu_d);
+  --safe_payload;
+}
+
+void take_both_atomically() {
+  std::scoped_lock both(safe_mu_d, safe_mu_c);
+  safe_payload = 0;
+}
+
+void take_both_deferred() {
+  std::unique_lock<std::mutex> ld(safe_mu_d, std::defer_lock);
+  std::unique_lock<std::mutex> lc(safe_mu_c, std::defer_lock);
+  std::lock(ld, lc);
+  ++safe_payload;
+}
+
+}  // namespace fix::engine

@@ -1,0 +1,36 @@
+// Suppressed negatives: a genuine inversion and a genuine unguarded
+// write, both carrying their in-band justification. The justified
+// inversion edge is dropped before cycle detection, so neither side of
+// the pair is reported. Must produce zero findings.
+
+namespace fix::engine {
+
+std::mutex boot_mu_first;
+std::mutex boot_mu_second;
+
+void ordered_path() {
+  std::lock_guard<std::mutex> a(boot_mu_first);
+  std::lock_guard<std::mutex> b(boot_mu_second);
+}
+
+void startup_inverted_path() {
+  std::lock_guard<std::mutex> b(boot_mu_second);
+  // ntr-lock-order-inversion(single-threaded startup, workers not spawned)
+  std::lock_guard<std::mutex> a(boot_mu_first);
+}
+
+class Boot {
+ public:
+  void init();
+
+ private:
+  std::mutex boot_mu_;
+  int stage_ NTR_GUARDED_BY(boot_mu_) = 0;
+};
+
+void Boot::init() {
+  // ntr-unguarded-member-access(init runs before any thread is spawned)
+  stage_ = 1;
+}
+
+}  // namespace fix::engine

@@ -61,6 +61,16 @@ TEST(AnalyzeFixtures, DetectsEverySeededViolation) {
       "src/engine/lane_bad.cpp:10:blocking-in-lane",
       "src/engine/lane_bad.cpp:16:blocking-in-lane",
       "src/engine/lane_bad.cpp:17:blocking-in-lane",
+      "src/engine/lockchain_a.cpp:11:lock-order-inversion",
+      "src/engine/lockchain_b.cpp:11:lock-order-inversion",
+      "src/engine/locks_block_bad.cpp:13:blocking-under-lock",
+      "src/engine/locks_block_bad.cpp:14:blocking-under-lock",
+      "src/engine/locks_block_bad.cpp:24:blocking-under-lock",
+      "src/engine/locks_callee_bad.cpp:20:lock-order-inversion",
+      "src/engine/locks_callee_bad.cpp:25:lock-order-inversion",
+      "src/engine/locks_guard_bad.cpp:23:unguarded-member-access",
+      "src/engine/locks_order_bad.cpp:13:lock-order-inversion",
+      "src/engine/locks_order_bad.cpp:19:lock-order-inversion",
       "src/engine/parallel_bad.cpp:13:parallel-missing-poll",
       "src/engine/parallel_bad.cpp:14:parallel-shared-write",
       "src/engine/status_bad.cpp:14:unchecked-status",
@@ -91,6 +101,14 @@ TEST(AnalyzeFixtures, SemanticNegativesProduceNoFindings) {
     EXPECT_NE(d.file, "src/engine/global_ok.cpp") << d.rule << ": " << d.message;
     EXPECT_NE(d.file, "src/engine/hot_ok.cpp") << d.rule << ": " << d.message;
     EXPECT_NE(d.file, "src/engine/lane_ok.cpp") << d.rule << ": " << d.message;
+    EXPECT_NE(d.file, "src/engine/locks_order_ok.cpp")
+        << d.rule << ": " << d.message;
+    EXPECT_NE(d.file, "src/engine/locks_block_ok.cpp")
+        << d.rule << ": " << d.message;
+    EXPECT_NE(d.file, "src/engine/locks_guard_ok.cpp")
+        << d.rule << ": " << d.message;
+    EXPECT_NE(d.file, "src/engine/locks_suppressed_ok.cpp")
+        << d.rule << ": " << d.message;
   }
 }
 
@@ -207,6 +225,117 @@ TEST(AnalyzeFixtures, MessagesNameTheStructure) {
             std::string::npos);
   EXPECT_NE(with_rule("escaping-ref-capture").find("'submit'"),
             std::string::npos);
+}
+
+// ------------------------------------------------------------- lock rules
+
+TEST(AnalyzeFixtures, LockMessagesNameBothSidesOfTheInversion) {
+  const AnalyzeResult result = analyze_fixture();
+  const auto with_rule = [&](std::string_view rule) -> std::string {
+    for (const check::LintDiagnostic& d : result.findings)
+      if (d.rule == rule) return d.message;
+    return {};
+  };
+  // The first inversion finding (lockchain_a) names both mutexes by
+  // their scoped declaration and the reversed witness in the other file.
+  EXPECT_NE(with_rule("lock-order-inversion").find("'fix::engine::Chain::back'"),
+            std::string::npos);
+  EXPECT_NE(with_rule("lock-order-inversion")
+                .find("src/engine/lockchain_b.cpp:11"),
+            std::string::npos);
+  EXPECT_NE(with_rule("blocking-under-lock").find("'fix::engine::io_mu'"),
+            std::string::npos);
+  EXPECT_NE(with_rule("unguarded-member-access")
+                .find("NTR_GUARDED_BY('fix::engine::Tally::tally_mu_')"),
+            std::string::npos);
+}
+
+TEST(AnalyzeFixtures, LockGraphRecordsEdgesAndMarksCycles) {
+  const AnalyzeResult result = analyze_fixture();
+  const LockGraph& lg = result.lockgraph;
+  // Mutexes are sorted and deduplicated; the justified startup edge is
+  // dropped, so boot_mu_* contribute nodes but no cycle.
+  EXPECT_TRUE(std::is_sorted(lg.mutexes.begin(), lg.mutexes.end()));
+  bool found_cycle_edge = false, found_safe_edge = false;
+  for (const LockOrderEdge& e : lg.edges) {
+    if (e.from == "fix::engine::Chain::front" &&
+        e.to == "fix::engine::Chain::back") {
+      EXPECT_TRUE(e.in_cycle);
+      EXPECT_EQ(e.witness_file, "src/engine/lockchain_a.cpp");
+      found_cycle_edge = true;
+    }
+    if (e.from == "fix::engine::safe_mu_c" &&
+        e.to == "fix::engine::safe_mu_d") {
+      EXPECT_FALSE(e.in_cycle);
+      found_safe_edge = true;
+    }
+    // scoped_lock's deadlock-avoiding acquisition orders nothing.
+    EXPECT_FALSE(e.from == "fix::engine::safe_mu_d" &&
+                 e.to == "fix::engine::safe_mu_c")
+        << "scoped_lock group must not produce ordering edges";
+    EXPECT_FALSE(e.from == "fix::engine::boot_mu_second")
+        << "justified inversion edge must be dropped";
+  }
+  EXPECT_TRUE(found_cycle_edge);
+  EXPECT_TRUE(found_safe_edge);
+
+  const std::string dot = lock_graph_dot(lg);
+  EXPECT_NE(dot.find("digraph lockgraph"), std::string::npos);
+  EXPECT_NE(dot.find("\"fix::engine::Chain::front\" -> "
+                     "\"fix::engine::Chain::back\""),
+            std::string::npos);
+  EXPECT_NE(dot.find("color=red"), std::string::npos);  // the cycle edges
+}
+
+TEST(AnalyzeRepo, LockGraphDotIsDeterministic) {
+  // The checked-in docs/lockgraph.dot is regenerated in CI; two
+  // independent runs over the real tree must render byte-identically.
+  AnalyzeOptions options;
+  options.root = repo_root();
+  options.paths = {repo_root() / "src"};
+  const std::string first = lock_graph_dot(analyze(options).lockgraph);
+  const std::string second = lock_graph_dot(analyze(options).lockgraph);
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("digraph lockgraph"), std::string::npos);
+  // The serving stack's real, deliberately acyclic lock order.
+  EXPECT_NE(first.find("\"ntr::serve::Impl::watchdog_mutex\" -> "
+                       "\"ntr::serve::Impl::lanes_mutex\""),
+            std::string::npos);
+  EXPECT_EQ(first.find("color=red"), std::string::npos)
+      << "the real tree must stay inversion-free";
+}
+
+// ------------------------------------------------------------------ SARIF
+
+TEST(AnalyzeFixtures, SarifReportListsRulesAndResults) {
+  const AnalyzeResult result = analyze_fixture();
+  const std::string sarif = sarif_report(result);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"ntr_analyze\""), std::string::npos);
+  EXPECT_NE(sarif.find("{\"id\": \"lock-order-inversion\"}"),
+            std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"unguarded-member-access\""),
+            std::string::npos);
+  EXPECT_NE(sarif.find("\"uri\": \"src/engine/locks_guard_bad.cpp\""),
+            std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 23"), std::string::npos);
+  // One result per finding, every one at level error.
+  std::size_t results = 0;
+  for (std::size_t at = 0;
+       (at = sarif.find("\"ruleId\"", at)) != std::string::npos; ++at)
+    ++results;
+  EXPECT_EQ(results, result.findings.size());
+}
+
+TEST(AnalyzeFixtures, SarifEscapesMessageStrings) {
+  AnalyzeResult result;
+  result.findings.push_back(check::LintDiagnostic{
+      "src/a.cpp", 0, "demo", "quote \" backslash \\ newline \n tab \t"});
+  const std::string sarif = sarif_report(result);
+  EXPECT_NE(sarif.find("quote \\\" backslash \\\\ newline \\n tab \\t"),
+            std::string::npos);
+  // line 0 is clamped to 1 for the SARIF region.
+  EXPECT_NE(sarif.find("\"startLine\": 1"), std::string::npos);
 }
 
 // ------------------------------------------------------------- call graph

@@ -351,6 +351,29 @@ TEST_F(CheckTest, LintFlagsUntypedThrowOnHotPathsOnly) {
                   .empty());
 }
 
+TEST_F(CheckTest, LintFlagsRawMutexLockInLibraryCodeOnly) {
+  EXPECT_TRUE(flags_rule(
+      ntr::check::lint_source("src/serve/foo.cpp", "mu.lock();\n"),
+      "raw-mutex-lock"));
+  EXPECT_TRUE(flags_rule(
+      ntr::check::lint_source("src/core/foo.cpp", "impl_->mutex.unlock();\n"),
+      "raw-mutex-lock"));
+  // Outside src/ the rule is silent; so are RAII declarations named
+  // `lock`, try_lock probes, and suppressed lines.
+  EXPECT_TRUE(ntr::check::lint_source("tools/foo.cpp", "mu.lock();\n").empty());
+  EXPECT_TRUE(ntr::check::lint_source(
+                  "src/serve/foo.cpp",
+                  "std::lock_guard<std::mutex> lock(mu);\n")
+                  .empty());
+  EXPECT_TRUE(ntr::check::lint_source("src/serve/foo.cpp",
+                                      "if (mu.try_lock()) return;\n")
+                  .empty());
+  EXPECT_TRUE(ntr::check::lint_source(
+                  "src/serve/foo.cpp",
+                  "mu.lock();  // ntr-lint-allow(raw-mutex-lock)\n")
+                  .empty());
+}
+
 TEST_F(CheckTest, LintSuppressionComments) {
   EXPECT_TRUE(ntr::check::lint_source(
                   "src/core/foo.cpp",
@@ -377,7 +400,8 @@ TEST_F(CheckTest, LintDetectsEverySeededFixtureViolation) {
   const std::filesystem::path fixtures[] = {tests_dir / "lint_fixtures"};
   const auto ds = ntr::check::lint_paths(root, fixtures);
   for (const char* rule : {"raw-assert", "pragma-once", "using-namespace-header",
-                           "unseeded-rng", "cout-in-library", "untyped-throw"}) {
+                           "unseeded-rng", "cout-in-library", "untyped-throw",
+                           "raw-mutex-lock"}) {
     EXPECT_TRUE(flags_rule(ds, rule)) << "fixture corpus missing rule " << rule;
   }
   for (const LintDiagnostic& d : ds) EXPECT_NE(d.rule, "io") << d.file;

@@ -1,0 +1,34 @@
+// Fixture: raw mutex manipulation in library code. Every line here that
+// calls .lock()/.unlock() directly must be flagged raw-mutex-lock.
+
+#include <mutex>
+
+namespace fixture {
+
+std::mutex mu;
+int shared_value = 0;
+
+void bad_manual_lock() {
+  mu.lock();  // flagged: raw .lock()
+  ++shared_value;
+  mu.unlock();  // flagged: raw .unlock()
+}
+
+struct Holder {
+  std::mutex* handle;
+  void bad_pointer_lock() {
+    handle->lock();  // flagged: raw ->lock()
+    handle->unlock();  // flagged: raw ->unlock()
+  }
+};
+
+void fine_raii() {
+  std::lock_guard<std::mutex> lock(mu);  // not flagged: RAII guard
+  ++shared_value;
+}
+
+void fine_try_lock() {
+  if (mu.try_lock()) mu.unlock();  // ntr-lint-allow(raw-mutex-lock)
+}
+
+}  // namespace fixture

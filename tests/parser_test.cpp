@@ -449,5 +449,86 @@ TEST(CppParser, CallsRecordQualifierAndReceiver) {
   EXPECT_TRUE(next->receiver.empty());
 }
 
+TEST(CppParser, RecordsDirectInitArgumentsForGuardDeclarations) {
+  const ParsedSource p = parse(
+      "void f(std::mutex& m1, std::mutex& m2) {\n"
+      "  std::scoped_lock both(m1, m2);\n"
+      "  std::lock_guard<std::mutex> one(m1);\n"
+      "}\n");
+  const ParsedDecl* both = find_decl(p, "both");
+  ASSERT_NE(both, nullptr);
+  ASSERT_EQ(both->init_args.size(), 2u);
+  EXPECT_EQ(both->init_args[0], "m1");
+  EXPECT_EQ(both->init_args[1], "m2");
+  const ParsedDecl* one = find_decl(p, "one");
+  ASSERT_NE(one, nullptr);
+  ASSERT_EQ(one->init_args.size(), 1u);
+  EXPECT_EQ(one->init_args[0], "m1");
+}
+
+TEST(CppParser, RecordsUniqueLockTagArguments) {
+  const ParsedSource p = parse(
+      "void f(std::mutex& m) {\n"
+      "  std::unique_lock<std::mutex> lk(m, std::defer_lock);\n"
+      "  std::unique_lock<std::mutex> ad(m, std::adopt_lock);\n"
+      "}\n");
+  const ParsedDecl* lk = find_decl(p, "lk");
+  ASSERT_NE(lk, nullptr);
+  ASSERT_EQ(lk->init_args.size(), 2u);
+  EXPECT_EQ(lk->init_args[0], "m");
+  EXPECT_EQ(lk->init_args[1], "std::defer_lock");
+  const ParsedDecl* ad = find_decl(p, "ad");
+  ASSERT_NE(ad, nullptr);
+  ASSERT_EQ(ad->init_args.size(), 2u);
+  EXPECT_EQ(ad->init_args[1], "std::adopt_lock");
+}
+
+TEST(CppParser, RecordsGuardedByAnnotations) {
+  const ParsedSource p = parse(
+      "class Q {\n"
+      "  std::mutex mu_;\n"
+      "  std::vector<int> items_ NTR_GUARDED_BY(mu_);\n"
+      "  int total_ NTR_GUARDED_BY(mu_) = 0;\n"
+      "  int plain_ = 0;\n"
+      "};\n");
+  const ParsedDecl* items = find_decl(p, "items_");
+  ASSERT_NE(items, nullptr);
+  EXPECT_EQ(items->guarded_by, "mu_");
+  const ParsedDecl* total = find_decl(p, "total_");
+  ASSERT_NE(total, nullptr);
+  EXPECT_EQ(total->guarded_by, "mu_");
+  const ParsedDecl* plain = find_decl(p, "plain_");
+  ASSERT_NE(plain, nullptr);
+  EXPECT_TRUE(plain->guarded_by.empty());
+}
+
+TEST(CppParser, QualifiedOutOfLineClassBodiesAreClassScopes) {
+  // `struct Outer::Impl { ... }` (the pimpl idiom) must open a class
+  // scope named by the last segment, so its members resolve.
+  const ParsedSource p = parse(
+      "struct Pool::Impl {\n"
+      "  std::mutex mutex;\n"
+      "  void poke() { }\n"
+      "};\n");
+  const ParsedScope* impl = find_scope(p, ParsedScope::Kind::kClass, "Impl");
+  ASSERT_NE(impl, nullptr);
+  const ParsedDecl* mutex = find_decl(p, "mutex");
+  ASSERT_NE(mutex, nullptr);
+  EXPECT_EQ(mutex->scope, static_cast<int>(impl - p.scopes.data()));
+}
+
+TEST(CppParser, DestructorsRecordTheirQualifier) {
+  const ParsedSource p = parse(
+      "Pool::~Pool() { stop(); }\n"
+      "struct T { ~T() { } };\n");
+  const ParsedFunction* pool_dtor = find_fn(p, "~Pool");
+  ASSERT_NE(pool_dtor, nullptr);
+  EXPECT_EQ(pool_dtor->qualifier, "Pool");
+  EXPECT_GT(pool_dtor->body_end, pool_dtor->body_begin);
+  const ParsedFunction* t_dtor = find_fn(p, "~T");
+  ASSERT_NE(t_dtor, nullptr);
+  EXPECT_TRUE(t_dtor->qualifier.empty());
+}
+
 }  // namespace
 }  // namespace ntr::check

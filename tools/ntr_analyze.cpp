@@ -8,8 +8,10 @@
 // scope-aware parse (unchecked-status, nondeterministic-iteration,
 // escaping-ref-capture), and the interprocedural reachability rules on
 // the whole-project call graph (global-mutable-state, alloc-in-hot-path,
-// blocking-in-lane). CI runs it as a required step; see
-// docs/static_analysis.md for the rules and the suppression syntax.
+// blocking-in-lane), and the lock-discipline rules on the held-lock model
+// (lock-order-inversion, blocking-under-lock, unguarded-member-access).
+// CI runs it as a required step; see docs/static_analysis.md for the
+// rules and the suppression syntax.
 
 #include <cstddef>
 #include <cstdio>
@@ -27,7 +29,8 @@ namespace {
 void usage(std::FILE* out) {
   std::fputs(
       "usage: ntr_analyze [--root DIR] [--layers FILE] [--graph-dot FILE]\n"
-      "                   [--callgraph-dot FILE] [--json FILE]\n"
+      "                   [--callgraph-dot FILE] [--lockgraph-dot FILE]\n"
+      "                   [--json FILE] [--sarif FILE]\n"
       "                   [--only RULE[,RULE]] [--entry FUNCTION] [path...]\n"
       "\n"
       "Loads every .h/.hpp/.cc/.cpp under the given files/directories\n"
@@ -40,15 +43,21 @@ void usage(std::FILE* out) {
       "escaping-ref-capture; src/ only), and the interprocedural\n"
       "reachability passes on the whole-project call graph\n"
       "(global-mutable-state, alloc-in-hot-path, blocking-in-lane;\n"
-      "src/ only).\n"
+      "src/ only), and the lock-discipline passes on the held-lock model\n"
+      "(lock-order-inversion, blocking-under-lock,\n"
+      "unguarded-member-access; src/ only).\n"
       "\n"
       "  --graph-dot FILE      also write the module dependency DAG as\n"
       "                        GraphViz DOT ('-' for stdout)\n"
       "  --callgraph-dot FILE  also write the project call graph as\n"
       "                        GraphViz DOT ('-' for stdout)\n"
+      "  --lockgraph-dot FILE  also write the lock-order graph as\n"
+      "                        GraphViz DOT ('-' for stdout)\n"
       "  --json FILE           also write a JSON report: an object with\n"
       "                        wall_ms, files, and the findings array\n"
       "                        ('-' for stdout)\n"
+      "  --sarif FILE          also write the findings as a SARIF 2.1.0\n"
+      "                        log for CI upload ('-' for stdout)\n"
       "  --only RULE[,RULE]    run only the passes owning these rules and\n"
       "                        keep only their findings\n"
       "  --entry FUNCTION      entry point for global-mutable-state\n"
@@ -106,7 +115,9 @@ int main(int argc, char** argv) {
   options.root = ".";
   std::string dot_path;
   std::string callgraph_dot_path;
+  std::string lockgraph_dot_path;
   std::string json_path;
+  std::string sarif_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto flag_value = [&](const char* flag) -> const char* {
@@ -135,6 +146,10 @@ int main(int argc, char** argv) {
       const char* v = flag_value("--callgraph-dot");
       if (v == nullptr) return 2;
       callgraph_dot_path = v;
+    } else if (arg == "--lockgraph-dot") {
+      const char* v = flag_value("--lockgraph-dot");
+      if (v == nullptr) return 2;
+      lockgraph_dot_path = v;
     } else if (arg == "--only" || arg.starts_with("--only=")) {
       std::string v;
       if (arg.starts_with("--only=")) {
@@ -173,6 +188,10 @@ int main(int argc, char** argv) {
       const char* v = flag_value("--json");
       if (v == nullptr) return 2;
       json_path = v;
+    } else if (arg == "--sarif") {
+      const char* v = flag_value("--sarif");
+      if (v == nullptr) return 2;
+      sarif_path = v;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "ntr_analyze: unknown option: %s\n", arg.c_str());
       usage(stderr);
@@ -213,6 +232,10 @@ int main(int argc, char** argv) {
         ntr::analyze::call_graph_dot(result.callgraph, result.project);
     if (!write_output(callgraph_dot_path, dot, "call-graph DOT")) return 2;
   }
+  if (!lockgraph_dot_path.empty()) {
+    const std::string dot = ntr::analyze::lock_graph_dot(result.lockgraph);
+    if (!write_output(lockgraph_dot_path, dot, "lock-graph DOT")) return 2;
+  }
   if (!json_path.empty()) {
     char wall[32];
     std::snprintf(wall, sizeof wall, "%.3f", result.wall_ms);
@@ -231,6 +254,10 @@ int main(int argc, char** argv) {
     }
     json += "  ]\n}\n";
     if (!write_output(json_path, json, "JSON")) return 2;
+  }
+  if (!sarif_path.empty()) {
+    if (!write_output(sarif_path, ntr::analyze::sarif_report(result), "SARIF"))
+      return 2;
   }
   return result.findings.empty() ? 0 : 1;
 }
