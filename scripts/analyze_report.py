@@ -11,8 +11,14 @@ checked-in baseline (scripts/analyze_baseline.json):
     baseline in the same change so the improvement is locked in;
   * rules absent from the baseline default to 0 (new rules start strict).
 
+The baseline's reserved "wall_ms" key is not a rule: it records the
+analyzer's expected whole-project wall clock, and the run fails when the
+measured wall_ms exceeds TWICE that value -- an interprocedural pass
+(call graph, locks, taint) that quietly goes quadratic should break CI,
+not ride along.
+
 Run with --update to rewrite the baseline from the current counts after
-an intentional ratchet-down.
+an intentional ratchet-down (the recorded wall_ms is preserved).
 """
 
 import argparse
@@ -21,19 +27,23 @@ import sys
 from collections import Counter
 
 
-def load_counts(findings_path: str) -> Counter:
+def load_counts(findings_path: str):
     """Accepts both --json shapes: the bare findings array emitted before
     the analyzer reported run metadata, and the current object form
-    {"wall_ms": ..., "files": ..., "findings": [...]}."""
+    {"wall_ms": ..., "files": ..., "findings": [...]}. Returns the
+    per-rule Counter and the measured wall clock (None for the bare
+    array shape)."""
     with open(findings_path, encoding="utf-8") as f:
         findings = json.load(f)
+    wall_ms = None
     if isinstance(findings, dict):
+        wall_ms = findings.get("wall_ms")
         findings = findings.get("findings")
     if not isinstance(findings, list):
         raise SystemExit(
             f"{findings_path}: expected a findings array or an object "
             "with a 'findings' key")
-    return Counter(d["rule"] for d in findings)
+    return Counter(d["rule"] for d in findings), wall_ms
 
 
 def main() -> int:
@@ -48,9 +58,10 @@ def main() -> int:
                         help="rewrite --baseline from the current counts")
     args = parser.parse_args()
 
-    counts = load_counts(args.findings)
+    counts, wall_ms = load_counts(args.findings)
     with open(args.baseline, encoding="utf-8") as f:
         baseline = json.load(f)
+    wall_baseline = baseline.pop("wall_ms", None)
 
     report = {rule: counts.get(rule, 0)
               for rule in sorted(set(baseline) | set(counts))}
@@ -71,9 +82,23 @@ def main() -> int:
         else:
             print(f"ok    {rule}: {count}")
 
+    if wall_baseline is not None and wall_ms is not None:
+        budget = 2.0 * wall_baseline
+        if wall_ms > budget:
+            print(f"FAIL  wall_ms: {wall_ms:.0f} ms exceeds the "
+                  f"{budget:.0f} ms budget (2x the recorded "
+                  f"{wall_baseline} ms baseline)")
+            failed = True
+        else:
+            print(f"ok    wall_ms: {wall_ms:.0f} ms "
+                  f"(budget {budget:.0f} ms)")
+
     if args.update:
+        updated = dict(report)
+        if wall_baseline is not None:
+            updated["wall_ms"] = wall_baseline
         with open(args.baseline, "w", encoding="utf-8") as f:
-            json.dump(report, f, indent=2, sort_keys=True)
+            json.dump(updated, f, indent=2, sort_keys=True)
             f.write("\n")
         print(f"baseline updated: {args.baseline}")
 

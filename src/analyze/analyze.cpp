@@ -36,6 +36,7 @@ const std::map<std::string, std::string, std::less<>>& rule_passes() {
       {"lock-order-inversion", "locks"},
       {"blocking-under-lock", "locks"},
       {"unguarded-member-access", "locks"},
+      {"wire-taint", "taint"},
   };
   return kMap;
 }
@@ -78,6 +79,7 @@ AnalyzeResult analyze(const AnalyzeOptions& options) {
   bool dataflow = options.dataflow;
   bool reentrancy = options.reentrancy;
   bool locks = options.locks;
+  bool taint = options.taint;
   if (!options.only_rules.empty()) {
     std::set<std::string, std::less<>> passes;
     for (const std::string& rule : options.only_rules) {
@@ -95,6 +97,7 @@ AnalyzeResult analyze(const AnalyzeOptions& options) {
     dataflow = passes.contains("dataflow");
     reentrancy = passes.contains("reentrancy");
     locks = passes.contains("locks");
+    taint = passes.contains("taint");
   }
 
   std::filesystem::path conf = options.layer_config_path;
@@ -125,6 +128,12 @@ AnalyzeResult analyze(const AnalyzeOptions& options) {
     std::vector<check::LintDiagnostic> lock_findings =
         check_locks(result.project, result.callgraph, &result.lockgraph);
     if (locks) append(std::move(lock_findings));
+  }
+  // Likewise the taint model: the flow graph backs --taint-dot.
+  {
+    std::vector<check::LintDiagnostic> taint_findings =
+        check_taint(result.project, result.callgraph, &result.taintgraph);
+    if (taint) append(std::move(taint_findings));
   }
 
   // --only keeps exactly the named rules: a pass that owns several rules

@@ -9,6 +9,7 @@
 #include "analyze/layering.h"
 #include "analyze/locks.h"
 #include "analyze/source_model.h"
+#include "analyze/taint.h"
 #include "check/lint.h"
 
 namespace ntr::analyze {
@@ -34,6 +35,9 @@ struct AnalyzeOptions {
   /// The lock-discipline pass (lock-order-inversion, blocking-under-lock,
   /// unguarded-member-access); see analyze/locks.h.
   bool locks = true;
+  /// The wire-taint pass (untrusted boundary input reaching resource
+  /// sinks); see analyze/taint.h.
+  bool taint = true;
   /// Non-empty: run only the passes owning these rule names and keep only
   /// their findings. An unknown rule name is a fatal `error` (exit 2).
   std::vector<std::string> only_rules;
@@ -57,6 +61,9 @@ struct AnalyzeResult {
   /// The lock-order graph (always built; the CLI renders it with
   /// --lockgraph-dot without re-scanning).
   LockGraph lockgraph;
+  /// The taint-flow graph (always built; the CLI renders it with
+  /// --taint-dot without re-scanning).
+  TaintGraph taintgraph;
   /// Wall-clock time of the full run, load through passes, milliseconds.
   double wall_ms = 0.0;
   std::string error;

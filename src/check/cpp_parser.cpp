@@ -656,8 +656,20 @@ ParsedSource parse_source(const LexedSource& lexed) {
   // `type-tokens name terminator` at statement starts. The type must
   // contribute at least one identifier besides the name.
   for (std::size_t i = 0; i < toks.size(); ++i) {
+    // A '(' directly after if/while/switch also starts a declaration
+    // context: the C++17 init-statement form `if (auto s = f(); s.ok())`
+    // and the condition-declaration form `while (Token t = next())`
+    // both declare a name the condition (and the controlled scope)
+    // reads, so the passes must see it. Unlike `for (`, an expression
+    // condition is the common case there (`if (a && b)`), so such a
+    // candidate is only accepted when it carries an initializer.
+    const bool cond_start =
+        i >= 2 && toks[i - 1].kind == TokenKind::kPunct &&
+        toks[i - 1].text == "(" && is_ident(toks[i - 2]) &&
+        (toks[i - 2].text == "if" || toks[i - 2].text == "while" ||
+         toks[i - 2].text == "switch");
     const bool stmt_start =
-        i == 0 ||
+        i == 0 || cond_start ||
         (toks[i - 1].kind == TokenKind::kPunct &&
          (toks[i - 1].text == ";" || toks[i - 1].text == "{" ||
           toks[i - 1].text == "}" || toks[i - 1].text == ":" ||
@@ -734,6 +746,11 @@ ParsedSource parse_source(const LexedSource& lexed) {
     if (!ctor_init &&
         !(toks[k].kind == TokenKind::kPunct &&
           in_set(kTerm, std::string_view(toks[k].text))))
+      continue;
+    // In an if/while/switch head, `a && b` / `a * b` are expressions far
+    // more often than declarations; require a visible initializer there.
+    if (cond_start && !ctor_init && !is_punct(toks[k], "=") &&
+        !is_punct(toks[k], "{"))
       continue;
     if (is_punct(toks[k], "[")) {
       // Array declarator `int a[4]` is fine; `a[i] = ...` subscript writes

@@ -84,6 +84,49 @@ bool has_unseeded_engine(std::string_view code) {
   return false;
 }
 
+/// A `static_cast<narrow integral>(...)` whose argument is a size- or
+/// wire-typed expression (`.size()`, `.length()`, `as_number()`) on the
+/// same line. Sizes are 64-bit and wire numbers are doubles; casting one
+/// to a narrower (or unsigned) integral without a preceding clamp or
+/// range check is silent truncation at best and undefined behavior at
+/// worst, so the serve layer must narrow through an explicit guard.
+bool has_unchecked_narrowing(std::string_view code) {
+  static constexpr std::string_view kNarrowTargets[] = {
+      "std::uint8_t",  "std::uint16_t", "std::uint32_t", "std::int8_t",
+      "std::int16_t",  "std::int32_t",  "uint8_t",       "uint16_t",
+      "uint32_t",      "int8_t",        "int16_t",       "int32_t",
+      "int",           "unsigned",      "unsigned int",  "short",
+      "unsigned short", "std::size_t",  "size_t"};
+  std::size_t pos = 0;
+  while ((pos = code.find("static_cast<", pos)) != std::string_view::npos) {
+    const std::size_t open = pos + 12;
+    const std::size_t close = code.find('>', open);
+    if (close == std::string_view::npos) return false;
+    std::string_view target = code.substr(open, close - open);
+    while (!target.empty() && target.front() == ' ') target.remove_prefix(1);
+    while (!target.empty() && target.back() == ' ') target.remove_suffix(1);
+    pos = close;
+    if (std::find(std::begin(kNarrowTargets), std::end(kNarrowTargets),
+                  target) == std::end(kNarrowTargets))
+      continue;
+    std::size_t lp = close + 1;
+    while (lp < code.size() && code[lp] == ' ') ++lp;
+    if (lp >= code.size() || code[lp] != '(') continue;
+    int depth = 0;
+    std::size_t rp = lp;
+    for (; rp < code.size(); ++rp) {
+      if (code[rp] == '(') ++depth;
+      if (code[rp] == ')' && --depth == 0) break;
+    }
+    const std::string_view arg = code.substr(lp, rp - lp);
+    if (arg.find(".size()") != std::string_view::npos ||
+        arg.find(".length()") != std::string_view::npos ||
+        arg.find("as_number") != std::string_view::npos)
+      return true;
+  }
+  return false;
+}
+
 bool is_header(std::string_view path) {
   return path.ends_with(".h") || path.ends_with(".hpp");
 }
@@ -110,6 +153,7 @@ std::vector<LintDiagnostic> lint_source(std::string_view path,
   const bool rng_scope = path.find("src/core/") != std::string_view::npos ||
                          path.find("src/route/") != std::string_view::npos;
   const bool library_scope = path.find("src/") != std::string_view::npos;
+  const bool serve_scope = path.find("src/serve/") != std::string_view::npos;
   const bool typed_throw_scope =
       path.find("src/core/") != std::string_view::npos ||
       path.find("src/sim/") != std::string_view::npos ||
@@ -176,6 +220,13 @@ std::vector<LintDiagnostic> lint_source(std::string_view path,
              "raw .lock()/.unlock() in library code; hold mutexes through "
              "RAII guards (std::lock_guard/std::scoped_lock, or a deferred "
              "std::unique_lock)");
+    }
+
+    if (serve_scope && has_unchecked_narrowing(code)) {
+      report(raw, line_no, "unchecked-narrowing",
+             "narrowing static_cast of a size/wire value; clamp or "
+             "range-check before the cast (sizes are 64-bit, wire numbers "
+             "are doubles -- out-of-range conversion is undefined behavior)");
     }
 
     if (typed_throw_scope && has_token(code, "throw", /*require_call=*/false) &&

@@ -35,6 +35,12 @@ struct LintDiagnostic {
 ///   untyped-throw          src/{core,sim,flow,linalg,runtime,delay}/: throw
 ///                          typed ntr::runtime::NtrError on hot paths, not
 ///                          bare std::runtime_error
+///   unchecked-narrowing    src/serve/: no narrowing static_cast of a
+///                          size- or wire-typed value (`.size()`,
+///                          `.length()`, `as_number()`) -- clamp or
+///                          range-check first; sizes are 64-bit and wire
+///                          numbers are doubles, so an out-of-range
+///                          conversion is undefined behavior
 ///
 /// Comments and string/char literals are ignored. A line containing
 /// `ntr-lint-allow(<rule>)` (or `ntr-lint-allow(all)`) suppresses findings

@@ -20,6 +20,27 @@
 /// unannotated.
 #define NTR_HOT
 
+/// NTR_VALIDATED marks a value -- or a whole function -- as having been
+/// range-checked against untrusted input. The wire-taint pass treats
+/// anything that crosses the network/file/environment boundary (socket
+/// reads, decoded frame lengths, parsed JSON values, net-file fields,
+/// getenv) as tainted until a sanitizer intervenes; this annotation is
+/// the explicit third sanitizer, for validation the pass's heuristics
+/// cannot see (a table lookup, a checksum, validation performed by a
+/// caller the summary machinery cannot prove).
+///
+/// Placement, either of:
+///   * in a declaration's type position, marking that one value:
+///       NTR_VALIDATED std::size_t n = decode_count(frame);
+///   * directly before a function's return type (like NTR_HOT), marking
+///     the function as a validation boundary: its return value is
+///     trusted, and taint passed into it is not tracked through its
+///     body (the function owns its own checking).
+/// Use it sparingly -- every use is an unchecked claim; prefer the
+/// checked-Status idiom or an explicit clamp where possible. See
+/// docs/static_analysis.md ("Taint analysis").
+#define NTR_VALIDATED
+
 /// NTR_GUARDED_BY(m) marks a data member as protected by the mutex
 /// member (or global) `m`: every read or write of the member must happen
 /// while `m` is held, either lexically (a guard on `m` in scope at the

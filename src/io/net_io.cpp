@@ -45,6 +45,20 @@ double parse_coord(const std::string& token, const std::string& context) {
   return value;
 }
 
+/// Parses a node id for an `edge` directive. The range and integrality
+/// checks must precede the narrowing cast: converting a negative or
+/// out-of-range double to the unsigned NodeId is undefined behavior, and
+/// "1.9" silently naming node 1 would mask a malformed file.
+graph::NodeId parse_node_id(const std::string& token, const std::string& context,
+                            std::size_t node_count) {
+  const double value = parse_coord(token, context);
+  if (value < 0.0 || value >= static_cast<double>(node_count) ||
+      value != std::floor(value))
+    throw std::invalid_argument("net_io: bad node id '" + token + "' in " +
+                                context);
+  return static_cast<graph::NodeId>(value);
+}
+
 std::string read_file(const std::string& path) {
   std::ifstream in(path);
   if (!in)
@@ -120,10 +134,8 @@ graph::RoutingGraph read_routing(std::string_view text) {
       nodes_done = true;
       if (tokens.size() != 3 && tokens.size() != 4)
         throw std::invalid_argument("net_io: expected 'edge <u> <v> [width]': " + line);
-      const auto u = static_cast<graph::NodeId>(parse_coord(tokens[1], line));
-      const auto v = static_cast<graph::NodeId>(parse_coord(tokens[2], line));
-      if (u >= g.node_count() || v >= g.node_count())
-        throw std::invalid_argument("net_io: edge references unknown node: " + line);
+      const graph::NodeId u = parse_node_id(tokens[1], line, g.node_count());
+      const graph::NodeId v = parse_node_id(tokens[2], line, g.node_count());
       // RoutingGraph::add_edge silently dedupes, which would mask a
       // malformed file; a repeated edge line is always an input error.
       if (g.has_edge(u, v))

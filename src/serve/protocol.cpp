@@ -1,5 +1,7 @@
 #include "serve/protocol.h"
 
+#include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "io/cli.h"
@@ -13,6 +15,20 @@ namespace {
 
 Status bad_request(const std::string& why) {
   return Status(StatusCode::kBadInput, "request: " + why);
+}
+
+/// Saturating double-to-integral conversion for wire values. A direct
+/// static_cast is undefined behavior when the double is NaN or outside
+/// the target's range, and every number here arrives from an untrusted
+/// peer; saturation keeps a hostile or buggy document from turning into
+/// UB while preserving every in-range value exactly.
+template <typename T>
+T narrow_wire(double v) {
+  constexpr double lo = static_cast<double>(std::numeric_limits<T>::lowest());
+  constexpr double hi = static_cast<double>(std::numeric_limits<T>::max());
+  if (!(v > lo)) return std::numeric_limits<T>::lowest();  // also NaN
+  if (v >= hi) return std::numeric_limits<T>::max();
+  return static_cast<T>(v);
 }
 
 /// Fetches an optional finite number field; `fallback` when absent.
@@ -108,7 +124,11 @@ runtime::StatusOr<Request> parse_request(const Json& doc) {
   double max_edges = -1.0;
   s = get_number(doc, "max_edges", -1.0, max_edges);
   if (!s.ok()) return s;
-  if (max_edges >= 0.0) req.max_edges = static_cast<std::size_t>(max_edges);
+  // Clamp before the narrowing cast: a wire double above what size_t can
+  // hold is undefined behavior to convert, and 1e15 added edges is "no
+  // limit" for any design the solver could ever see.
+  if (max_edges >= 0.0)
+    req.max_edges = static_cast<std::size_t>(std::min(max_edges, 1e15));
 
   s = get_number(doc, "clock_period_s", req.clock_period_s, req.clock_period_s);
   if (!s.ok()) return s;
@@ -296,15 +316,15 @@ runtime::StatusOr<Response> Response::from_json(const Json& doc) {
   r.status = *s;
 
   if (const Json* code = doc.find("code"); code != nullptr && code->is_number())
-    r.code = static_cast<int>(code->as_number());
+    r.code = narrow_wire<int>(code->as_number());
   if (const Json* err = doc.find("error"); err != nullptr && err->is_string())
     r.error = err->as_string();
   if (const Json* v = doc.find("net_index"); v != nullptr && v->is_number())
-    r.net_index = static_cast<std::size_t>(v->as_number());
+    r.net_index = narrow_wire<std::size_t>(v->as_number());
   if (const Json* v = doc.find("net_count"); v != nullptr && v->is_number())
-    r.net_count = static_cast<std::size_t>(v->as_number());
+    r.net_count = narrow_wire<std::size_t>(v->as_number());
   if (const Json* v = doc.find("rung"); v != nullptr && v->is_number())
-    r.rung = static_cast<int>(v->as_number());
+    r.rung = narrow_wire<int>(v->as_number());
   if (const Json* v = doc.find("routing"); v != nullptr && v->is_string())
     r.routing = v->as_string();
   if (const Json* v = doc.find("delays"); v != nullptr && v->is_array()) {
@@ -321,9 +341,9 @@ runtime::StatusOr<Response> Response::from_json(const Json& doc) {
   if (const Json* v = doc.find("evaluator"); v != nullptr && v->is_string())
     r.evaluator = v->as_string();
   if (const Json* v = doc.find("iterations"); v != nullptr && v->is_number())
-    r.iterations = static_cast<unsigned>(v->as_number());
+    r.iterations = narrow_wire<unsigned>(v->as_number());
   if (const Json* v = doc.find("nets_rerouted"); v != nullptr && v->is_number())
-    r.nets_rerouted = static_cast<std::size_t>(v->as_number());
+    r.nets_rerouted = narrow_wire<std::size_t>(v->as_number());
   if (const Json* v = doc.find("initial_worst_slack_s");
       v != nullptr && v->is_number())
     r.initial_worst_slack_s = v->as_number();

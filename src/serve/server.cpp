@@ -571,8 +571,9 @@ struct Server::Impl {
       if (shutdown_requested.load(std::memory_order_acquire)) begin_drain();
       deliver_completions();
       if (drain_complete()) break;
-      const int n = ::epoll_wait(epoll_fd, events.data(),
-                                 static_cast<int>(events.size()), -1);
+      const int n = ::epoll_wait(  // fixed 64-slot buffer
+          epoll_fd, events.data(),
+          static_cast<int>(events.size()), -1);  // ntr-lint-allow(unchecked-narrowing)
       if (n < 0) {
         if (errno == EINTR) continue;
         break;  // unrecoverable epoll failure

@@ -93,6 +93,16 @@ Response route_net(const Request& request, std::size_t net_index,
   r.net_index = net_index;
   r.net_count = request.nets.size();
 
+  // Defense in depth: today every caller derives net_index from the
+  // request's own net list, but this is the serve layer's public API and
+  // an out-of-range index must fail the item, not the process.
+  if (net_index >= request.nets.size()) {
+    r.status = ResponseStatus::kBadRequest;
+    r.code = response_code(r.status);
+    r.error = "net index " + std::to_string(net_index) + " out of range";
+    return r;
+  }
+
   const runtime::StatusOr<graph::Net> net_or =
       io::try_read_net(request.nets[net_index]);
   if (!net_or.ok()) {

@@ -1,0 +1,24 @@
+// Seeded wire-taint violation, the summary shape: the sink lives in a
+// helper, so the finding must come from the callee's parameter-to-sink
+// summary, and the witness must name the helper. Parsed, never compiled.
+
+namespace fix::engine {
+
+long recv(int fd, char* buf, unsigned long len, int flags);
+
+struct Pool {
+  void reserve(unsigned long n);
+};
+
+void grow_pool(Pool& pool, unsigned long count) {
+  pool.reserve(count);
+}
+
+void callee_sink(int fd) {
+  char head[8];
+  const long wanted = recv(fd, head, 8, 0);
+  Pool pool;
+  grow_pool(pool, wanted);
+}
+
+}  // namespace fix::engine

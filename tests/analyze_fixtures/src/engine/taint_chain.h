@@ -1,0 +1,18 @@
+#pragma once
+
+// A two-hop taint chain split across translation units: the entry point
+// (taint_chain_a.cpp) reads a length off the wire and hands it to
+// chain_admit, which forwards it to chain_store (both in
+// taint_chain_b.cpp), where it finally sizes an allocation. The witness
+// at the entry call site must spell out both hops.
+
+namespace fix::engine {
+
+struct Table {
+  void resize(unsigned long n);
+};
+
+void chain_store(Table& table, unsigned long slots);
+void chain_admit(Table& table, unsigned long slots);
+
+}  // namespace fix::engine

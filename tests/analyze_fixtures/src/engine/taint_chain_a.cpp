@@ -1,0 +1,18 @@
+// Entry half of the cross-file two-hop chain seeded with
+// taint_chain_b.cpp: the wire read happens here, two calls away from
+// the sink. Parsed, never compiled.
+
+#include "engine/taint_chain.h"
+
+namespace fix::engine {
+
+long recv(int fd, char* buf, unsigned long len, int flags);
+
+void chain_entry(int fd) {
+  char head[8];
+  const long declared = recv(fd, head, 8, 0);
+  Table table;
+  chain_admit(table, declared);
+}
+
+}  // namespace fix::engine

@@ -1,0 +1,18 @@
+// Sink half of the cross-file two-hop chain seeded with
+// taint_chain_a.cpp: neither function here observes a source, so the
+// file itself is clean -- the flaw is only visible from the entry
+// call site through the stacked summaries.
+
+#include "engine/taint_chain.h"
+
+namespace fix::engine {
+
+void chain_store(Table& table, unsigned long slots) {
+  table.resize(slots);
+}
+
+void chain_admit(Table& table, unsigned long slots) {
+  chain_store(table, slots);
+}
+
+}  // namespace fix::engine

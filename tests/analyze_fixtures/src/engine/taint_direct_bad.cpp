@@ -1,0 +1,20 @@
+// Seeded wire-taint violation, the direct shape: a length decoded from
+// an untrusted socket read sizes an allocation in the same function,
+// with no range check between. Parsed, never compiled.
+
+namespace fix::engine {
+
+long recv(int fd, char* buf, unsigned long len, int flags);
+
+struct Buffer {
+  void resize(unsigned long n);
+};
+
+void direct_sink(int fd) {
+  char head[4];
+  const long declared = recv(fd, head, 4, 0);
+  Buffer payload;
+  payload.resize(declared);
+}
+
+}  // namespace fix::engine

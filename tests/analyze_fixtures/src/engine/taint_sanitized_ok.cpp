@@ -1,0 +1,51 @@
+// Semantic-negative twin of taint_direct_bad.cpp: the same wire-read
+// lengths reach the same sinks, but through every sanctioned validator
+// -- a relational range check, a contract macro, a std::min clamp, and
+// a checked Status-carrying read. None of these may be reported.
+
+namespace fix::engine {
+
+long recv(int fd, char* buf, unsigned long len, int flags);
+
+struct Buffer {
+  void resize(unsigned long n);
+};
+
+struct NetOr {
+  bool ok() const;
+  unsigned long pin_count;
+};
+
+NetOr try_read_net(const char* text);
+
+void range_checked_sink(int fd) {
+  char head[4];
+  const long declared = recv(fd, head, 4, 0);
+  if (declared < 0 || declared > 4096) return;
+  Buffer payload;
+  payload.resize(declared);
+}
+
+void contract_checked_sink(int fd) {
+  char head[4];
+  const long declared = recv(fd, head, 4, 0);
+  NTR_CHECK(declared >= 0 && declared <= 4096);
+  Buffer payload;
+  payload.resize(declared);
+}
+
+void clamped_sink(int fd) {
+  char head[4];
+  const long declared = recv(fd, head, 4, 0);
+  Buffer payload;
+  payload.resize(std::min(declared, 4096L));
+}
+
+void status_checked_sink(const char* text) {
+  const NetOr net = try_read_net(text);
+  if (!net.ok()) return;
+  Buffer pins;
+  pins.resize(net.pin_count);
+}
+
+}  // namespace fix::engine

@@ -1,0 +1,21 @@
+// Semantic-negative twin for the escape hatch: the flow is real and
+// unvalidated, but the sink line carries a reviewed justification, so
+// the pass must stay silent.
+
+namespace fix::engine {
+
+long recv(int fd, char* buf, unsigned long len, int flags);
+
+struct Buffer {
+  void resize(unsigned long n);
+};
+
+void justified_sink(int fd) {
+  char head[4];
+  const long declared = recv(fd, head, 4, 0);
+  Buffer payload;
+  // ntr-wire-taint(fixture: the peer is the trusted in-process harness)
+  payload.resize(declared);
+}
+
+}  // namespace fix::engine

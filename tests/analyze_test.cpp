@@ -76,6 +76,9 @@ TEST(AnalyzeFixtures, DetectsEverySeededViolation) {
       "src/engine/status_bad.cpp:14:unchecked-status",
       "src/engine/status_bad.cpp:15:unchecked-status",
       "src/engine/status_bad.cpp:26:unchecked-status",
+      "src/engine/taint_callee_bad.cpp:21:wire-taint",
+      "src/engine/taint_chain_a.cpp:15:wire-taint",
+      "src/engine/taint_direct_bad.cpp:17:wire-taint",
       "src/rogue/rogue.h:1:unknown-module",
       "src/util/uplink.h:3:layering",
   };
@@ -109,7 +112,77 @@ TEST(AnalyzeFixtures, SemanticNegativesProduceNoFindings) {
         << d.rule << ": " << d.message;
     EXPECT_NE(d.file, "src/engine/locks_suppressed_ok.cpp")
         << d.rule << ": " << d.message;
+    EXPECT_NE(d.file, "src/engine/taint_sanitized_ok.cpp")
+        << d.rule << ": " << d.message;
+    EXPECT_NE(d.file, "src/engine/taint_suppressed_ok.cpp")
+        << d.rule << ": " << d.message;
+    // The sink half of the two-hop chain never observes a source itself,
+    // so both of its functions must stay clean: the finding belongs to
+    // the entry call site in taint_chain_a.cpp.
+    EXPECT_NE(d.file, "src/engine/taint_chain_b.cpp")
+        << d.rule << ": " << d.message;
   }
+}
+
+// ------------------------------------------------------------------- taint
+
+TEST(AnalyzeFixtures, TaintWitnessSpellsOutTheInterproceduralChain) {
+  const AnalyzeResult result = analyze_fixture();
+  std::string direct, one_hop, two_hop;
+  for (const check::LintDiagnostic& d : result.findings) {
+    if (d.rule != "wire-taint") continue;
+    if (d.file == "src/engine/taint_direct_bad.cpp") direct = d.message;
+    if (d.file == "src/engine/taint_callee_bad.cpp") one_hop = d.message;
+    if (d.file == "src/engine/taint_chain_a.cpp") two_hop = d.message;
+  }
+  // Direct: source, sink kind, and owning function, plus every remedy.
+  EXPECT_NE(direct.find("value from recv()"), std::string::npos) << direct;
+  EXPECT_NE(direct.find("allocation size ('.resize')"), std::string::npos);
+  EXPECT_NE(direct.find("'fix::engine::direct_sink'"), std::string::npos);
+  EXPECT_NE(direct.find("NTR_VALIDATED"), std::string::npos);
+  EXPECT_NE(direct.find("ntr-wire-taint(<why>)"), std::string::npos);
+  // One hop: the callee is named, and the witness lands on the sink line.
+  EXPECT_NE(one_hop.find("passed to 'fix::engine::grow_pool'"),
+            std::string::npos)
+      << one_hop;
+  EXPECT_NE(one_hop.find("sinks it into allocation size ('.reserve') at "
+                         "src/engine/taint_callee_bad.cpp:14"),
+            std::string::npos);
+  // Two hops across files: both intermediate functions appear, in order.
+  const std::size_t admit =
+      two_hop.find("passed to 'fix::engine::chain_admit'");
+  const std::size_t store =
+      two_hop.find("forwards it to 'fix::engine::chain_store'");
+  const std::size_t sink = two_hop.find(
+      "sinks it into allocation size ('.resize') at "
+      "src/engine/taint_chain_b.cpp:11");
+  EXPECT_NE(admit, std::string::npos) << two_hop;
+  EXPECT_NE(store, std::string::npos) << two_hop;
+  EXPECT_NE(sink, std::string::npos) << two_hop;
+  EXPECT_LT(admit, store);
+  EXPECT_LT(store, sink);
+}
+
+TEST(AnalyzeFixtures, TaintGraphRendersSourcesSinksAndHotFlows) {
+  const AnalyzeResult result = analyze_fixture();
+  const std::string dot = taint_graph_dot(result.taintgraph);
+  EXPECT_NE(dot.find("digraph taintgraph"), std::string::npos);
+  EXPECT_NE(dot.find("\"source:recv()\""), std::string::npos);
+  EXPECT_NE(dot.find("shape=ellipse"), std::string::npos);   // sources
+  EXPECT_NE(dot.find("shape=octagon"), std::string::npos);   // sinks
+  EXPECT_NE(dot.find("color=red"), std::string::npos);       // hot flows
+  // The confirmed two-hop flow is a red path through both hops.
+  EXPECT_NE(dot.find("\"fn:fix::engine::chain_admit\" -> "
+                     "\"fn:fix::engine::chain_store\""),
+            std::string::npos);
+}
+
+TEST(AnalyzeFixtures, TaintGraphDotIsDeterministic) {
+  // The checked-in docs/taintgraph.dot is diffed in CI; two runs over
+  // identical input must render byte-identical DOT.
+  const std::string first = taint_graph_dot(analyze_fixture().taintgraph);
+  const std::string second = taint_graph_dot(analyze_fixture().taintgraph);
+  EXPECT_EQ(first, second);
 }
 
 TEST(AnalyzeFixtures, ReentrancyMessagesNameWitnesses) {
@@ -312,6 +385,7 @@ TEST(AnalyzeFixtures, SarifReportListsRulesAndResults) {
   const std::string sarif = sarif_report(result);
   EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
   EXPECT_NE(sarif.find("\"name\": \"ntr_analyze\""), std::string::npos);
+  EXPECT_NE(sarif.find("{\"id\": \"wire-taint\"}"), std::string::npos);
   EXPECT_NE(sarif.find("{\"id\": \"lock-order-inversion\"}"),
             std::string::npos);
   EXPECT_NE(sarif.find("\"ruleId\": \"unguarded-member-access\""),

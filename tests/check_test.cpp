@@ -351,6 +351,44 @@ TEST_F(CheckTest, LintFlagsUntypedThrowOnHotPathsOnly) {
                   .empty());
 }
 
+TEST_F(CheckTest, LintFlagsUncheckedNarrowingInServeOnly) {
+  const std::string size_cast =
+      "header = static_cast<std::uint32_t>(payload.size());\n";
+  const std::string wire_cast = "code = static_cast<int>(v->as_number());\n";
+  EXPECT_TRUE(flags_rule(ntr::check::lint_source("src/serve/foo.cpp", size_cast),
+                         "unchecked-narrowing"));
+  EXPECT_TRUE(flags_rule(ntr::check::lint_source("src/serve/foo.cpp", wire_cast),
+                         "unchecked-narrowing"));
+  // Other layers are out of scope, as are widening casts and casts of
+  // already-clamped named values.
+  EXPECT_TRUE(ntr::check::lint_source("src/io/foo.cpp", size_cast).empty());
+  EXPECT_TRUE(ntr::check::lint_source(
+                  "src/serve/foo.cpp",
+                  "n = static_cast<std::uint64_t>(payload.size());\n")
+                  .empty());
+  EXPECT_TRUE(ntr::check::lint_source("src/serve/foo.cpp",
+                                      "code = static_cast<int>(clamped);\n")
+                  .empty());
+  EXPECT_TRUE(ntr::check::lint_source(
+                  "src/serve/foo.cpp",
+                  "n = static_cast<int>(x.size());  "
+                  "// ntr-lint-allow(unchecked-narrowing)\n")
+                  .empty());
+}
+
+TEST_F(CheckTest, LintNarrowingFixtureTwinsDisagree) {
+  const std::filesystem::path tests_dir = NTR_TEST_SOURCE_DIR;
+  const std::filesystem::path root = tests_dir.parent_path();
+  const std::filesystem::path serve_dir =
+      tests_dir / "lint_fixtures" / "src" / "serve";
+  const std::filesystem::path bad[] = {serve_dir / "bad_narrowing.cpp"};
+  const std::filesystem::path ok[] = {serve_dir / "ok_narrowing.cpp"};
+  const auto bad_ds = ntr::check::lint_paths(root, bad);
+  EXPECT_EQ(bad_ds.size(), 2u);
+  for (const LintDiagnostic& d : bad_ds) EXPECT_EQ(d.rule, "unchecked-narrowing");
+  EXPECT_TRUE(ntr::check::lint_paths(root, ok).empty());
+}
+
 TEST_F(CheckTest, LintFlagsRawMutexLockInLibraryCodeOnly) {
   EXPECT_TRUE(flags_rule(
       ntr::check::lint_source("src/serve/foo.cpp", "mu.lock();\n"),
@@ -401,7 +439,7 @@ TEST_F(CheckTest, LintDetectsEverySeededFixtureViolation) {
   const auto ds = ntr::check::lint_paths(root, fixtures);
   for (const char* rule : {"raw-assert", "pragma-once", "using-namespace-header",
                            "unseeded-rng", "cout-in-library", "untyped-throw",
-                           "raw-mutex-lock"}) {
+                           "raw-mutex-lock", "unchecked-narrowing"}) {
     EXPECT_TRUE(flags_rule(ds, rule)) << "fixture corpus missing rule " << rule;
   }
   for (const LintDiagnostic& d : ds) EXPECT_NE(d.rule, "io") << d.file;

@@ -1,0 +1,17 @@
+// Lint fixture: unguarded narrowing casts of size- and wire-typed values
+// in the (pretend) serve layer. Sizes are 64-bit and wire numbers are
+// doubles; each cast below is silent truncation or UB out of range.
+#include <cstdint>
+#include <string>
+
+struct FixtureJson {
+  double as_number() const { return 1e300; }
+};
+
+std::uint32_t fixture_header_length(const std::string& payload) {
+  return static_cast<std::uint32_t>(payload.size());
+}
+
+int fixture_wire_code(const FixtureJson& doc) {
+  return static_cast<int>(doc.as_number());
+}

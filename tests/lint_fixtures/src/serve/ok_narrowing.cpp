@@ -1,0 +1,22 @@
+// Lint fixture twin: the same conversions as bad_narrowing.cpp, written
+// the way the serve layer must write them -- the narrowing cast never
+// touches a raw `.size()`/`as_number()` expression; a named, clamped
+// value is narrowed instead. This file must produce zero findings.
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+struct FixtureJson {
+  double as_number() const { return 1e300; }
+};
+
+std::uint32_t fixture_header_length(const std::string& payload) {
+  const std::uint64_t clamped =
+      std::min<std::uint64_t>(payload.size(), 0xFFFFFFFFu);
+  return static_cast<std::uint32_t>(clamped);
+}
+
+int fixture_wire_code(const FixtureJson& doc) {
+  const double clamped = std::clamp(doc.as_number(), 0.0, 599.0);
+  return static_cast<int>(clamped);
+}

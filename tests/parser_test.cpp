@@ -195,6 +195,48 @@ TEST(CppParser, RecordsRangeForAndMultiDeclarators) {
   EXPECT_TRUE(decl_type_has(*v, "int"));
 }
 
+TEST(CppParser, RecordsIfWithInitializerDeclarations) {
+  // C++17 `if (init; cond)` is the canonical checked-Status idiom the
+  // taint pass's sanitizer recognition depends on; the declared name
+  // must be visible to lookups inside the condition and the body.
+  const ParsedSource p = parse(
+      "void f() {\n"
+      "  if (auto s = try_commit(1); s.ok()) { use(s); }\n"
+      "  if (std::size_t n = q.size()) { use(n); }\n"
+      "  while (Token t = next()) { use(t); }\n"
+      "  switch (int m = mode(); m) { default: break; }\n"
+      "}\n");
+  const ParsedDecl* s = find_decl(p, "s");
+  ASSERT_NE(s, nullptr);
+  EXPECT_TRUE(decl_type_has(*s, "auto"));
+  const ParsedDecl* n = find_decl(p, "n");
+  ASSERT_NE(n, nullptr);
+  EXPECT_TRUE(decl_type_has(*n, "size_t"));
+  const ParsedDecl* t = find_decl(p, "t");
+  ASSERT_NE(t, nullptr);
+  EXPECT_TRUE(decl_type_has(*t, "Token"));
+  EXPECT_NE(find_decl(p, "m"), nullptr);
+  // The .ok() member call resolves its receiver to the new declaration.
+  const ParsedCall* ok = find_call(p, "ok");
+  ASSERT_NE(ok, nullptr);
+  EXPECT_EQ(ok->receiver, "s");
+  EXPECT_NE(p.lookup("s", ok->name_index), nullptr);
+}
+
+TEST(CppParser, PlainConditionExpressionsAreNotDeclarations) {
+  // `a && b` / `a * b` in a condition are expressions; without the
+  // initializer requirement they would false-parse as declarations of
+  // `b` with junk types, poisoning lookup for the real `b`.
+  const ParsedSource p = parse(
+      "void f(int a, int b, bool* c) {\n"
+      "  if (a && b) { }\n"
+      "  if (a * b) { }\n"
+      "  while (a < b) { }\n"
+      "  if (c && *c) { }\n"
+      "}\n");
+  for (const ParsedDecl& d : p.decls) EXPECT_TRUE(d.is_param) << d.name;
+}
+
 TEST(CppParser, NestedTemplateClosersParseAsDeclarations) {
   // `>>` lexes as one token by maximal munch; inside a template argument
   // list at depth >= 2 it closes two lists, it is not a right shift.

@@ -8,10 +8,12 @@
 // scope-aware parse (unchecked-status, nondeterministic-iteration,
 // escaping-ref-capture), and the interprocedural reachability rules on
 // the whole-project call graph (global-mutable-state, alloc-in-hot-path,
-// blocking-in-lane), and the lock-discipline rules on the held-lock model
-// (lock-order-inversion, blocking-under-lock, unguarded-member-access).
-// CI runs it as a required step; see docs/static_analysis.md for the
-// rules and the suppression syntax.
+// blocking-in-lane), the lock-discipline rules on the held-lock model
+// (lock-order-inversion, blocking-under-lock, unguarded-member-access),
+// and the wire-taint rule on the interprocedural taint model (untrusted
+// boundary input reaching resource sinks). CI runs it as a required
+// step; see docs/static_analysis.md for the rules and the suppression
+// syntax.
 
 #include <cstddef>
 #include <cstdio>
@@ -30,7 +32,7 @@ void usage(std::FILE* out) {
   std::fputs(
       "usage: ntr_analyze [--root DIR] [--layers FILE] [--graph-dot FILE]\n"
       "                   [--callgraph-dot FILE] [--lockgraph-dot FILE]\n"
-      "                   [--json FILE] [--sarif FILE]\n"
+      "                   [--taint-dot FILE] [--json FILE] [--sarif FILE]\n"
       "                   [--only RULE[,RULE]] [--entry FUNCTION] [path...]\n"
       "\n"
       "Loads every .h/.hpp/.cc/.cpp under the given files/directories\n"
@@ -43,15 +45,18 @@ void usage(std::FILE* out) {
       "escaping-ref-capture; src/ only), and the interprocedural\n"
       "reachability passes on the whole-project call graph\n"
       "(global-mutable-state, alloc-in-hot-path, blocking-in-lane;\n"
-      "src/ only), and the lock-discipline passes on the held-lock model\n"
+      "src/ only), the lock-discipline passes on the held-lock model\n"
       "(lock-order-inversion, blocking-under-lock,\n"
-      "unguarded-member-access; src/ only).\n"
+      "unguarded-member-access; src/ only), and the wire-taint pass on\n"
+      "the interprocedural taint model (src/ only).\n"
       "\n"
       "  --graph-dot FILE      also write the module dependency DAG as\n"
       "                        GraphViz DOT ('-' for stdout)\n"
       "  --callgraph-dot FILE  also write the project call graph as\n"
       "                        GraphViz DOT ('-' for stdout)\n"
       "  --lockgraph-dot FILE  also write the lock-order graph as\n"
+      "                        GraphViz DOT ('-' for stdout)\n"
+      "  --taint-dot FILE      also write the taint-flow graph as\n"
       "                        GraphViz DOT ('-' for stdout)\n"
       "  --json FILE           also write a JSON report: an object with\n"
       "                        wall_ms, files, and the findings array\n"
@@ -116,6 +121,7 @@ int main(int argc, char** argv) {
   std::string dot_path;
   std::string callgraph_dot_path;
   std::string lockgraph_dot_path;
+  std::string taint_dot_path;
   std::string json_path;
   std::string sarif_path;
   for (int i = 1; i < argc; ++i) {
@@ -150,6 +156,10 @@ int main(int argc, char** argv) {
       const char* v = flag_value("--lockgraph-dot");
       if (v == nullptr) return 2;
       lockgraph_dot_path = v;
+    } else if (arg == "--taint-dot") {
+      const char* v = flag_value("--taint-dot");
+      if (v == nullptr) return 2;
+      taint_dot_path = v;
     } else if (arg == "--only" || arg.starts_with("--only=")) {
       std::string v;
       if (arg.starts_with("--only=")) {
@@ -235,6 +245,10 @@ int main(int argc, char** argv) {
   if (!lockgraph_dot_path.empty()) {
     const std::string dot = ntr::analyze::lock_graph_dot(result.lockgraph);
     if (!write_output(lockgraph_dot_path, dot, "lock-graph DOT")) return 2;
+  }
+  if (!taint_dot_path.empty()) {
+    const std::string dot = ntr::analyze::taint_graph_dot(result.taintgraph);
+    if (!write_output(taint_dot_path, dot, "taint-graph DOT")) return 2;
   }
   if (!json_path.empty()) {
     char wall[32];
